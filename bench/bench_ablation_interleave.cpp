@@ -1,0 +1,29 @@
+// Ablation: channel interleaving granularity (Table II uses the 16 B
+// minimum so one master transaction spans every channel). Coarser stripes
+// serialize a single sequential stream onto fewer channels at a time.
+#include <cstdio>
+
+#include "core/experiments.hpp"
+
+int main() {
+  using namespace mcm;
+  std::printf("ABLATION: CHANNEL INTERLEAVING GRANULARITY "
+              "(400 MHz, 4 channels, 1080p30)\n\n");
+  std::printf("%-14s %14s %14s %14s\n", "stripe [B]", "access [ms]",
+              "meets RT", "power [mW]");
+
+  for (const std::uint32_t stripe : {16u, 64u, 256u, 1024u, 4096u, 65536u}) {
+    auto cfg = core::ExperimentConfig::paper_defaults();
+    cfg.base.channels = 4;
+    cfg.base.interleave_bytes = stripe;
+    video::UseCaseParams uc = cfg.usecase;
+    uc.level = video::H264Level::k40;
+    const auto r = core::FrameSimulator(cfg.sim).run(cfg.base, uc);
+    std::printf("%-14u %14.2f %14s %14.0f\n", stripe, r.access_time.ms(),
+                r.meets_realtime ? "yes" : "no", r.total_power_mw);
+  }
+  std::printf("\nPaper Table II: 16 B is the minimum practical granularity "
+              "(burst 4 x 32-bit words) and maximizes single-master "
+              "bandwidth.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Extension study: display quality-of-service. In concurrent mode the
+// DisplayCtrl traffic competes with the recording pipeline; its worst-case
+// service latency bounds the scan-out FIFO the display needs. Sweeps channel
+// count and the refresh-postponing policy (postponed refreshes keep tRFC
+// stalls out of the way of latency-critical requests).
+#include <cstdio>
+
+#include "core/experiments.hpp"
+
+int main() {
+  using namespace mcm;
+  std::printf("DISPLAY QoS: PACED SCAN-OUT LATENCY UNDER RECORDING LOAD "
+              "(1080p30, 400 MHz, concurrent mode)\n\n");
+  std::printf("%-6s %-18s %14s %14s %16s\n", "ch", "refresh policy",
+              "mean [ns]", "max [ns]", "FIFO @3.2GB/s [B]");
+
+  for (const std::uint32_t ch : {2u, 4u, 8u}) {
+    for (const std::uint32_t postpone : {0u, 8u}) {
+      auto cfg = core::ExperimentConfig::paper_defaults();
+      cfg.base.channels = ch;
+      cfg.base.controller.refresh_postpone_max = postpone;
+      cfg.sim.mode = core::ExecutionMode::kConcurrent;
+      video::UseCaseParams uc = cfg.usecase;
+      uc.level = video::H264Level::k40;
+      const auto r = core::FrameSimulator(cfg.sim).run(cfg.base, uc);
+      // A scan-out FIFO must cover max-latency x pixel-consumption rate
+      // (WVGA RGB888 @60 Hz = 69 MB/s).
+      const double fifo_bytes = r.paced_latency_ns.max() * 1e-9 * 69.1e6;
+      std::printf("%-6u %-18s %14.0f %14.0f %16.0f\n", ch,
+                  postpone == 0 ? "immediate" : "postpone up to 8",
+                  r.paced_latency_ns.mean(), r.paced_latency_ns.max(),
+                  fifo_bytes);
+    }
+  }
+  std::printf("\nMore channels cut queueing delay and shrink the scan-out "
+              "FIFO a real device would need. Refresh postponing is largely "
+              "neutral here: the worst case is queueing behind in-flight "
+              "pipeline bursts, not tRFC (which already mostly lands in idle "
+              "gaps).\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Reproduces Fig. 3: effect of memory clock frequency on memory access time
+// for one encoded 720p30 frame, for 1/2/4/8 channels, against the 33 ms
+// real-time requirement.
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hpp"
+#include "core/experiments.hpp"
+
+int main() {
+  using namespace mcm;
+  const auto cfg = core::ExperimentConfig::paper_defaults();
+  const auto points = core::sweep_frequency(cfg, video::H264Level::k31);
+
+  std::map<std::uint32_t, std::map<double, const core::SweepPoint*>> grid;
+  for (const auto& p : points) grid[p.channels][p.freq_mhz] = &p;
+
+  auto sink = benchutil::open_csv("fig3");
+  if (sink.active()) {
+    sink.csv().row({"freq_mhz", "channels", "access_ms", "meets_rt",
+                    "meets_rt_margin"});
+    for (const auto& p : points) {
+      sink.csv()
+          .field(p.freq_mhz, 4)
+          .field(static_cast<std::uint64_t>(p.channels))
+          .field(p.result.access_time.ms(), 6)
+          .field(std::int64_t{p.result.meets_realtime})
+          .field(std::int64_t{p.result.meets_realtime_with_margin});
+      sink.csv().endrow();
+    }
+  }
+
+  const Time realtime = points.front().result.frame_period;
+  std::printf("FIG. 3: EFFECT OF MEMORY CLOCK FREQUENCY ON MEMORY ACCESS TIME\n");
+  std::printf("(720p, H.264 level 3.1, one frame encoded; real-time req. %.1f ms "
+              "for 30 fps)\n\n",
+              realtime.ms());
+
+  std::printf("%-10s", "MHz");
+  for (const auto& [ch, _] : grid) std::printf("  %6u ch [ms]", ch);
+  std::printf("\n");
+  for (const double f : core::paper_frequencies()) {
+    std::printf("%-10.0f", f);
+    for (const auto& [ch, row] : grid) {
+      const auto& r = row.at(f)->result;
+      const char flag = !r.meets_realtime ? '!'
+                        : (!r.meets_realtime_with_margin ? '~' : ' ');
+      std::printf("  %10.2f %c ", r.access_time.ms(), flag);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n'!' misses the 33 ms real-time requirement; '~' meets it but "
+              "not with the 15%% processing margin (paper: \"marginal\").\n\n");
+
+  std::printf("Paper observations to verify:\n");
+  const auto& g1 = grid.at(1);
+  std::printf("  - 1 channel fails at 200/266 MHz: %s/%s\n",
+              g1.at(200.0)->result.meets_realtime ? "MEETS (mismatch)" : "fails",
+              g1.at(266.0)->result.meets_realtime ? "MEETS (mismatch)" : "fails");
+  std::printf("  - 1 channel at 333 MHz marginal: %s\n",
+              g1.at(333.0)->result.meets_realtime &&
+                      !g1.at(333.0)->result.meets_realtime_with_margin
+                  ? "yes"
+                  : (g1.at(333.0)->result.meets_realtime ? "meets with margin"
+                                                         : "fails"));
+  bool two_ok = true;
+  for (const double f : core::paper_frequencies()) {
+    two_ok = two_ok && grid.at(2).at(f)->result.meets_realtime;
+  }
+  std::printf("  - 2 channels meet 720p30 at every frequency: %s\n",
+              two_ok ? "yes" : "NO (mismatch)");
+  const double speedup_f = static_cast<double>(g1.at(200.0)->result.access_time.ps()) /
+                           g1.at(400.0)->result.access_time.ps();
+  const double speedup_c = static_cast<double>(g1.at(200.0)->result.access_time.ps()) /
+                           grid.at(2).at(200.0)->result.access_time.ps();
+  std::printf("  - ~2x speedup from doubling frequency: %.2fx; from doubling "
+              "channels: %.2fx\n",
+              speedup_f, speedup_c);
+  return 0;
+}

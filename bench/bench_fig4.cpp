@@ -1,0 +1,89 @@
+// Reproduces Fig. 4: effect of encoding format on memory access time at
+// 400 MHz, for 1/2/4/8 channels, against the 33 ms / 16.7 ms real-time lines.
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bench_util.hpp"
+#include "core/experiments.hpp"
+
+int main() {
+  using namespace mcm;
+  const auto cfg = core::ExperimentConfig::paper_defaults();
+  const auto points = core::sweep_formats(cfg, 400.0);
+
+  std::map<std::uint32_t, std::map<video::H264Level, const core::SweepPoint*>> grid;
+  for (const auto& p : points) grid[p.channels][p.level] = &p;
+
+  auto sink = benchutil::open_csv("fig4");
+  if (sink.active()) {
+    sink.csv().row({"level", "channels", "access_ms", "rt_req_ms", "meets_rt",
+                    "meets_rt_margin"});
+    for (const auto& p : points) {
+      sink.csv()
+          .field(video::level_spec(p.level).name)
+          .field(static_cast<std::uint64_t>(p.channels))
+          .field(p.result.access_time.ms(), 6)
+          .field(p.result.frame_period.ms(), 6)
+          .field(std::int64_t{p.result.meets_realtime})
+          .field(std::int64_t{p.result.meets_realtime_with_margin});
+      sink.csv().endrow();
+    }
+  }
+
+  std::printf("FIG. 4: EFFECT OF ENCODING FORMAT ON MEMORY ACCESS TIME "
+              "(clock 400 MHz)\n\n");
+  std::printf("%-18s%12s", "Frame format", "RT req[ms]");
+  for (const auto& [ch, _] : grid) std::printf("  %6u ch [ms]", ch);
+  std::printf("\n");
+
+  for (const auto level : video::kAllLevels) {
+    const auto& spec = video::level_spec(level);
+    char label[64];
+    std::snprintf(label, sizeof label, "%ux%u@%.0f", spec.resolution.width,
+                  spec.resolution.height, spec.fps);
+    std::printf("%-18s%12.1f", label, 1000.0 / spec.fps);
+    for (const auto& [ch, row] : grid) {
+      const auto& r = row.at(level)->result;
+      const char flag = !r.meets_realtime ? '!'
+                        : (!r.meets_realtime_with_margin ? '~' : ' ');
+      std::printf("  %10.2f %c ", r.access_time.ms(), flag);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n'!' misses real time; '~' marginal (meets without the 15%% "
+              "processing margin).\n\n");
+
+  std::printf("Paper observations to verify:\n");
+  std::printf("  - level 3.1 achievable with all interleaving schemes: %s\n",
+              [&] {
+                for (const auto& [ch, row] : grid) {
+                  if (!row.at(video::H264Level::k31)->result.meets_realtime)
+                    return "NO (mismatch)";
+                }
+                return "yes";
+              }());
+  std::printf("  - level 3.2 (720p60) requires at least two channels: 1ch %s, "
+              "2ch %s\n",
+              grid.at(1).at(video::H264Level::k32)->result.meets_realtime
+                  ? "meets (mismatch)" : "fails",
+              grid.at(2).at(video::H264Level::k32)->result.meets_realtime
+                  ? "meets" : "FAILS (mismatch)");
+  std::printf("  - 1080p30 employs at minimum four channels (safe side): "
+              "2ch margin %s, 4ch margin %s\n",
+              grid.at(2).at(video::H264Level::k40)->result.meets_realtime_with_margin
+                  ? "ok" : "not met",
+              grid.at(4).at(video::H264Level::k40)->result.meets_realtime_with_margin
+                  ? "ok" : "NOT MET (mismatch)");
+  std::printf("  - 1080p60 and 2160p30 push toward all eight channels: "
+              "1080p60@4ch %s, 2160p30@8ch %s\n",
+              grid.at(4).at(video::H264Level::k42)->result.meets_realtime ? "meets"
+                                                                          : "fails",
+              grid.at(8).at(video::H264Level::k52)->result.meets_realtime ? "meets"
+                                                                          : "fails");
+  const double ratio =
+      grid.at(4).at(video::H264Level::k40)->result.demand_bandwidth_bytes_per_s /
+      grid.at(4).at(video::H264Level::k31)->result.demand_bandwidth_bytes_per_s;
+  std::printf("  - 1080p30 needs ~2.2x the bandwidth of 720p30: %.2fx\n", ratio);
+  return 0;
+}

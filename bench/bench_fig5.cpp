@@ -1,0 +1,74 @@
+// Reproduces Fig. 5: effect of encoding format on memory power consumption
+// at 400 MHz, with the Eq. (1) interface power shown stacked on top. Bars
+// are zeroed (like the paper) when a configuration cannot meet real time
+// with the 15 % data-processing margin.
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hpp"
+#include "core/experiments.hpp"
+
+int main() {
+  using namespace mcm;
+  const auto cfg = core::ExperimentConfig::paper_defaults();
+  const auto points = core::sweep_formats(cfg, 400.0);
+
+  std::map<std::uint32_t, std::map<video::H264Level, const core::SweepPoint*>> grid;
+  for (const auto& p : points) grid[p.channels][p.level] = &p;
+
+  auto sink = benchutil::open_csv("fig5");
+  if (sink.active()) {
+    sink.csv().row({"level", "channels", "total_mw", "dram_mw", "interface_mw",
+                    "meets_rt_margin"});
+    for (const auto& p : points) {
+      sink.csv()
+          .field(video::level_spec(p.level).name)
+          .field(static_cast<std::uint64_t>(p.channels))
+          .field(p.result.total_power_mw, 6)
+          .field(p.result.dram_power_mw, 6)
+          .field(p.result.interface_power_mw, 6)
+          .field(std::int64_t{p.result.meets_realtime_with_margin});
+      sink.csv().endrow();
+    }
+  }
+
+  std::printf("FIG. 5: EFFECT OF ENCODING FORMAT ON MEMORY POWER CONSUMPTION "
+              "(clock 400 MHz)\n");
+  std::printf("(average power over the frame period; DRAM + interface[stacked]; "
+              "0 = misses real time with 15%% margin)\n\n");
+
+  std::printf("%-18s", "Frame format");
+  for (const auto& [ch, _] : grid) std::printf("  %8u ch [mW]", ch);
+  std::printf("\n");
+  for (const auto level : video::kAllLevels) {
+    const auto& spec = video::level_spec(level);
+    char label[64];
+    std::snprintf(label, sizeof label, "%ux%u@%.0f", spec.resolution.width,
+                  spec.resolution.height, spec.fps);
+    std::printf("%-18s", label);
+    for (const auto& [ch, row] : grid) {
+      const auto& r = row.at(level)->result;
+      if (!r.meets_realtime_with_margin) {
+        const char* tag = r.meets_realtime ? "MARGINAL" : "0";
+        std::printf("  %14s", tag);
+      } else {
+        char cell[32];
+        std::snprintf(cell, sizeof cell, "%.0f (if %.0f)", r.total_power_mw,
+                      r.interface_power_mw);
+        std::printf("  %14s", cell);
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nPaper anchors @400 MHz: 720p/1ch 150 mW; 720p/8ch 205 mW; "
+              "1080p30/4ch 345 mW; 2160p30/8ch ~1280 mW.\n");
+  const auto mw = [&](std::uint32_t ch, video::H264Level lv) {
+    return grid.at(ch).at(lv)->result.total_power_mw;
+  };
+  std::printf("Measured:               720p/1ch %.0f mW; 720p/8ch %.0f mW; "
+              "1080p30/4ch %.0f mW; 2160p30/8ch %.0f mW.\n",
+              mw(1, video::H264Level::k31), mw(8, video::H264Level::k31),
+              mw(4, video::H264Level::k40), mw(8, video::H264Level::k52));
+  return 0;
+}

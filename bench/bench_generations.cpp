@@ -1,0 +1,55 @@
+// Extension study: device generations. What does the paper's "theoretical
+// next generation mobile DDR" buy over a 2008 Mobile DDR part (200 MHz,
+// 1.8 V), and what would an eight-bank tFAW-constrained follow-on add?
+#include <cstdio>
+
+#include "core/experiments.hpp"
+
+namespace {
+
+using namespace mcm;
+
+void report(const char* name, const dram::DeviceSpec& device, double freq,
+            std::uint32_t channels, video::H264Level level) {
+  auto cfg = core::ExperimentConfig::paper_defaults();
+  cfg.base.device = device;
+  cfg.base.freq = Frequency{freq};
+  cfg.base.channels = channels;
+  video::UseCaseParams uc = cfg.usecase;
+  uc.level = level;
+  const auto r = core::FrameSimulator(cfg.sim).run(cfg.base, uc);
+  std::printf("%-24s %8.0f %4u %12.2f %10s %12.0f\n", name, freq, channels,
+              r.access_time.ms(),
+              r.meets_realtime ? (r.meets_realtime_with_margin ? "yes" : "margin")
+                               : "NO",
+              r.total_power_mw);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("DEVICE GENERATIONS: 1080p30 RECORDING\n\n");
+  std::printf("%-24s %8s %4s %12s %10s %12s\n", "device", "MHz", "ch",
+              "access [ms]", "meets RT", "power [mW]");
+
+  const auto lvl = video::H264Level::k40;
+  // 2008 Mobile DDR tops out at 200 MHz: even 8 channels barely serve 1080p30,
+  // at 1.8 V power.
+  report("Mobile DDR (2008)", dram::DeviceSpec::mobile_ddr_2008(), 200.0, 4, lvl);
+  report("Mobile DDR (2008)", dram::DeviceSpec::mobile_ddr_2008(), 200.0, 8, lvl);
+  // The paper's next-generation estimate.
+  report("next-gen mobile DDR", dram::DeviceSpec::next_gen_mobile_ddr(), 400.0, 4,
+         lvl);
+  report("next-gen mobile DDR", dram::DeviceSpec::next_gen_mobile_ddr(), 400.0, 8,
+         lvl);
+  // Eight-bank follow-on: 1 Gb clusters with a tFAW window.
+  report("8-bank future (tFAW)", dram::DeviceSpec::eight_bank_future(), 400.0, 4,
+         lvl);
+  report("8-bank future (tFAW)", dram::DeviceSpec::eight_bank_future(), 533.0, 4,
+         lvl);
+
+  std::printf("\n2160p30 on the future part:\n");
+  report("8-bank future (tFAW)", dram::DeviceSpec::eight_bank_future(), 533.0, 8,
+         video::H264Level::k52);
+  return 0;
+}

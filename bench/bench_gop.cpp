@@ -1,0 +1,37 @@
+// Extension study: GOP structure. The paper models steady-state predicted
+// frames (every frame reads 6 x #refs of reference data); real encoders
+// insert periodic I frames that carry none. Per-frame access time then
+// alternates, which matters for worst-case real-time margins vs averages.
+#include <cstdio>
+
+#include "core/experiments.hpp"
+
+int main() {
+  using namespace mcm;
+  std::printf("GOP STRUCTURE: PER-FRAME ACCESS TIME (1080p30, 4 channels, "
+              "400 MHz)\n\n");
+
+  for (const int gop : {0, 4}) {
+    auto cfg = core::ExperimentConfig::paper_defaults();
+    cfg.base.channels = 4;
+    cfg.sim.frames = 8;
+    cfg.sim.gop_length = gop;
+    video::UseCaseParams uc = cfg.usecase;
+    uc.level = video::H264Level::k40;
+    const auto r = core::FrameSimulator(cfg.sim).run(cfg.base, uc);
+
+    std::printf("%s:\n", gop == 0 ? "all-P (paper model)" : "GOP of 4 (IPPP)");
+    std::printf("  frames [ms]:");
+    Time worst = Time::zero();
+    for (const Time t : r.per_frame_access) {
+      std::printf(" %6.2f", t.ms());
+      worst = max(worst, t);
+    }
+    std::printf("\n  mean %.2f ms, worst %.2f ms, power %.0f mW\n\n",
+                r.access_time.ms(), worst.ms(), r.total_power_mw);
+  }
+  std::printf("I frames are ~2x lighter (no reference traffic), so the mean "
+              "drops - but the real-time requirement binds on the P-frame "
+              "worst case, which matches the paper's all-P analysis.\n");
+  return 0;
+}

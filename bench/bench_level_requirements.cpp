@@ -1,0 +1,47 @@
+// Reproduces the paper's Conclusions summary (Section V): the minimum
+// channel count per H.264 level at 400 MHz -
+//   level 3.2 (720p60) clearly needs several channels,
+//   level 4 (1080p30) requires the 4-channel configuration,
+//   level 4.2 (1080p60) needs 8 channels,
+//   and 8 channels carry accesses up to level 5.2 (2160p30).
+#include <cstdio>
+
+#include "core/experiments.hpp"
+
+int main() {
+  using namespace mcm;
+  const auto base = core::ExperimentConfig::paper_defaults();
+  const core::FrameSimulator sim(base.sim);
+
+  std::printf("CONCLUSIONS: MINIMUM CHANNEL COUNT PER H.264 LEVEL (400 MHz)\n\n");
+  std::printf("%-8s %-18s %14s %16s %18s\n", "level", "format", "min (meets RT)",
+              "min (15% margin)", "paper (Section V)");
+
+  const char* paper_claim[] = {"1 (all schemes)", ">= 2", "4", "8", "8"};
+  int idx = 0;
+  for (const auto level : video::kAllLevels) {
+    std::uint32_t min_rt = 0, min_margin = 0;
+    for (const std::uint32_t ch : core::paper_channel_counts()) {
+      auto cfg = base.base;
+      cfg.channels = ch;
+      video::UseCaseParams uc = base.usecase;
+      uc.level = level;
+      const auto r = sim.run(cfg, uc);
+      if (min_rt == 0 && r.meets_realtime) min_rt = ch;
+      if (min_margin == 0 && r.meets_realtime_with_margin) min_margin = ch;
+      if (min_rt != 0 && min_margin != 0) break;
+    }
+    const auto& spec = video::level_spec(level);
+    char fmt[64], rt[16], margin[16];
+    std::snprintf(fmt, sizeof fmt, "%ux%u@%.0f", spec.resolution.width,
+                  spec.resolution.height, spec.fps);
+    std::snprintf(rt, sizeof rt, min_rt ? "%u" : "none", min_rt);
+    std::snprintf(margin, sizeof margin, min_margin ? "%u" : "none", min_margin);
+    std::printf("%-8s %-18s %14s %16s %18s\n",
+                std::string(spec.name).c_str(), fmt, rt, margin,
+                paper_claim[idx++]);
+  }
+  std::printf("\nPaper: \"the multi-channel memory subsystem configuration "
+              "scales well for future needs\".\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Simulator micro-throughput (google-benchmark): requests served per second
+// by the transaction-level engine for the common traffic shapes.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "controller/memory_controller.hpp"
+#include "multichannel/memory_system.hpp"
+
+namespace {
+
+using namespace mcm;
+
+void BM_ControllerSequentialReads(benchmark::State& state) {
+  const auto spec = dram::DeviceSpec::next_gen_mobile_ddr();
+  std::uint64_t served = 0;
+  for (auto _ : state) {
+    ctrl::MemoryController mc(spec, Frequency{400.0}, ctrl::AddressMux::kRBC, {});
+    std::uint64_t a = 0;
+    for (int i = 0; i < 4096; ++i) {
+      mc.enqueue(ctrl::Request{a, false, Time::zero(), 0});
+      benchmark::DoNotOptimize(mc.process_one());
+      a += 16;
+    }
+    served += 4096;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(served));
+}
+BENCHMARK(BM_ControllerSequentialReads);
+
+void BM_ControllerRandomMix(benchmark::State& state) {
+  const auto spec = dram::DeviceSpec::next_gen_mobile_ddr();
+  std::uint64_t served = 0;
+  Rng rng(1);
+  for (auto _ : state) {
+    ctrl::MemoryController mc(spec, Frequency{400.0}, ctrl::AddressMux::kRBC, {});
+    for (int i = 0; i < 4096; ++i) {
+      const std::uint64_t a = rng.next_below(spec.org.capacity_bytes() / 16) * 16;
+      mc.enqueue(ctrl::Request{a, (i & 3) == 0, Time::zero(), 0});
+      benchmark::DoNotOptimize(mc.process_one());
+    }
+    served += 4096;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(served));
+}
+BENCHMARK(BM_ControllerRandomMix);
+
+void BM_MemorySystemFourChannels(benchmark::State& state) {
+  multichannel::SystemConfig cfg;
+  cfg.channels = 4;
+  std::uint64_t served = 0;
+  for (auto _ : state) {
+    multichannel::MemorySystem sys(cfg);
+    int submitted = 0;
+    const int n = 8192;
+    while (submitted < n) {
+      const ctrl::Request r{static_cast<std::uint64_t>(submitted) * 16,
+                            (submitted & 7) == 0, Time::zero(), 0};
+      if (sys.can_accept(r.addr)) {
+        sys.submit(r);
+        ++submitted;
+      } else {
+        benchmark::DoNotOptimize(sys.process_next());
+      }
+    }
+    benchmark::DoNotOptimize(sys.drain());
+    served += n;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(served));
+}
+BENCHMARK(BM_MemorySystemFourChannels);
+
+void BM_AddressDecode(benchmark::State& state) {
+  const auto org = dram::DeviceSpec::next_gen_mobile_ddr().org;
+  const ctrl::AddressMapper mapper(org, ctrl::AddressMux::kRBC);
+  std::uint64_t a = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper.decode(a));
+    a += 16;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AddressDecode);
+
+}  // namespace

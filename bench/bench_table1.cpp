@@ -1,0 +1,130 @@
+// Reproduces Table I: memory bandwidth requirement for the stages of the
+// video recording use case, for the five HD-compatible H.264/AVC levels.
+// Values are per frame in Mb (decimal), as in the paper.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "video/usecase.hpp"
+
+namespace {
+
+using namespace mcm;
+
+void print_row(const char* label, const std::vector<double>& values,
+               const char* fmt = "%12.1f") {
+  std::printf("%-28s", label);
+  for (const double v : values) std::printf(fmt, v);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::vector<video::UseCaseModel> models;
+  for (const auto level : video::kAllLevels) {
+    video::UseCaseParams p;
+    p.level = level;
+    models.emplace_back(p);
+  }
+
+  auto sink = mcm::benchutil::open_csv("table1");
+  if (sink.active()) {
+    sink.csv().row({"level", "stage", "read_mbit", "write_mbit", "total_mbit"});
+    for (const auto& m : models) {
+      for (const auto& s : m.stages()) {
+        sink.csv()
+            .field(m.level().name)
+            .field(s.name)
+            .field(s.read_bits / 1e6, 6)
+            .field(s.write_bits / 1e6, 6)
+            .field(s.total_mbits(), 6);
+        sink.csv().endrow();
+      }
+    }
+  }
+
+  std::printf("TABLE I: MEMORY BANDWIDTH REQUIREMENT FOR THE VIDEO RECORDING "
+              "USE CASE\n");
+  std::printf("(per-frame numbers in Mb; M = 10^6)\n\n");
+
+  std::printf("%-28s", "H.264/AVC Level");
+  for (const auto& m : models) std::printf("%12s", std::string(m.level().name).c_str());
+  std::printf("\n");
+  std::printf("%-28s", "Format");
+  for (const auto& m : models)
+    std::printf("%12s", std::string(m.level().format).c_str());
+  std::printf("\n");
+
+  auto collect = [&](auto&& fn) {
+    std::vector<double> v;
+    for (const auto& m : models) v.push_back(fn(m));
+    return v;
+  };
+
+  print_row("Width [pel]", collect([](const auto& m) {
+              return static_cast<double>(m.level().resolution.width);
+            }),
+            "%12.0f");
+  print_row("Height [pel]", collect([](const auto& m) {
+              return static_cast<double>(m.level().resolution.height);
+            }),
+            "%12.0f");
+  print_row("Limits [fps]",
+            collect([](const auto& m) { return m.level().fps; }), "%12.0f");
+  print_row("Max bitrate [Mb/s]",
+            collect([](const auto& m) { return m.level().max_bitrate_mbps; }),
+            "%12.0f");
+
+  std::printf("\nIMAGE PROCESSING (bits per frame, read+write)\n");
+  for (std::size_t s = 0; s < models.front().stages().size(); ++s) {
+    if (!models.front().stages()[s].image_processing) continue;
+    const std::string label = std::string(models.front().stages()[s].name) + " [Mb]";
+    print_row(label.c_str(), collect([s](const auto& m) {
+                return m.stages()[s].total_mbits();
+              }));
+  }
+  print_row("Image proc. total (1 frame)", collect([](const auto& m) {
+              return m.image_processing_bits_per_frame() / 1e6;
+            }));
+
+  std::printf("\nVIDEO CODING (bits per frame, read+write)\n");
+  print_row("Nb of reference frames", collect([](const auto& m) {
+              return static_cast<double>(m.ref_frames());
+            }),
+            "%12.0f");
+  for (std::size_t s = 0; s < models.front().stages().size(); ++s) {
+    if (models.front().stages()[s].image_processing) continue;
+    const std::string label = std::string(models.front().stages()[s].name) + " [Mb]";
+    print_row(label.c_str(), collect([s](const auto& m) {
+                return m.stages()[s].total_mbits();
+              }));
+  }
+  print_row("Video coding total (1 frame)", collect([](const auto& m) {
+              return m.video_coding_bits_per_frame() / 1e6;
+            }));
+
+  std::printf("\nTOTAL\n");
+  print_row("Data Mem. load (1 frame) [Mb]", collect([](const auto& m) {
+              return m.total_bits_per_frame() / 1e6;
+            }));
+  print_row("Data Mem. load (1 s) [Mb]", collect([](const auto& m) {
+              return m.total_bits_per_second() / 1e6;
+            }),
+            "%12.0f");
+  print_row("Data Mem. load [MB/s]", collect([](const auto& m) {
+              return m.total_mb_per_second();
+            }),
+            "%12.0f");
+
+  std::printf("\nPaper anchors: 720p30 = 1.9 GB/s, 1080p30 = 4.3 GB/s (2.2x "
+              "720p), 1080p60 = 8.6 GB/s.\n");
+  std::printf("Model:         720p30 = %.2f GB/s, 1080p30 = %.2f GB/s (%.2fx), "
+              "1080p60 = %.2f GB/s.\n",
+              models[0].total_mb_per_second() / 1000.0,
+              models[2].total_mb_per_second() / 1000.0,
+              models[2].total_mb_per_second() / models[0].total_mb_per_second(),
+              models[3].total_mb_per_second() / 1000.0);
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Shared helpers for the benchmark binaries: optional CSV export. When the
+// MCM_CSV_DIR environment variable names a directory, each figure bench also
+// writes its data series there as <name>.csv for external plotting.
+#pragma once
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "common/csv.hpp"
+
+namespace mcm::benchutil {
+
+/// Returns a CSV writer bound to $MCM_CSV_DIR/<name>.csv, or nullptr when
+/// the variable is unset or the file cannot be created.
+struct CsvSink {
+  std::ofstream file;
+  std::unique_ptr<CsvWriter> writer;
+
+  [[nodiscard]] bool active() const { return writer != nullptr; }
+  [[nodiscard]] CsvWriter& csv() { return *writer; }
+};
+
+[[nodiscard]] inline CsvSink open_csv(const std::string& name) {
+  CsvSink sink;
+  const char* dir = std::getenv("MCM_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return sink;
+  sink.file.open(std::string(dir) + "/" + name + ".csv");
+  if (sink.file) {
+    sink.writer = std::make_unique<CsvWriter>(sink.file);
+  }
+  return sink;
+}
+
+}  // namespace mcm::benchutil

@@ -1,0 +1,54 @@
+// Extension study: width vs channels. Die stacking can buy bandwidth two
+// ways - the paper's many narrow DDR channels at high clocks, or a Wide
+// I/O-style wide SDR interface at modest clocks. Same 12.8 GB/s peak either
+// way for 1080p30; compare access time and power.
+#include <cstdio>
+
+#include "core/experiments.hpp"
+
+namespace {
+
+using namespace mcm;
+
+void report(const char* label, const dram::DeviceSpec& device, double freq,
+            std::uint32_t channels, std::uint32_t interleave) {
+  auto cfg = core::ExperimentConfig::paper_defaults();
+  cfg.base.device = device;
+  cfg.base.freq = Frequency{freq};
+  cfg.base.channels = channels;
+  cfg.base.interleave_bytes = interleave;
+  video::UseCaseParams uc = cfg.usecase;
+  uc.level = video::H264Level::k40;
+  const auto r = core::FrameSimulator(cfg.sim).run(cfg.base, uc);
+  const multichannel::MemorySystem sys(cfg.base);
+  std::printf("%-34s %10.1f %12.2f %10s %12.0f\n", label,
+              sys.peak_bandwidth_bytes_per_s() / 1e9, r.access_time.ms(),
+              r.meets_realtime ? (r.meets_realtime_with_margin ? "yes" : "margin")
+                               : "NO",
+              r.total_power_mw);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("WIDTH vs CHANNELS: 1080p30 RECORDING (die-stacked options)\n\n");
+  std::printf("%-34s %10s %12s %10s %12s\n", "organization", "peak[GB/s]",
+              "access [ms]", "meets RT", "power [mW]");
+
+  // The paper's organization: 4 x 32-bit DDR channels at 400 MHz.
+  report("4 x 32-bit DDR @ 400 MHz", dram::DeviceSpec::next_gen_mobile_ddr(),
+         400.0, 4, 16);
+  // Wide I/O-style: 4 x 128-bit SDR channels at 200 MHz (same 12.8 GB/s).
+  report("4 x 128-bit SDR @ 200 MHz (WideIO)", dram::DeviceSpec::wide_io_like(),
+         200.0, 4, 64);
+  // And a 2-channel wide variant at 266 MHz.
+  report("2 x 128-bit SDR @ 266 MHz (WideIO)", dram::DeviceSpec::wide_io_like(),
+         266.0, 2, 64);
+
+  std::printf("\nFor this streaming, cache-line-grained load the wide SDR "
+              "interface matches the paper's narrow DDR channels at half the "
+              "clock (and slightly lower power: fewer commands per byte). "
+              "Narrow channels keep the advantage for fine-grained access "
+              "patterns, where a 64 B minimum burst wastes bus slots.\n");
+  return 0;
+}

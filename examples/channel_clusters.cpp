@@ -1,0 +1,96 @@
+// Channel clusters (paper Section V, future work): divide a large
+// multi-channel memory into independent clusters, one per memory master.
+// Here two concurrent use cases - a 1080p30 recording and a 720p30 recording
+// - run on (a) one shared 4-channel system and (b) two independent
+// 2-channel clusters.
+//
+//   $ ./channel_clusters
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/mcm.hpp"
+
+namespace {
+
+using namespace mcm;
+
+struct Pipeline {
+  std::vector<std::unique_ptr<load::TrafficSource>> stages;
+  std::size_t index = 0;
+  std::uint64_t base = 0;  // address-space offset for this master
+
+  explicit Pipeline(video::H264Level level, std::uint64_t base_addr) : base(base_addr) {
+    video::UseCaseParams p;
+    p.level = level;
+    const video::UseCaseModel model(p);
+    const video::SurfaceLayout layout(model);
+    stages = load::build_stage_sources(model, layout);
+  }
+
+  [[nodiscard]] bool done() const { return index >= stages.size(); }
+};
+
+/// Alternate 64-burst quanta between two pipelines to emulate two concurrent
+/// masters, and return when all traffic is served.
+template <typename System>
+Time run_two_masters(System& sys, Pipeline& a, Pipeline& b) {
+  Time last = Time::zero();
+  const auto pump = [&](Pipeline& p) {
+    if (p.done()) return;
+    auto& src = *p.stages[p.index];
+    for (int burst = 0; burst < 64 && !src.done();) {
+      ctrl::Request r = src.head();
+      r.addr += p.base;
+      if (sys.can_accept(r.addr)) {
+        sys.submit(r);
+        src.advance();
+        ++burst;
+      } else if (auto c = sys.process_next()) {
+        last = max(last, c->done);
+      }
+    }
+    if (src.done()) ++p.index;
+  };
+  while (!a.done() || !b.done()) {
+    pump(a);
+    pump(b);
+  }
+  return max(last, sys.drain());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("CHANNEL CLUSTERS: two concurrent recordings (1080p30 + 720p30)\n\n");
+  const std::uint64_t second_master_base = 128ull * 1024 * 1024;
+
+  // (a) One shared 4-channel system: both masters interleave everywhere.
+  multichannel::SystemConfig shared_cfg;
+  shared_cfg.channels = 4;
+  multichannel::MemorySystem shared(shared_cfg);
+  Pipeline a1(video::H264Level::k40, 0);
+  Pipeline a2(video::H264Level::k31, second_master_base);
+  const Time t_shared = run_two_masters(shared, a1, a2);
+
+  // (b) Two independent 2-channel clusters, one per master.
+  multichannel::ClusterConfig cluster_cfg;
+  cluster_cfg.clusters = 2;
+  cluster_cfg.per_cluster.channels = 2;
+  multichannel::ChannelClusterSystem clustered(cluster_cfg);
+  Pipeline b1(video::H264Level::k40, 0);
+  Pipeline b2(video::H264Level::k31, second_master_base);
+  const Time t_clustered = run_two_masters(clustered, b1, b2);
+
+  std::printf("  shared 4-channel system:   both streams served in %.2f ms\n",
+              t_shared.ms());
+  std::printf("  2 x 2-channel clusters:    both streams served in %.2f ms\n",
+              t_clustered.ms());
+  std::printf("  cluster 0 (1080p30): %.1f MB   cluster 1 (720p30): %.1f MB\n",
+              static_cast<double>(clustered.cluster(0).stats().bytes) / 1e6,
+              static_cast<double>(clustered.cluster(1).stats().bytes) / 1e6);
+  std::printf("\nShared channels pool bandwidth across masters; clusters trade "
+              "peak bandwidth for isolation and simpler per-cluster power "
+              "management (paper Section V).\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// End-to-end functional run of the Fig. 1 chain on real pixels: synthetic
+// sensor -> Bayer denoise -> demosaic + YUV -> global-motion stabilization
+// -> digizoom -> display scaling, plus the toy H.264-style encoder. Prints
+// per-frame quality/motion/bitrate, demonstrating that every block of the
+// paper's use case exists as working code.
+//
+//   $ ./functional_pipeline [frames]
+#include <cstdio>
+#include <cstdlib>
+
+#include "pixel/encoder.hpp"
+#include "pixel/stages.hpp"
+#include "pixel/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcm::pixel;
+  const int frames = argc > 1 ? std::atoi(argv[1]) : 6;
+
+  // Sensor captures a 20 % border around the coded frame (paper Fig. 1).
+  const std::uint32_t coded_w = 320, coded_h = 192;
+  SceneParams scene;
+  scene.width = 384;   // ~1.2x
+  scene.height = 240;
+  scene.pan_x = 2.0;   // handshake the stabilizer must cancel
+  scene.pan_y = -1.0;
+  scene.noise_sigma = 2.0;
+  const SceneGenerator sensor(scene);
+
+  EncoderConfig ecfg;
+  ecfg.qp = 26;
+  ecfg.search_range = 8;
+  ToyEncoder encoder(ecfg, coded_w, coded_h);
+
+  std::printf("Functional video recording chain, %ux%u coded (%ux%u sensor), "
+              "%d frames\n\n",
+              coded_w, coded_h, scene.width, scene.height, frames);
+  std::printf("%5s %12s %12s %12s %12s %10s\n", "frame", "est. motion",
+              "stab crop", "PSNR [dB]", "bits", "mean|mv|");
+
+  ImageU8 prev_luma;
+  const int border_x = static_cast<int>((scene.width - coded_w) / 2);
+  const int border_y = static_cast<int>((scene.height - coded_h) / 2);
+
+  for (int f = 0; f < frames; ++f) {
+    // Camera I/F + Preprocess + Bayer to YUV.
+    const Rgb888Image raw = sensor.render(f);
+    const ImageU8 bayer = denoise_box3(bayer_mosaic_rggb(raw));
+    const Yuv422Image full = rgb_to_yuv422(demosaic_bilinear(bayer));
+
+    // Video stabilization: estimate camera motion, compensate the crop.
+    MotionVector mv{0, 0};
+    if (!prev_luma.empty()) {
+      mv = estimate_global_motion(prev_luma, full.y, 12);
+    }
+    prev_luma = full.y;
+    const Yuv422Image stab =
+        crop(full, border_x - mv.dx, border_y - mv.dy, coded_w, coded_h);
+
+    // Post proc & digizoom (z = 1 here) + scaling to display handled by the
+    // same bilinear scaler; encode the stabilized stream.
+    const Yuv422Image post = scale_bilinear(stab, coded_w, coded_h);
+    const Rgb888Image display = yuv422_to_rgb(scale_bilinear(post, 160, 96));
+    (void)display;  // would be scanned out at 60 Hz
+
+    const FrameStats stats = encoder.encode(yuv422_to_yuv420(post));
+    char mv_str[40], crop_str[40];
+    std::snprintf(mv_str, sizeof mv_str, "(%d,%d)", mv.dx, mv.dy);
+    std::snprintf(crop_str, sizeof crop_str, "(%d,%d)", border_x - mv.dx,
+                  border_y - mv.dy);
+    std::printf("%5d %12s %12s %12.1f %12llu %10.2f\n", f, mv_str, crop_str,
+                stats.psnr_y, static_cast<unsigned long long>(stats.bits),
+                stats.mean_abs_mv);
+  }
+
+  std::printf("\nAfter stabilization the encoder sees near-zero residual "
+              "motion (mean|mv| ~ 0), so inter frames code far below the "
+              "intra frame's size.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Quickstart: simulate one 1080p30 frame of the video recording use case on
+// a 4-channel 400 MHz next-generation mobile DDR memory subsystem - the
+// paper's headline configuration - and print the headline numbers.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "core/mcm.hpp"
+
+int main() {
+  using namespace mcm;
+
+  // 1. Describe the memory subsystem (paper Fig. 2 / Section III).
+  multichannel::SystemConfig memory;
+  memory.device = dram::DeviceSpec::next_gen_mobile_ddr();
+  memory.freq = Frequency{400.0};
+  memory.channels = 4;
+  memory.interleave_bytes = 16;            // Table II interleaving
+  memory.mux = ctrl::AddressMux::kRBC;     // paper's pick
+  memory.controller.page_policy = ctrl::PagePolicy::kOpen;
+  memory.controller.powerdown_idle_cycles = 1;  // strict power saving
+
+  // 2. Describe the workload (paper Fig. 1 / Table I).
+  video::UseCaseParams usecase;
+  usecase.level = video::H264Level::k40;  // 1080p @ 30 fps
+
+  // 3. Run one frame and inspect the results.
+  const core::FrameSimulator sim;
+  const core::FrameSimResult r = sim.run(memory, usecase);
+
+  const video::UseCaseModel model(usecase);
+  std::printf("Workload:   H.264 level %s, %ux%u @ %.0f fps\n",
+              std::string(model.level().name).c_str(),
+              model.level().resolution.width, model.level().resolution.height,
+              model.level().fps);
+  std::printf("Demand:     %.2f GB/s (%s per frame)\n",
+              model.total_mb_per_second() / 1000.0,
+              format_bandwidth(r.demand_bandwidth_bytes_per_s).c_str());
+  std::printf("Memory:     %u channels x 32 bit @ 400 MHz = %.1f GB/s peak\n",
+              memory.channels, memory.channels * 3.2);
+  std::printf("Access time: %.2f ms per frame (real-time limit %.2f ms) -> %s\n",
+              r.access_time.ms(), r.frame_period.ms(),
+              r.meets_realtime_with_margin
+                  ? "meets real time with 15% margin"
+                  : (r.meets_realtime ? "marginal" : "MISSES real time"));
+  std::printf("Power:      %.0f mW average (%.0f mW DRAM + %.0f mW interface)\n",
+              r.total_power_mw, r.dram_power_mw, r.interface_power_mw);
+  std::printf("Row hits:   %.1f%% (activates: %llu, refreshes: %llu, "
+              "power-downs: %llu)\n",
+              100.0 * r.stats.row_hit_rate(),
+              static_cast<unsigned long long>(r.stats.activates),
+              static_cast<unsigned long long>(r.stats.refreshes),
+              static_cast<unsigned long long>(r.stats.powerdown_entries));
+  return 0;
+}

@@ -1,0 +1,89 @@
+#include "cache/cache_model.hpp"
+
+#include <stdexcept>
+
+namespace mcm::cache {
+namespace {
+
+bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+CacheModel::CacheModel(const CacheConfig& cfg) : cfg_(cfg) {
+  if (!is_pow2(cfg.line_bytes)) throw std::invalid_argument("line size not power of 2");
+  if (cfg.ways == 0) throw std::invalid_argument("ways must be > 0");
+  const std::uint64_t lines = cfg.size_bytes / cfg.line_bytes;
+  if (lines == 0 || lines % cfg.ways != 0) {
+    throw std::invalid_argument("cache size / line / ways mismatch");
+  }
+  sets_ = static_cast<std::uint32_t>(lines / cfg.ways);
+  if (!is_pow2(sets_)) throw std::invalid_argument("set count not power of 2");
+  lines_.resize(lines);
+}
+
+CacheEffect CacheModel::access_line(std::uint64_t addr, bool is_write) {
+  ++stats_.accesses;
+  const std::uint64_t line_addr = addr / cfg_.line_bytes;
+  const std::uint32_t set = static_cast<std::uint32_t>(line_addr & (sets_ - 1));
+  const std::uint64_t tag = line_addr / sets_;
+  Line* base = &lines_[static_cast<std::size_t>(set) * cfg_.ways];
+
+  CacheEffect eff;
+  Line* victim = base;
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    Line& l = base[w];
+    if (l.valid && l.tag == tag) {
+      ++stats_.hits;
+      l.lru = ++tick_;
+      if (is_write) l.dirty = true;
+      eff.hit = true;
+      return eff;
+    }
+    if (!l.valid) {
+      victim = &l;
+    } else if (victim->valid && l.lru < victim->lru) {
+      victim = &l;
+    }
+  }
+
+  ++stats_.misses;
+  if (is_write && !cfg_.write_allocate) {
+    // Write-through-no-allocate: the write itself goes to memory.
+    eff.writeback_addr = line_addr * cfg_.line_bytes;
+    ++stats_.writebacks;
+    return eff;
+  }
+  if (victim->valid && victim->dirty) {
+    ++stats_.writebacks;
+    eff.writeback_addr = (victim->tag * sets_ + set) * cfg_.line_bytes;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->dirty = is_write;
+  victim->lru = ++tick_;
+  eff.fill_addr = line_addr * cfg_.line_bytes;
+  return eff;
+}
+
+std::vector<std::uint64_t> CacheModel::dirty_lines() const {
+  std::vector<std::uint64_t> out;
+  for (std::uint32_t set = 0; set < sets_; ++set) {
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+      const Line& l = lines_[static_cast<std::size_t>(set) * cfg_.ways + w];
+      if (l.valid && l.dirty) {
+        out.push_back((l.tag * sets_ + set) * cfg_.line_bytes);
+      }
+    }
+  }
+  return out;
+}
+
+void CacheModel::access(std::uint64_t addr, std::uint32_t bytes, bool is_write) {
+  const std::uint64_t first = addr / cfg_.line_bytes;
+  const std::uint64_t last = (addr + (bytes > 0 ? bytes - 1 : 0)) / cfg_.line_bytes;
+  for (std::uint64_t l = first; l <= last; ++l) {
+    (void)access_line(l * cfg_.line_bytes, is_write);
+  }
+}
+
+}  // namespace mcm::cache

@@ -1,0 +1,83 @@
+// Set-associative write-back cache filter. The paper's premise (Section I)
+// is that appropriate caching collapses the software encoder's raw access
+// bandwidth (thousands of GB/s at 720p30 [2]) down to the GB/s-level
+// execution-memory loads of Table I; this model quantifies that filter for
+// the block-level encoder access pattern.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace mcm::cache {
+
+struct CacheConfig {
+  std::uint64_t size_bytes = 512 * 1024;
+  std::uint32_t ways = 8;
+  std::uint32_t line_bytes = 64;
+  bool write_allocate = true;
+};
+
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t writebacks = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    return accesses > 0 ? static_cast<double>(hits) / static_cast<double>(accesses)
+                        : 0.0;
+  }
+};
+
+/// Result of one access: miss fill and/or dirty eviction the memory system
+/// would see.
+struct CacheEffect {
+  bool hit = false;
+  std::optional<std::uint64_t> fill_addr;       // line to fetch on miss
+  std::optional<std::uint64_t> writeback_addr;  // dirty victim to write back
+};
+
+class CacheModel {
+ public:
+  explicit CacheModel(const CacheConfig& cfg);
+
+  /// Access `bytes` starting at `addr` (split across lines internally).
+  /// Returns the memory-side effects of the *first* missing line; callers
+  /// that need every effect should access line by line. For simplicity and
+  /// determinism, multi-line accesses are processed line by line and the
+  /// effects are accumulated into the stats; use access_line for the
+  /// per-line effects.
+  void access(std::uint64_t addr, std::uint32_t bytes, bool is_write);
+
+  /// Access exactly one line (addr is rounded down); returns its effect.
+  CacheEffect access_line(std::uint64_t addr, bool is_write);
+
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  [[nodiscard]] const CacheConfig& config() const { return cfg_; }
+
+  /// Memory traffic implied by the misses so far, in bytes.
+  [[nodiscard]] std::uint64_t miss_traffic_bytes() const {
+    return (stats_.misses + stats_.writebacks) * cfg_.line_bytes;
+  }
+
+  /// Addresses of all currently cached dirty lines (for end-of-run flush
+  /// accounting); does not modify the cache.
+  [[nodiscard]] std::vector<std::uint64_t> dirty_lines() const;
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    std::uint64_t lru = 0;
+  };
+
+  CacheConfig cfg_;
+  std::uint32_t sets_;
+  std::vector<Line> lines_;  // sets_ x ways
+  std::uint64_t tick_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace mcm::cache

@@ -1,0 +1,49 @@
+// Tiny typed key-value configuration store. Accepts "key = value" lines
+// ('#' comments), used by examples and tests to override simulator presets
+// without recompiling.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace mcm {
+
+class ConfigError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse "key = value" lines. Later keys override earlier ones.
+  /// Throws ConfigError on malformed lines.
+  static Config from_string(std::string_view text);
+  static Config from_file(const std::string& path);
+
+  void set(std::string key, std::string value);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+
+  /// Typed getters with defaults. Throw ConfigError when a present value
+  /// does not parse as the requested type.
+  [[nodiscard]] std::string get_string(const std::string& key, std::string def) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  [[nodiscard]] double get_double(const std::string& key, double def) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool def) const;
+
+  [[nodiscard]] const std::map<std::string, std::string>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace mcm

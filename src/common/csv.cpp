@@ -1,0 +1,56 @@
+#include "common/csv.hpp"
+
+#include <cstdio>
+
+namespace mcm {
+
+void CsvWriter::sep() {
+  if (!at_row_start_) out_ << ',';
+  at_row_start_ = false;
+}
+
+CsvWriter& CsvWriter::field(std::string_view s) {
+  sep();
+  const bool needs_quote = s.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs_quote) {
+    out_ << s;
+    return *this;
+  }
+  out_ << '"';
+  for (char c : s) {
+    if (c == '"') out_ << '"';
+    out_ << c;
+  }
+  out_ << '"';
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+  return field(std::string_view{buf});
+}
+
+CsvWriter& CsvWriter::field(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  return field(std::string_view{buf});
+}
+
+CsvWriter& CsvWriter::field(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  return field(std::string_view{buf});
+}
+
+void CsvWriter::endrow() {
+  out_ << '\n';
+  at_row_start_ = true;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (const auto& f : fields) field(f);
+  endrow();
+}
+
+}  // namespace mcm

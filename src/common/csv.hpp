@@ -1,0 +1,35 @@
+// Minimal CSV writer for benchmark/table output. Quotes fields only when
+// needed; numeric overloads avoid locale surprises via snprintf.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcm {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  CsvWriter& field(std::string_view s);
+  CsvWriter& field(double v, int precision = 6);
+  CsvWriter& field(std::int64_t v);
+  CsvWriter& field(std::uint64_t v);
+  CsvWriter& field(int v) { return field(static_cast<std::int64_t>(v)); }
+
+  /// Finish the current row.
+  void endrow();
+
+  /// Convenience: write a whole header/row at once.
+  void row(const std::vector<std::string>& fields);
+
+ private:
+  void sep();
+  std::ostream& out_;
+  bool at_row_start_ = true;
+};
+
+}  // namespace mcm

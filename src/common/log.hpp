@@ -1,0 +1,46 @@
+// Leveled logging to stderr. Off by default above Warn so simulators stay
+// quiet in benchmarks; tests and examples can raise verbosity.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace mcm {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+class Log {
+ public:
+  static LogLevel& level() {
+    static LogLevel lvl = LogLevel::kWarn;
+    return lvl;
+  }
+
+  template <typename... Args>
+  static void write(LogLevel lvl, const char* fmt, Args... args) {
+    if (lvl > level()) return;
+    std::fprintf(stderr, "[mcm:%s] ", name(lvl));
+    std::fprintf(stderr, fmt, args...);
+    std::fputc('\n', stderr);
+  }
+
+  static void write(LogLevel lvl, const char* msg) { write(lvl, "%s", msg); }
+
+ private:
+  static const char* name(LogLevel lvl) {
+    switch (lvl) {
+      case LogLevel::kError: return "error";
+      case LogLevel::kWarn: return "warn";
+      case LogLevel::kInfo: return "info";
+      case LogLevel::kDebug: return "debug";
+    }
+    return "?";
+  }
+};
+
+#define MCM_LOG_ERROR(...) ::mcm::Log::write(::mcm::LogLevel::kError, __VA_ARGS__)
+#define MCM_LOG_WARN(...) ::mcm::Log::write(::mcm::LogLevel::kWarn, __VA_ARGS__)
+#define MCM_LOG_INFO(...) ::mcm::Log::write(::mcm::LogLevel::kInfo, __VA_ARGS__)
+#define MCM_LOG_DEBUG(...) ::mcm::Log::write(::mcm::LogLevel::kDebug, __VA_ARGS__)
+
+}  // namespace mcm

@@ -1,0 +1,105 @@
+// Small statistics helpers used across the simulator: counters, running
+// accumulators, and fixed-bucket histograms.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace mcm {
+
+/// Running scalar accumulator: count, sum, min, max, mean.
+class Accumulator {
+ public:
+  void add(double x) {
+    ++count_;
+    sum_ += x;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  [[nodiscard]] double min() const { return count_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ > 0 ? max_ : 0.0; }
+
+  void reset() { *this = Accumulator{}; }
+
+  Accumulator& operator+=(const Accumulator& rhs) {
+    count_ += rhs.count_;
+    sum_ += rhs.sum_;
+    min_ = std::min(min_, rhs.min_);
+    max_ = std::max(max_, rhs.max_);
+    return *this;
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Linear-bucket histogram over [lo, hi); out-of-range samples land in
+/// saturating underflow/overflow buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets)
+      : lo_(lo), hi_(hi), buckets_(buckets, 0) {}
+
+  void add(double x) {
+    acc_.add(x);
+    if (x < lo_) {
+      ++underflow_;
+    } else if (x >= hi_) {
+      ++overflow_;
+    } else {
+      const auto idx = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) *
+                                                static_cast<double>(buckets_.size()));
+      ++buckets_[std::min(idx, buckets_.size() - 1)];
+    }
+  }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] const Accumulator& summary() const { return acc_; }
+  [[nodiscard]] double bucket_lo(std::size_t i) const {
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(buckets_.size());
+  }
+
+  /// Value at quantile p in [0, 1], linearly interpolated within the bucket.
+  /// Underflow counts as lo_, overflow as hi_.
+  [[nodiscard]] double percentile(double p) const {
+    const std::uint64_t n = acc_.count();
+    if (n == 0) return 0.0;
+    const double target = p * static_cast<double>(n);
+    double cum = static_cast<double>(underflow_);
+    if (target <= cum) return lo_;
+    const double width = (hi_ - lo_) / static_cast<double>(buckets_.size());
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      const double next = cum + static_cast<double>(buckets_[i]);
+      if (target <= next && buckets_[i] > 0) {
+        const double frac = (target - cum) / static_cast<double>(buckets_[i]);
+        return bucket_lo(i) + frac * width;
+      }
+      cum = next;
+    }
+    return hi_;
+  }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  Accumulator acc_;
+};
+
+}  // namespace mcm

@@ -1,0 +1,34 @@
+#include "common/units.hpp"
+
+#include <cstdio>
+
+namespace mcm {
+
+std::string format_time(Time t) {
+  char buf[64];
+  const std::int64_t ps = t.ps();
+  if (ps < 10'000) {
+    std::snprintf(buf, sizeof buf, "%lld ps", static_cast<long long>(ps));
+  } else if (ps < 10'000'000) {
+    std::snprintf(buf, sizeof buf, "%.2f ns", t.ns());
+  } else if (ps < 10'000'000'000LL) {
+    std::snprintf(buf, sizeof buf, "%.2f us", t.us());
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f ms", t.ms());
+  }
+  return buf;
+}
+
+std::string format_bandwidth(double bytes_per_s) {
+  char buf[64];
+  if (bytes_per_s >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2f GB/s", bytes_per_s / 1e9);
+  } else if (bytes_per_s >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2f MB/s", bytes_per_s / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f B/s", bytes_per_s);
+  }
+  return buf;
+}
+
+}  // namespace mcm

@@ -1,0 +1,112 @@
+// Strongly typed simulation units: time (picoseconds), frequency, data
+// sizes, and bandwidth. All simulator timing arithmetic is integral
+// picoseconds so results are exactly reproducible across platforms.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace mcm {
+
+/// Simulation time in integral picoseconds.
+///
+/// A strong type (rather than a bare int64) so time cannot be silently mixed
+/// with cycle counts or byte counts. One picosecond resolution comfortably
+/// covers the 200-533 MHz clocks in this study (periods of 1876-5000 ps).
+class Time {
+ public:
+  constexpr Time() = default;
+  constexpr explicit Time(std::int64_t ps) : ps_(ps) {}
+
+  [[nodiscard]] constexpr std::int64_t ps() const { return ps_; }
+  [[nodiscard]] constexpr double ns() const { return static_cast<double>(ps_) * 1e-3; }
+  [[nodiscard]] constexpr double us() const { return static_cast<double>(ps_) * 1e-6; }
+  [[nodiscard]] constexpr double ms() const { return static_cast<double>(ps_) * 1e-9; }
+  [[nodiscard]] constexpr double seconds() const { return static_cast<double>(ps_) * 1e-12; }
+
+  [[nodiscard]] static constexpr Time zero() { return Time{0}; }
+  [[nodiscard]] static constexpr Time max() {
+    return Time{std::numeric_limits<std::int64_t>::max()};
+  }
+  [[nodiscard]] static Time from_ns(double ns) {
+    return Time{static_cast<std::int64_t>(std::llround(ns * 1e3))};
+  }
+  [[nodiscard]] static Time from_us(double us) {
+    return Time{static_cast<std::int64_t>(std::llround(us * 1e6))};
+  }
+  [[nodiscard]] static Time from_ms(double ms) {
+    return Time{static_cast<std::int64_t>(std::llround(ms * 1e9))};
+  }
+  [[nodiscard]] static Time from_seconds(double s) {
+    return Time{static_cast<std::int64_t>(std::llround(s * 1e12))};
+  }
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  constexpr Time& operator+=(Time rhs) {
+    ps_ += rhs.ps_;
+    return *this;
+  }
+  constexpr Time& operator-=(Time rhs) {
+    ps_ -= rhs.ps_;
+    return *this;
+  }
+
+  friend constexpr Time operator+(Time a, Time b) { return Time{a.ps_ + b.ps_}; }
+  friend constexpr Time operator-(Time a, Time b) { return Time{a.ps_ - b.ps_}; }
+  friend constexpr Time operator*(Time a, std::int64_t k) { return Time{a.ps_ * k}; }
+  friend constexpr Time operator*(std::int64_t k, Time a) { return Time{a.ps_ * k}; }
+
+ private:
+  std::int64_t ps_ = 0;
+};
+
+[[nodiscard]] constexpr Time max(Time a, Time b) { return a < b ? b : a; }
+[[nodiscard]] constexpr Time min(Time a, Time b) { return a < b ? a : b; }
+
+/// Clock frequency. Stores MHz; converts to an integral-picosecond period.
+class Frequency {
+ public:
+  constexpr Frequency() = default;
+  constexpr explicit Frequency(double mhz) : mhz_(mhz) {}
+
+  [[nodiscard]] constexpr double mhz() const { return mhz_; }
+  [[nodiscard]] constexpr double hz() const { return mhz_ * 1e6; }
+
+  /// Clock period rounded to the nearest picosecond (e.g. 400 MHz -> 2500 ps).
+  [[nodiscard]] Time period() const {
+    return Time{static_cast<std::int64_t>(std::llround(1e6 / mhz_))};
+  }
+
+  constexpr auto operator<=>(const Frequency&) const = default;
+
+ private:
+  double mhz_ = 0.0;
+};
+
+// -- Data size helpers -------------------------------------------------------
+
+inline constexpr std::uint64_t kKiB = 1024;
+inline constexpr std::uint64_t kMiB = 1024 * kKiB;
+inline constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+/// Decimal megabit (used throughout the paper's Table I: "Mb").
+inline constexpr double kMbit = 1e6;
+
+[[nodiscard]] constexpr double bits_to_mbits(double bits) { return bits / kMbit; }
+[[nodiscard]] constexpr double bytes_to_mb(double bytes) { return bytes / 1e6; }
+[[nodiscard]] constexpr double bytes_to_gb(double bytes) { return bytes / 1e9; }
+
+/// Bandwidth in bytes/second from a byte count over a duration.
+[[nodiscard]] inline double bandwidth_bytes_per_s(std::uint64_t bytes, Time elapsed) {
+  const double s = elapsed.seconds();
+  return s > 0.0 ? static_cast<double>(bytes) / s : 0.0;
+}
+
+[[nodiscard]] std::string format_time(Time t);
+[[nodiscard]] std::string format_bandwidth(double bytes_per_s);
+
+}  // namespace mcm

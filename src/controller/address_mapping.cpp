@@ -1,0 +1,86 @@
+#include "controller/address_mapping.hpp"
+
+#include <cassert>
+
+namespace mcm::ctrl {
+
+AddressMapper::AddressMapper(const dram::OrgSpec& org, AddressMux mux)
+    : mux_(mux),
+      banks_(org.banks),
+      rows_per_bank_(org.rows_per_bank()),
+      bursts_per_row_(org.bursts_per_row()),
+      bytes_per_burst_(org.bytes_per_burst()),
+      capacity_bursts_(org.capacity_bytes() / org.bytes_per_burst()) {
+  assert(banks_ > 0 && rows_per_bank_ > 0 && bursts_per_row_ > 0);
+  // The XOR permutation requires a power-of-two bank count.
+  assert(mux_ != AddressMux::kRBCXor || (banks_ & (banks_ - 1)) == 0);
+}
+
+DecodedAddress AddressMapper::decode(std::uint64_t local_addr) const {
+  const std::uint64_t burst = (local_addr / bytes_per_burst_) % capacity_bursts_;
+  DecodedAddress out;
+  switch (mux_) {
+    case AddressMux::kRBCXor: {
+      out.column_burst = static_cast<std::uint32_t>(burst % bursts_per_row_);
+      const std::uint64_t rest = burst / bursts_per_row_;
+      const auto bank = static_cast<std::uint32_t>(rest % banks_);
+      out.row = static_cast<std::uint32_t>(rest / banks_);
+      // Bank permutation: XOR with the low row bits (banks_ is a power of 2
+      // for every supported organization, making this a bijection per row).
+      out.bank = (bank ^ (out.row & (banks_ - 1))) % banks_;
+      break;
+    }
+    case AddressMux::kRBC: {
+      out.column_burst = static_cast<std::uint32_t>(burst % bursts_per_row_);
+      const std::uint64_t rest = burst / bursts_per_row_;
+      out.bank = static_cast<std::uint32_t>(rest % banks_);
+      out.row = static_cast<std::uint32_t>(rest / banks_);
+      break;
+    }
+    case AddressMux::kBRC: {
+      out.column_burst = static_cast<std::uint32_t>(burst % bursts_per_row_);
+      const std::uint64_t rest = burst / bursts_per_row_;
+      out.row = static_cast<std::uint32_t>(rest % rows_per_bank_);
+      out.bank = static_cast<std::uint32_t>(rest / rows_per_bank_);
+      break;
+    }
+    case AddressMux::kRCB: {
+      out.bank = static_cast<std::uint32_t>(burst % banks_);
+      const std::uint64_t rest = burst / banks_;
+      out.column_burst = static_cast<std::uint32_t>(rest % bursts_per_row_);
+      out.row = static_cast<std::uint32_t>(rest / bursts_per_row_);
+      break;
+    }
+  }
+  assert(out.row < rows_per_bank_ && out.bank < banks_);
+  return out;
+}
+
+std::uint64_t AddressMapper::encode(const DecodedAddress& a) const {
+  std::uint64_t burst = 0;
+  switch (mux_) {
+    case AddressMux::kRBCXor: {
+      const std::uint32_t bank = (a.bank ^ (a.row & (banks_ - 1))) % banks_;
+      burst = (static_cast<std::uint64_t>(a.row) * banks_ + bank) * bursts_per_row_ +
+              a.column_burst;
+      break;
+    }
+    case AddressMux::kRBC:
+      burst = (static_cast<std::uint64_t>(a.row) * banks_ + a.bank) * bursts_per_row_ +
+              a.column_burst;
+      break;
+    case AddressMux::kBRC:
+      burst = (static_cast<std::uint64_t>(a.bank) * rows_per_bank_ + a.row) *
+                  bursts_per_row_ +
+              a.column_burst;
+      break;
+    case AddressMux::kRCB:
+      burst = (static_cast<std::uint64_t>(a.row) * bursts_per_row_ + a.column_burst) *
+                  banks_ +
+              a.bank;
+      break;
+  }
+  return burst * bytes_per_burst_;
+}
+
+}  // namespace mcm::ctrl

@@ -1,0 +1,70 @@
+// Channel-local address multiplexing: how a linear local byte address maps to
+// {row, bank, column}. The paper evaluates Row-Bank-Column (RBC) and
+// Bank-Row-Column (BRC) and picks RBC for its results; RCB is included as an
+// extra ablation point.
+//
+// Bit layout (low to high), burst-aligned:
+//   RBC:    [burst offset][column][bank][row] - consecutive rows rotate banks
+//   BRC:    [burst offset][column][row][bank] - a bank holds a contiguous block
+//   RCB:    [burst offset][bank][column][row] - bursts rotate banks
+//   RBCXor: RBC with the bank index XOR-hashed by the low row bits
+//           (permutation-based interleaving; spreads power-of-two strides
+//           that thrash a single bank under plain RBC)
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "dram/spec.hpp"
+
+namespace mcm::ctrl {
+
+enum class AddressMux : std::uint8_t { kRBC, kBRC, kRCB, kRBCXor };
+
+[[nodiscard]] constexpr std::string_view to_string(AddressMux m) {
+  switch (m) {
+    case AddressMux::kRBC: return "RBC";
+    case AddressMux::kBRC: return "BRC";
+    case AddressMux::kRCB: return "RCB";
+    case AddressMux::kRBCXor: return "RBC-XOR";
+  }
+  return "?";
+}
+
+struct DecodedAddress {
+  std::uint32_t bank = 0;
+  std::uint32_t row = 0;
+  std::uint32_t column_burst = 0;  // burst index within the row
+
+  friend bool operator==(const DecodedAddress&, const DecodedAddress&) = default;
+};
+
+class AddressMapper {
+ public:
+  AddressMapper(const dram::OrgSpec& org, AddressMux mux);
+
+  [[nodiscard]] AddressMux mux() const { return mux_; }
+
+  /// Decode a channel-local byte address. Addresses beyond the cluster
+  /// capacity wrap (the load layer is expected to stay within capacity; the
+  /// wrap keeps the model total even if it does not).
+  [[nodiscard]] DecodedAddress decode(std::uint64_t local_addr) const;
+
+  /// Inverse of decode (to the burst-aligned base address).
+  [[nodiscard]] std::uint64_t encode(const DecodedAddress& a) const;
+
+  [[nodiscard]] std::uint32_t bursts_per_row() const { return bursts_per_row_; }
+  [[nodiscard]] std::uint64_t rows_per_bank() const { return rows_per_bank_; }
+  [[nodiscard]] std::uint32_t banks() const { return banks_; }
+  [[nodiscard]] std::uint32_t bytes_per_burst() const { return bytes_per_burst_; }
+
+ private:
+  AddressMux mux_;
+  std::uint32_t banks_;
+  std::uint64_t rows_per_bank_;
+  std::uint32_t bursts_per_row_;
+  std::uint32_t bytes_per_burst_;
+  std::uint64_t capacity_bursts_;
+};
+
+}  // namespace mcm::ctrl

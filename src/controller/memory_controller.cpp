@@ -1,0 +1,335 @@
+#include "controller/memory_controller.hpp"
+
+#include <cassert>
+
+namespace mcm::ctrl {
+
+MemoryController::MemoryController(const dram::DeviceSpec& spec, Frequency freq,
+                                   AddressMux mux, ControllerConfig cfg)
+    : spec_(spec),
+      d_(dram::DerivedTiming::derive(spec.timing, freq)),
+      clock_(d_.clk),
+      mapper_(spec.org, mux),
+      cluster_(spec.org),
+      cfg_(cfg),
+      next_ref_due_(d_.cycles(d_.trefi)) {}
+
+void MemoryController::enqueue(const Request& r) {
+  assert(can_accept());
+  queue_.push_back(r);
+}
+
+void MemoryController::record(Time at, dram::Command c, std::uint32_t bank,
+                              std::uint32_t row) {
+  if (cfg_.record_trace) trace_.push_back(dram::CommandRecord{at, c, bank, row});
+}
+
+Time MemoryController::issue_edge(Time t) {
+  const Time at = clock_.next_edge(max(t, cmd_free_));
+  cmd_free_ = at + d_.cycles(1);
+  return at;
+}
+
+std::size_t MemoryController::pick_best() const {
+  assert(!queue_.empty());
+  if (cfg_.scheduler == SchedulerPolicy::kFcfs || queue_.size() == 1) return 0;
+  if (head_skips_ >= cfg_.max_skips) return 0;  // starvation guard
+
+  // Ready requests (arrival reached) compete FR-FCFS style: row hits first,
+  // then matching bus direction, then queue order. When nothing is ready the
+  // earliest arrival is served - a future-dated request must never block an
+  // earlier one behind it (paced sources depend on this).
+  std::size_t best_ready = queue_.size();
+  int best_rank = -1;
+  std::size_t earliest = 0;
+  Time earliest_arrival = Time::max();
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const Request& r = queue_[i];
+    if (r.arrival < earliest_arrival) {
+      earliest_arrival = r.arrival;
+      earliest = i;
+    }
+    if (r.arrival > horizon_) continue;  // not ready
+    const DecodedAddress da = mapper_.decode(r.addr);
+    const dram::Bank& bank = cluster_.bank(da.bank);
+    const bool hit = bank.row_open() && bank.open_row() == da.row;
+    const bool same_dir = bus_used_ && r.is_write == last_data_write_;
+    const int rank = (hit ? 2 : 0) + (same_dir ? 1 : 0);
+    if (rank > best_rank) {
+      best_rank = rank;
+      best_ready = i;
+      if (rank == 3 && i == 0) break;  // front request is already optimal
+    }
+  }
+  return best_ready < queue_.size() ? best_ready : earliest;
+}
+
+bool MemoryController::selfrefresh_eligible(Time until) const {
+  if (cfg_.selfrefresh_idle_cycles < 0 || until <= horizon_) return false;
+  // Slack for the precharge-all prologue and the tXSR wake epilogue.
+  const Time min_gap = d_.cycles(cfg_.selfrefresh_idle_cycles + d_.tcke +
+                                 d_.txsr + d_.trp + 2 +
+                                 static_cast<int>(cluster_.bank_count()));
+  return until - horizon_ >= min_gap;
+}
+
+Time MemoryController::account_idle_until(Time t) {
+  if (t <= horizon_) return horizon_;
+  const bool rows_open = cluster_.any_row_open();
+  const auto standby = rows_open ? dram::PowerState::kActiveStandby
+                                 : dram::PowerState::kPrechargeStandby;
+  const auto pd = rows_open ? dram::PowerState::kActivePowerDown
+                            : dram::PowerState::kPowerDown;
+  const Time gap = t - horizon_;
+
+  if (selfrefresh_eligible(t)) {
+    // Long gap: self refresh. Close any open rows first, then CKE low; the
+    // device refreshes internally (callers repay postponed refreshes before
+    // reaching this branch).
+    Time last_pre = Time{-1};
+    for (std::uint32_t b = 0; b < cluster_.bank_count(); ++b) {
+      if (!cluster_.bank(b).row_open()) continue;
+      const Time tp = issue_edge(max(clock_.next_edge(horizon_),
+                                     cluster_.earliest_precharge(b)));
+      cluster_.precharge(tp, b, d_);
+      ++stats_.precharges;
+      record(tp, dram::Command::kPrecharge, b);
+      last_pre = max(last_pre, tp);
+    }
+    Time sre =
+        clock_.next_edge(horizon_ + d_.cycles(cfg_.selfrefresh_idle_cycles));
+    if (last_pre > Time{-1}) sre = max(sre, last_pre + d_.cycles(d_.trp));
+    sre = max(sre, cmd_free_);
+    const Time srx = clock_.next_edge(t);
+    ledger_.add_residency(standby, sre - horizon_);
+    ledger_.add_residency(dram::PowerState::kSelfRefresh, srx - sre);
+    ++ledger_.n_selfrefresh_entries;
+    record(sre, dram::Command::kSelfRefreshEnter);
+    record(srx, dram::Command::kSelfRefreshExit);
+    horizon_ = srx + d_.cycles(d_.txsr);
+    ledger_.add_residency(standby, horizon_ - srx);
+    cmd_free_ = max(cmd_free_, horizon_);
+    next_ref_due_ = max(next_ref_due_, horizon_ + d_.cycles(d_.trefi));
+    return horizon_;
+  }
+
+  const bool pd_enabled = cfg_.powerdown_idle_cycles >= 0;
+  const Time min_gap =
+      d_.cycles(cfg_.powerdown_idle_cycles + d_.tcke + d_.txp + 2);
+  if (pd_enabled && gap >= min_gap) {
+    const Time pde = clock_.next_edge(horizon_ + d_.cycles(cfg_.powerdown_idle_cycles));
+    const Time pdx = clock_.next_edge(t);
+    ledger_.add_residency(standby, pde - horizon_);
+    ledger_.add_residency(pd, pdx - pde);
+    ++ledger_.n_powerdown_entries;
+    record(pde, dram::Command::kPowerDownEnter);
+    record(pdx, dram::Command::kPowerDownExit);
+    horizon_ = pdx + d_.cycles(d_.txp);  // wake penalty before the next command
+    ledger_.add_residency(standby, horizon_ - pdx);
+    cmd_free_ = max(cmd_free_, horizon_);
+  } else {
+    ledger_.add_residency(standby, gap);
+    horizon_ = t;
+    cmd_free_ = max(cmd_free_, clock_.next_edge(horizon_));
+  }
+  return horizon_;
+}
+
+void MemoryController::perform_refresh(Time not_before) {
+  // Wake (if idle) no later than the due time.
+  account_idle_until(max(horizon_, not_before));
+
+  // Close any open rows.
+  Time t = clock_.next_edge(max(horizon_, not_before));
+  for (std::uint32_t b = 0; b < cluster_.bank_count(); ++b) {
+    if (!cluster_.bank(b).row_open()) continue;
+    const Time tp = issue_edge(max(t, cluster_.earliest_precharge(b)));
+    cluster_.precharge(tp, b, d_);
+    ++stats_.precharges;
+    record(tp, dram::Command::kPrecharge, b);
+  }
+  const Time tr = issue_edge(cluster_.earliest_refresh());
+  cluster_.refresh(tr, d_);
+  record(tr, dram::Command::kRefresh);
+  ++stats_.refreshes;
+  ++ledger_.n_ref;
+
+  const Time ref_end = tr + d_.cycles(d_.trfc);
+  // tRFC window counts as precharge standby; the refresh event energy is the
+  // increment over that baseline.
+  ledger_.add_residency(dram::PowerState::kPrechargeStandby,
+                        ref_end - max(horizon_, tr));
+  if (tr > horizon_) {
+    ledger_.add_residency(cluster_.any_row_open()
+                              ? dram::PowerState::kActiveStandby
+                              : dram::PowerState::kPrechargeStandby,
+                          tr - horizon_);
+  }
+  horizon_ = max(horizon_, ref_end);
+  cmd_free_ = max(cmd_free_, ref_end);
+}
+
+void MemoryController::handle_due_refreshes(Time now) {
+  while (next_ref_due_ <= now) {
+    if (has_pending() && ref_debt_ < cfg_.refresh_postpone_max) {
+      ++ref_debt_;  // postpone: repay during the next idle gap
+    } else {
+      perform_refresh(next_ref_due_);
+    }
+    next_ref_due_ += d_.cycles(d_.trefi);
+  }
+}
+
+void MemoryController::flush_refresh_debt() {
+  while (ref_debt_ > 0) {
+    perform_refresh(horizon_);
+    --ref_debt_;
+  }
+}
+
+Completion MemoryController::process_one() {
+  assert(has_pending());
+  const std::size_t idx = pick_best();
+  head_skips_ = idx == 0 ? 0 : head_skips_ + 1;
+  const Request r = queue_[idx];
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+
+  // Serve (or postpone) any due refreshes first - unless the idle gap up to
+  // the arrival will be spent in self refresh, which keeps the cells alive
+  // internally.
+  const Time arrival_edge = clock_.next_edge(max(r.arrival, Time::zero()));
+  if (selfrefresh_eligible(arrival_edge)) {
+    flush_refresh_debt();  // repay before the self-refresh window
+  } else {
+    // Repay postponed refreshes in a real idle gap.
+    if (arrival_edge > horizon_ + d_.cycles(d_.trfc)) flush_refresh_debt();
+    handle_due_refreshes(max(arrival_edge, horizon_));
+  }
+
+  // Idle-gap accounting (and power-down wake) up to the arrival. This only
+  // books residency and, on wake, pushes cmd_free_ past tXP; it must NOT
+  // serialize commands behind the previous data transfer (commands pipeline
+  // under in-flight data).
+  account_idle_until(arrival_edge);
+  const Time t = arrival_edge;
+
+  const DecodedAddress da = mapper_.decode(r.addr);
+  const dram::Bank& bank = cluster_.bank(da.bank);
+  const Time busy_from = horizon_;
+
+  bool row_hit = false;
+  Time first_cmd = Time::zero();
+  bool have_first_cmd = false;
+
+  // Timeout page policy: a row that has idled past the threshold counts as
+  // closed (a real controller would have precharged it; we issue the PRE
+  // now, which is timing-conservative).
+  const bool stale =
+      cfg_.page_policy == PagePolicy::kTimeout && bank.row_open() &&
+      t > bank.last_use() + d_.cycles(static_cast<int>(cfg_.page_timeout_cycles));
+
+  if (bank.row_open() && bank.open_row() == da.row && !stale) {
+    row_hit = true;
+    ++stats_.row_hits;
+  } else {
+    if (bank.row_open()) {
+      const Time tp = issue_edge(max(t, cluster_.earliest_precharge(da.bank)));
+      cluster_.precharge(tp, da.bank, d_);
+      ++stats_.precharges;
+      record(tp, dram::Command::kPrecharge, da.bank);
+      first_cmd = tp;
+      have_first_cmd = true;
+      ++stats_.row_conflicts;
+    } else {
+      ++stats_.row_misses;
+    }
+    const Time ta = issue_edge(max(t, cluster_.earliest_activate(da.bank)));
+    cluster_.activate(ta, da.bank, da.row, d_);
+    ++stats_.activates;
+    ++ledger_.n_act;
+    record(ta, dram::Command::kActivate, da.bank, da.row);
+    if (!have_first_cmd) {
+      first_cmd = ta;
+      have_first_cmd = true;
+    }
+  }
+
+  // Column command, honoring shared data-bus occupancy and turnarounds.
+  Time tc = max(t, cluster_.earliest_cas(da.bank));
+  Time data_end;
+  if (r.is_write) {
+    Time min_data = bus_free_;
+    if (bus_used_ && !last_data_write_) min_data += d_.cycles(1);  // RD -> WR gap
+    tc = max(tc, min_data - d_.cycles(d_.cwl));
+    tc = issue_edge(tc);
+    data_end = cluster_.write(tc, da.bank, d_);
+    record(tc, dram::Command::kWrite, da.bank);
+    last_wr_data_end_ = data_end;
+    last_data_write_ = true;
+    ++stats_.writes;
+    ++ledger_.n_wr;
+  } else {
+    tc = max(tc, last_wr_data_end_ + d_.cycles(d_.twtr));  // tWTR
+    Time min_data = bus_free_;
+    if (bus_used_ && last_data_write_) min_data += d_.cycles(1);  // WR -> RD gap
+    tc = max(tc, min_data - d_.cycles(d_.cl));
+    tc = issue_edge(tc);
+    data_end = cluster_.read(tc, da.bank, d_);
+    record(tc, dram::Command::kRead, da.bank);
+    last_data_write_ = false;
+    ++stats_.reads;
+    ++ledger_.n_rd;
+  }
+  if (!have_first_cmd) first_cmd = tc;
+  bus_free_ = data_end;
+  bus_used_ = true;
+  stats_.bytes += spec_.org.bytes_per_burst();
+  stats_.latency_ns.add((data_end - r.arrival).ns());
+
+  // Busy residency: rows are open throughout service.
+  if (data_end > busy_from) {
+    ledger_.add_residency(dram::PowerState::kActiveStandby, data_end - busy_from);
+    horizon_ = data_end;
+  }
+
+  // Closed-page policy: precharge immediately after the access.
+  if (cfg_.page_policy == PagePolicy::kClosed) {
+    const Time tp = issue_edge(cluster_.earliest_precharge(da.bank));
+    cluster_.precharge(tp, da.bank, d_);
+    ++stats_.precharges;
+    record(tp, dram::Command::kPrecharge, da.bank);
+    if (tp + d_.cycles(1) > horizon_) {
+      ledger_.add_residency(dram::PowerState::kActiveStandby,
+                            tp + d_.cycles(1) - horizon_);
+      horizon_ = tp + d_.cycles(1);
+    }
+  }
+
+  return Completion{r, first_cmd, data_end, row_hit};
+}
+
+void MemoryController::finalize(Time end) {
+  assert(queue_.empty());
+  // Precharge open rows so the idle tail sits in (deep) precharge power-down.
+  for (std::uint32_t b = 0; b < cluster_.bank_count(); ++b) {
+    if (!cluster_.bank(b).row_open()) continue;
+    const Time tp = issue_edge(cluster_.earliest_precharge(b));
+    cluster_.precharge(tp, b, d_);
+    ++stats_.precharges;
+    record(tp, dram::Command::kPrecharge, b);
+    if (tp + d_.cycles(1) > horizon_) {
+      ledger_.add_residency(dram::PowerState::kActiveStandby,
+                            tp + d_.cycles(1) - horizon_);
+      horizon_ = tp + d_.cycles(1);
+    }
+  }
+  // Catch-up refreshes across the tail (the device keeps its cells alive;
+  // each wake costs one refresh event's energy) - or one long self-refresh
+  // window when the governor allows it.
+  flush_refresh_debt();
+  if (!selfrefresh_eligible(end)) handle_due_refreshes(end);
+  account_idle_until(end);
+  horizon_ = max(horizon_, end);
+}
+
+}  // namespace mcm::ctrl

@@ -1,0 +1,125 @@
+// One channel's memory controller. Transaction-level with exact command
+// timing: the controller turns each burst request into PRE/ACT/RD/WR
+// commands on clock edges, interleaves periodic refresh, and drives the
+// power-down governor. All DRAM state lives in a BankCluster; all energy
+// activity accumulates in an EnergyLedger.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "controller/address_mapping.hpp"
+#include "controller/policies.hpp"
+#include "controller/request.hpp"
+#include "dram/bank_cluster.hpp"
+#include "dram/command.hpp"
+#include "dram/energy.hpp"
+#include "dram/spec.hpp"
+#include "sim/clock.hpp"
+
+namespace mcm::ctrl {
+
+struct ControllerStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t row_hits = 0;
+  std::uint64_t row_misses = 0;     // bank closed, ACT needed
+  std::uint64_t row_conflicts = 0;  // other row open, PRE+ACT needed
+  std::uint64_t activates = 0;
+  std::uint64_t precharges = 0;
+  std::uint64_t refreshes = 0;
+  std::uint64_t bytes = 0;
+  Accumulator latency_ns;  // request arrival -> data end
+
+  [[nodiscard]] std::uint64_t accesses() const { return reads + writes; }
+  [[nodiscard]] double row_hit_rate() const {
+    const auto n = accesses();
+    return n > 0 ? static_cast<double>(row_hits) / static_cast<double>(n) : 0.0;
+  }
+};
+
+class MemoryController {
+ public:
+  MemoryController(const dram::DeviceSpec& spec, Frequency freq, AddressMux mux,
+                   ControllerConfig cfg);
+
+  [[nodiscard]] bool can_accept() const { return queue_.size() < cfg_.queue_depth; }
+  [[nodiscard]] bool has_pending() const { return !queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+  void enqueue(const Request& r);
+
+  /// Serve one pending request (FR-FCFS pick) and return its completion.
+  /// Precondition: has_pending().
+  Completion process_one();
+
+  /// Engine ordering hint: the time up to which this channel has committed
+  /// activity. Channels with the smallest horizon are served first so the
+  /// multi-channel interleaving stays causal.
+  [[nodiscard]] Time horizon() const { return horizon_; }
+
+  /// Close the books at the end of a run: precharge open rows, account the
+  /// idle tail (power-down + catch-up refreshes) up to `end`.
+  void finalize(Time end);
+
+  [[nodiscard]] const ControllerStats& stats() const { return stats_; }
+  [[nodiscard]] const dram::EnergyLedger& ledger() const { return ledger_; }
+  [[nodiscard]] const dram::DerivedTiming& timing() const { return d_; }
+  [[nodiscard]] const AddressMapper& mapper() const { return mapper_; }
+  [[nodiscard]] const std::vector<dram::CommandRecord>& trace() const { return trace_; }
+
+ private:
+  [[nodiscard]] std::size_t pick_best() const;
+
+  /// Book idle residency from horizon_ up to `t` (entering power-down or
+  /// self refresh when the gap allows) and return the earliest legal command
+  /// time (>= t; includes the tXP/tXSR wake penalty).
+  Time account_idle_until(Time t);
+
+  /// True when the gap [horizon_, until] qualifies for self refresh.
+  [[nodiscard]] bool selfrefresh_eligible(Time until) const;
+
+  /// Perform one all-bank refresh no earlier than `not_before`; updates
+  /// horizon_. Callers manage next_ref_due_ / the postpone debt.
+  void perform_refresh(Time not_before);
+
+  /// Serve or postpone refreshes that have come due by `now`.
+  void handle_due_refreshes(Time now);
+
+  /// Repay postponed refreshes (idle gap or before self refresh).
+  void flush_refresh_debt();
+
+  void record(Time at, dram::Command c, std::uint32_t bank = 0, std::uint32_t row = 0);
+
+  /// Issue a command at the earliest edge >= t that the command bus allows;
+  /// returns the issue time and bumps the command-bus cursor.
+  Time issue_edge(Time t);
+
+  dram::DeviceSpec spec_;
+  dram::DerivedTiming d_;
+  sim::Clock clock_;
+  AddressMapper mapper_;
+  dram::BankCluster cluster_;
+  ControllerConfig cfg_;
+
+  std::deque<Request> queue_;
+  std::uint32_t head_skips_ = 0;
+
+  Time cmd_free_ = Time::zero();       // earliest edge for the next command
+  Time bus_free_ = Time::zero();       // end of last data transfer
+  bool bus_used_ = false;
+  bool last_data_write_ = false;
+  Time last_wr_data_end_ = Time{-1'000'000'000};
+  Time next_ref_due_;
+  std::uint32_t ref_debt_ = 0;         // postponed refreshes outstanding
+  Time horizon_ = Time::zero();        // residency accounted up to here
+
+  ControllerStats stats_;
+  dram::EnergyLedger ledger_;
+  std::vector<dram::CommandRecord> trace_;
+};
+
+}  // namespace mcm::ctrl

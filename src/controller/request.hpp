@@ -1,0 +1,31 @@
+// Memory transaction types exchanged between load models, the multi-channel
+// front end, and per-channel controllers. One request is one DRAM burst
+// (16 B with the paper's x32 BL4 device); the load layer splits larger
+// master transactions into bursts.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace mcm::ctrl {
+
+struct Request {
+  std::uint64_t addr = 0;   // byte address (global or channel-local)
+  bool is_write = false;
+  Time arrival = Time::zero();
+  std::uint16_t source = 0;  // load-model stream id (stats only)
+
+  [[nodiscard]] bool is_read() const { return !is_write; }
+};
+
+struct Completion {
+  Request req;
+  Time first_command = Time::zero();  // when the controller began service
+  Time done = Time::zero();           // end of the data transfer
+  bool row_hit = false;
+
+  [[nodiscard]] Time latency() const { return done - req.arrival; }
+};
+
+}  // namespace mcm::ctrl

@@ -1,0 +1,95 @@
+#include "core/analytic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcm::core {
+
+AnalyticResult analytic_estimate(const multichannel::SystemConfig& system,
+                                 const video::UseCaseParams& usecase,
+                                 const load::LoadOptions& load) {
+  const video::UseCaseModel model(usecase);
+  const auto d = dram::DerivedTiming::derive(system.device.timing, system.freq);
+  const auto& org = system.device.org;
+  const double channels = system.channels;
+  const double burst_bytes = org.bytes_per_burst();
+
+  AnalyticBreakdownCycles cyc;
+  double reads = 0, writes = 0, row_misses = 0;
+
+  for (const auto& stage : model.stages()) {
+    const double rd_bytes = stage.read_bits / 8.0 / channels;   // per channel
+    const double wr_bytes = stage.write_bits / 8.0 / channels;
+    const double rd_bursts = rd_bytes / burst_bytes;
+    const double wr_bursts = wr_bytes / burst_bytes;
+    reads += rd_bursts;
+    writes += wr_bursts;
+    cyc.data += (rd_bursts + wr_bursts) * d.burst_ck;
+
+    // Direction turnarounds. The source interleaves directions at
+    // chunk_bytes; across M channels each channel sees runs of
+    // chunk/(burst*M) same-direction bursts, and the FR-FCFS queue batches
+    // up to its same-direction share. One WR->RD + RD->WR pair costs about
+    // tWTR + CL + 1 bus-idle cycles.
+    if (rd_bursts > 0 && wr_bursts > 0) {
+      const double total = rd_bursts + wr_bursts;
+      const double minority = std::min(rd_bursts, wr_bursts);
+      const double chunk_run = std::max(
+          1.0, static_cast<double>(load.chunk_bytes) / (burst_bytes * channels));
+      const double queue_run =
+          std::max(1.0, system.controller.queue_depth * (minority / total));
+      const double batch = std::max(chunk_run, queue_run);
+      const double pairs = minority / batch;
+      cyc.turnaround += pairs * (d.twtr + d.cl + 1);
+    }
+
+    // Row misses: sequential streams miss once per row of channel-local
+    // data. With RBC the next row is in the next bank, so ACT/PRE overlap
+    // the previous row's data almost entirely; a small bubble remains when
+    // the queue cannot look far enough ahead.
+    const double stream_bytes = rd_bytes + wr_bytes;
+    const double misses = stream_bytes / org.row_bytes;
+    row_misses += misses;
+    const double lookahead =
+        0.5 * system.controller.queue_depth * d.burst_ck;  // cycles of cover
+    const double bubble =
+        std::max(0.0, static_cast<double>(d.trp + d.trcd) - lookahead);
+    cyc.row += misses * (bubble + 1.0);  // +1: extra command-bus slot
+  }
+
+  // Refresh steals tRFC every tREFI while busy.
+  const double base = cyc.data + cyc.turnaround + cyc.row;
+  cyc.refresh = base * static_cast<double>(d.trfc) / static_cast<double>(d.trefi);
+
+  AnalyticResult out;
+  out.cycles = cyc;
+  out.frame_period = model.frame_period();
+  const double busy_s = cyc.total() * d.clk.seconds();
+  out.access_time = Time::from_seconds(busy_s);
+  out.efficiency = cyc.data / cyc.total();
+  out.meets_realtime = out.access_time <= out.frame_period;
+
+  // Power over the frame period: event energies + busy active standby +
+  // idle-tail power-down + refresh duty, plus Eq. (1) interface power.
+  const dram::EnergyModel energy(system.device.power, d);
+  const double period_ns = out.frame_period.ns();
+  const double busy_ns = std::min(busy_s * 1e9, period_ns);
+  const double tail_ns = std::max(0.0, period_ns - busy_ns);
+
+  double pj = 0;
+  pj += reads * energy.e_read_pj() + writes * energy.e_write_pj();
+  pj += row_misses * energy.e_act_pre_pj();
+  pj += (period_ns / (static_cast<double>(d.trefi) * d.clk.ns())) *
+        energy.e_refresh_pj();
+  pj += busy_ns * energy.p_active_standby_mw();
+  pj += tail_ns * energy.p_powerdown_mw();
+  const double per_channel_mw = pj / period_ns;
+
+  out.dram_power_mw = per_channel_mw * channels;
+  channel::InterfacePowerSpec interface = system.interface;
+  out.interface_power_mw = interface.power_mw(system.freq) * channels;
+  out.total_power_mw = out.dram_power_mw + out.interface_power_mw;
+  return out;
+}
+
+}  // namespace mcm::core

@@ -1,0 +1,46 @@
+// Closed-form first-order model of the frame access time and average power,
+// used to cross-validate the transaction-level simulator (and as a fast
+// screening tool for design-space sweeps: ~microseconds instead of seconds).
+//
+// The model counts, per channel and per Fig. 1 stage:
+//   - data-bus cycles (BL/2 per burst),
+//   - read/write turnaround bubbles (tWTR + CL + 1 per direction pair,
+//     with the FR-FCFS queue batching directions),
+//   - row-miss bubbles (sequential streams miss once per row; RBC bank
+//     rotation hides most of the ACT/PRE work behind data transfer),
+//   - the refresh duty factor tRFC/tREFI,
+// and charges the IDD-based event/residency energies over the frame period.
+// Assumptions and the validation band are documented in DESIGN.md; the
+// estimator is intentionally simple and is held to ~15-20 % of the simulator
+// by tests/core/analytic_test.cpp.
+#pragma once
+
+#include "core/frame_simulator.hpp"
+
+namespace mcm::core {
+
+struct AnalyticBreakdownCycles {
+  double data = 0;
+  double turnaround = 0;
+  double row = 0;
+  double refresh = 0;
+
+  [[nodiscard]] double total() const { return data + turnaround + row + refresh; }
+};
+
+struct AnalyticResult {
+  Time access_time;
+  Time frame_period;
+  double efficiency = 0;  // data cycles / total busy cycles
+  double total_power_mw = 0;
+  double dram_power_mw = 0;
+  double interface_power_mw = 0;
+  bool meets_realtime = false;
+  AnalyticBreakdownCycles cycles;  // per channel, per frame
+};
+
+[[nodiscard]] AnalyticResult analytic_estimate(
+    const multichannel::SystemConfig& system, const video::UseCaseParams& usecase,
+    const load::LoadOptions& load = {});
+
+}  // namespace mcm::core

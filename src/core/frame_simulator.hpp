@@ -1,0 +1,93 @@
+// FrameSimulator: runs the video recording use case against a multi-channel
+// memory system and reports the paper's two headline measures - per-frame
+// access time (Figs. 3 and 4) and average memory-subsystem power over the
+// frame period (Fig. 5) - plus detailed command/row/energy statistics.
+//
+// Semantics follow the paper's load model (Section III): the processing
+// chain is a state machine; each state (stage) issues its memory requests
+// back-to-back, stages in data-dependency order, and the "total access time"
+// of a frame is the time the memory subsystem needs to serve all of it. The
+// tail of the frame period is idle: the power-down governor and refresh
+// catch-up run there, which is what keeps multi-channel average power close
+// to single-channel (Fig. 5's main observation).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "load/usecase_sources.hpp"
+#include "multichannel/memory_system.hpp"
+#include "video/surfaces.hpp"
+#include "video/usecase.hpp"
+
+namespace mcm::core {
+
+/// How the use-case traffic is driven through the memory system.
+enum class ExecutionMode : std::uint8_t {
+  /// The paper's load model: one state machine, each stage's requests issued
+  /// back-to-back, stages in order (display/audio volumes are stages too).
+  kStateMachine,
+  /// Extension: DisplayCtrl and audio run as concurrent paced masters (the
+  /// display scans out continuously at 60 Hz) competing with the pipeline.
+  kConcurrent,
+};
+
+struct FrameSimOptions {
+  int frames = 1;  // frames to simulate (stats averaged per frame)
+  ExecutionMode mode = ExecutionMode::kStateMachine;
+  load::LoadOptions load;
+  double processing_margin = 0.15;  // paper Fig. 5: 15 % margin for data processing
+
+  /// GOP structure: every gop_length-th frame is an I frame (no reference
+  /// traffic). 0 or 1 = every frame predicted (the paper's steady state).
+  int gop_length = 0;
+};
+
+struct StageResult {
+  std::string name;
+  Time completed;            // absolute completion time (first frame)
+  std::uint64_t bytes = 0;
+};
+
+struct FrameSimResult {
+  Time access_time;    // per-frame busy time (mean over frames)
+  Time frame_period;   // real-time requirement (1/fps)
+  Time window;         // total simulated window used for average power
+
+  double total_power_mw = 0;      // DRAM + interface, averaged over window
+  double dram_power_mw = 0;
+  double interface_power_mw = 0;
+
+  bool meets_realtime = false;              // access_time <= frame period
+  bool meets_realtime_with_margin = false;  // with the processing margin
+
+  std::uint64_t bytes_per_frame = 0;
+  double achieved_bandwidth_bytes_per_s = 0;  // during the busy window
+  double demand_bandwidth_bytes_per_s = 0;    // Table I load (bytes/s)
+
+  multichannel::SystemStats stats;
+  multichannel::SystemPowerReport power;
+  std::vector<StageResult> stage_results;  // first simulated frame
+
+  /// kConcurrent mode only: when the paced display/audio traffic finished
+  /// (absolute time, last frame) - must stay within the refresh cadence -
+  /// and its per-request service latency (display QoS).
+  Time paced_last_done = Time::zero();
+  Accumulator paced_latency_ns;
+
+  /// Busy time of each simulated frame (GOP structures alternate I/P costs).
+  std::vector<Time> per_frame_access;
+};
+
+class FrameSimulator {
+ public:
+  explicit FrameSimulator(FrameSimOptions options = {}) : opt_(options) {}
+
+  [[nodiscard]] FrameSimResult run(const multichannel::SystemConfig& system,
+                                   const video::UseCaseParams& usecase) const;
+
+ private:
+  FrameSimOptions opt_;
+};
+
+}  // namespace mcm::core

@@ -1,0 +1,33 @@
+// Generic stage-source runner: drives an ordered list of TrafficSources
+// (stage barrier between them, as in the Fig. 1 state machine) through a
+// memory system and reports access time and power. FrameSimulator is the
+// use-case-specific front end; this is the building block for custom
+// workloads (playback, replayed traces, mixed masters).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "load/source.hpp"
+#include "multichannel/memory_system.hpp"
+
+namespace mcm::core {
+
+struct SourceRunResult {
+  Time access_time;  // completion of the last stage
+  Time window;       // power-accounting window (>= access time)
+  double total_power_mw = 0;
+  double dram_power_mw = 0;
+  double interface_power_mw = 0;
+  std::uint64_t bytes = 0;
+  multichannel::SystemStats stats;
+  multichannel::SystemPowerReport power;
+};
+
+/// Run the stages in order (back-to-back within a stage, barrier between
+/// stages) and finalize the system at max(access time, window_hint).
+[[nodiscard]] SourceRunResult run_stage_sources(
+    const multichannel::SystemConfig& system,
+    std::vector<std::unique_ptr<load::TrafficSource>> sources, Time window_hint);
+
+}  // namespace mcm::core

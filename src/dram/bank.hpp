@@ -1,0 +1,92 @@
+// Per-bank DRAM state machine with earliest-legal-time bookkeeping.
+//
+// The model is transaction-level: instead of ticking every cycle, each bank
+// keeps the earliest picosecond at which the next command of each kind may
+// legally issue. The controller asks for those bounds, picks issue times on
+// clock edges, and commits commands; commits assert legality, so any
+// scheduling bug trips immediately in debug builds (and is caught again by
+// the independent TimingChecker in tests).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "dram/spec.hpp"
+
+namespace mcm::dram {
+
+class Bank {
+ public:
+  Bank() = default;
+
+  [[nodiscard]] bool row_open() const { return row_open_; }
+  [[nodiscard]] std::uint32_t open_row() const {
+    assert(row_open_);
+    return open_row_;
+  }
+
+  /// Earliest time an ACT may issue (same-bank tRC / tRP honored;
+  /// cross-bank tRRD is cluster-level and enforced by BankCluster).
+  [[nodiscard]] Time earliest_activate() const { return next_act_; }
+  /// Earliest time a PRE may issue (tRAS / tWR / tRTP honored).
+  [[nodiscard]] Time earliest_precharge() const { return next_pre_; }
+  /// Earliest time a RD/WR column command may issue (tRCD honored).
+  [[nodiscard]] Time earliest_cas() const { return next_cas_; }
+
+  void activate(Time t, std::uint32_t row, const DerivedTiming& d) {
+    assert(!row_open_);
+    assert(t >= next_act_);
+    row_open_ = true;
+    open_row_ = row;
+    next_cas_ = t + d.cycles(d.trcd);
+    next_pre_ = t + d.cycles(d.tras);
+    next_act_ = t + d.cycles(d.trc);
+  }
+
+  void precharge(Time t, const DerivedTiming& d) {
+    assert(row_open_);
+    assert(t >= next_pre_);
+    row_open_ = false;
+    next_act_ = max(next_act_, t + d.cycles(d.trp));
+  }
+
+  /// Last column command issue time (for timeout page policies).
+  [[nodiscard]] Time last_use() const { return last_use_; }
+
+  /// Issue a read command at t. Returns the end of the data transfer.
+  [[nodiscard]] Time read(Time t, const DerivedTiming& d) {
+    assert(row_open_);
+    assert(t >= next_cas_);
+    next_pre_ = max(next_pre_, t + d.cycles(d.trtp));
+    last_use_ = t;
+    return t + d.cycles(d.cl + d.burst_ck);
+  }
+
+  /// Issue a write command at t. Returns the end of the data transfer.
+  [[nodiscard]] Time write(Time t, const DerivedTiming& d) {
+    assert(row_open_);
+    assert(t >= next_cas_);
+    const Time data_end = t + d.cycles(d.cwl + d.burst_ck);
+    next_pre_ = max(next_pre_, data_end + d.cycles(d.twr));
+    last_use_ = t;
+    return data_end;
+  }
+
+  /// Refresh resets the bank to idle; next ACT must wait tRFC from t.
+  void refresh(Time t, const DerivedTiming& d) {
+    assert(!row_open_);
+    assert(t >= next_act_);
+    next_act_ = t + d.cycles(d.trfc);
+  }
+
+ private:
+  bool row_open_ = false;
+  std::uint32_t open_row_ = 0;
+  Time next_act_ = Time::zero();
+  Time next_pre_ = Time::zero();
+  Time next_cas_ = Time::zero();
+  Time last_use_ = Time::zero();
+};
+
+}  // namespace mcm::dram

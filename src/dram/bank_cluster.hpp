@@ -1,0 +1,98 @@
+// A bank cluster: the set of DRAM banks behind one channel (paper: 512 Mb,
+// four banks, x32). Adds the cross-bank constraints on top of Bank: tRRD
+// between activates to different banks and all-banks-precharged refresh.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "dram/bank.hpp"
+#include "dram/spec.hpp"
+
+namespace mcm::dram {
+
+class BankCluster {
+ public:
+  explicit BankCluster(const OrgSpec& org) : org_(org), banks_(org.banks) {}
+
+  [[nodiscard]] const OrgSpec& org() const { return org_; }
+  [[nodiscard]] std::uint32_t bank_count() const {
+    return static_cast<std::uint32_t>(banks_.size());
+  }
+  [[nodiscard]] const Bank& bank(std::uint32_t i) const { return banks_[i]; }
+
+  [[nodiscard]] Time earliest_activate(std::uint32_t b) const {
+    Time t = max(banks_[b].earliest_activate(), rrd_free_);
+    t = max(t, faw_free_);
+    return t;
+  }
+  [[nodiscard]] Time earliest_precharge(std::uint32_t b) const {
+    return banks_[b].earliest_precharge();
+  }
+  [[nodiscard]] Time earliest_cas(std::uint32_t b) const {
+    return banks_[b].earliest_cas();
+  }
+
+  void activate(Time t, std::uint32_t b, std::uint32_t row, const DerivedTiming& d) {
+    assert(t >= rrd_free_);
+    assert(t >= faw_free_);
+    banks_[b].activate(t, row, d);
+    rrd_free_ = t + d.cycles(d.trrd);
+    if (d.tfaw > 0) {
+      // Sliding four-activate window: after recording this ACT, the oldest
+      // of the last four bounds the next one.
+      act_history_[act_head_] = t;
+      act_head_ = (act_head_ + 1) % kFawWindow;
+      const Time oldest = act_history_[act_head_];
+      faw_free_ = oldest > Time{-1} ? oldest + d.cycles(d.tfaw) : Time::zero();
+    }
+  }
+
+  void precharge(Time t, std::uint32_t b, const DerivedTiming& d) {
+    banks_[b].precharge(t, d);
+  }
+
+  [[nodiscard]] Time read(Time t, std::uint32_t b, const DerivedTiming& d) {
+    return banks_[b].read(t, d);
+  }
+
+  [[nodiscard]] Time write(Time t, std::uint32_t b, const DerivedTiming& d) {
+    return banks_[b].write(t, d);
+  }
+
+  [[nodiscard]] bool all_precharged() const {
+    for (const auto& b : banks_) {
+      if (b.row_open()) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool any_row_open() const { return !all_precharged(); }
+
+  /// Earliest time an all-bank refresh may issue, assuming all banks are
+  /// already precharged.
+  [[nodiscard]] Time earliest_refresh() const {
+    Time t = Time::zero();
+    for (const auto& b : banks_) t = max(t, b.earliest_activate());
+    return t;
+  }
+
+  void refresh(Time t, const DerivedTiming& d) {
+    assert(all_precharged());
+    for (auto& b : banks_) b.refresh(t, d);
+  }
+
+ private:
+  static constexpr int kFawWindow = 4;
+
+  OrgSpec org_;
+  std::vector<Bank> banks_;
+  Time rrd_free_ = Time::zero();  // earliest next ACT, any bank (tRRD)
+  Time faw_free_ = Time::zero();  // earliest next ACT under tFAW
+  Time act_history_[kFawWindow] = {Time{-1}, Time{-1}, Time{-1}, Time{-1}};
+  int act_head_ = 0;
+};
+
+}  // namespace mcm::dram

@@ -1,0 +1,47 @@
+// DRAM command vocabulary and trace records. The controller emits
+// CommandRecords; the independent TimingChecker re-validates recorded traces
+// against the derived timing so scheduler bugs cannot hide.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/units.hpp"
+
+namespace mcm::dram {
+
+enum class Command : std::uint8_t {
+  kActivate,
+  kPrecharge,
+  kRead,
+  kWrite,
+  kRefresh,        // all-bank auto refresh
+  kPowerDownEnter,
+  kPowerDownExit,
+  kSelfRefreshEnter,
+  kSelfRefreshExit,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Command c) {
+  switch (c) {
+    case Command::kActivate: return "ACT";
+    case Command::kPrecharge: return "PRE";
+    case Command::kRead: return "RD";
+    case Command::kWrite: return "WR";
+    case Command::kRefresh: return "REF";
+    case Command::kPowerDownEnter: return "PDE";
+    case Command::kPowerDownExit: return "PDX";
+    case Command::kSelfRefreshEnter: return "SRE";
+    case Command::kSelfRefreshExit: return "SRX";
+  }
+  return "?";
+}
+
+struct CommandRecord {
+  Time at;
+  Command cmd = Command::kActivate;
+  std::uint32_t bank = 0;  // unused for REF/PDE/PDX
+  std::uint32_t row = 0;   // ACT only
+};
+
+}  // namespace mcm::dram

@@ -1,0 +1,53 @@
+#include "dram/energy.hpp"
+
+#include <algorithm>
+
+namespace mcm::dram {
+
+EnergyModel::EnergyModel(const PowerSpec& p, const DerivedTiming& d) {
+  const double freq = d.freq.mhz();
+  // Actual durations at the derived cycle counts (ns); these can be slightly
+  // longer than the ns-domain minima because cycles round up.
+  const double trc_ns = (d.cycles(d.trc)).ns();
+  const double tras_ns = (d.cycles(d.tras)).ns();
+  const double trfc_ns = (d.cycles(d.trfc)).ns();
+  const double burst_ns = (d.cycles(d.burst_ck)).ns();
+
+  // One ACT-PRE pair: IDD0 is the average current when activating and
+  // precharging one row every tRC; subtract the background current the
+  // residency accounting already charges for that window.
+  e_act_pre_pj_ = p.vdd * std::max(0.0, p.idd0_ma * trc_ns - p.idd3n_ma * tras_ns -
+                                            p.idd2n_ma * (trc_ns - tras_ns));
+
+  // Burst energies: incremental current over active standby for the cycles
+  // the data bus is actually transferring.
+  e_read_pj_ = p.vdd * std::max(0.0, p.idd4r_at(freq) - p.idd3n_ma) * burst_ns;
+  e_write_pj_ = p.vdd * std::max(0.0, p.idd4w_at(freq) - p.idd3n_ma) * burst_ns;
+
+  // Refresh: a fixed-charge event over tRFC; incremental over precharge
+  // standby. IDD5 is frequency-independent (fixed charge restored).
+  e_refresh_pj_ = p.vdd * std::max(0.0, p.idd5_ma - p.idd2n_ma) * trfc_ns;
+
+  p_act_stby_mw_ = p.vdd * p.idd3n_ma;
+  p_pre_stby_mw_ = p.vdd * p.idd2n_ma;
+  p_act_pd_mw_ = p.vdd * p.idd3p_ma;
+  p_pd_mw_ = p.vdd * p.idd2p_ma;
+  p_sr_mw_ = p.vdd * p.idd6_ma;
+}
+
+EnergyBreakdown EnergyModel::tally(const EnergyLedger& ledger) const {
+  EnergyBreakdown b;
+  b.act_pre_pj = static_cast<double>(ledger.n_act) * e_act_pre_pj_;
+  b.read_pj = static_cast<double>(ledger.n_rd) * e_read_pj_;
+  b.write_pj = static_cast<double>(ledger.n_wr) * e_write_pj_;
+  b.refresh_pj = static_cast<double>(ledger.n_ref) * e_refresh_pj_;
+  // mW x us = nJ; convert through ns for pJ (mW x ns = pJ).
+  b.active_standby_pj = p_act_stby_mw_ * ledger.t_active_standby.ns();
+  b.precharge_standby_pj = p_pre_stby_mw_ * ledger.t_precharge_standby.ns();
+  b.active_powerdown_pj = p_act_pd_mw_ * ledger.t_active_powerdown.ns();
+  b.powerdown_pj = p_pd_mw_ * ledger.t_powerdown.ns();
+  b.selfrefresh_pj = p_sr_mw_ * ledger.t_selfrefresh.ns();
+  return b;
+}
+
+}  // namespace mcm::dram

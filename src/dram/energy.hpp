@@ -1,0 +1,132 @@
+// IDD-based DRAM energy model in the style of Micron's "Calculating DDR
+// Memory System Power" technical note, which the paper cites for its power
+// parameters. Event energies (ACT/PRE pair, read burst, write burst,
+// refresh) are charged per command; standby and power-down are charged by
+// state residency; mA x V x ns = pJ throughout.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "dram/spec.hpp"
+
+namespace mcm::dram {
+
+/// Background power states of one bank cluster, tracked by residency.
+enum class PowerState : std::uint8_t {
+  kActiveStandby,      // >= 1 row open, CKE high
+  kPrechargeStandby,   // all rows closed, CKE high
+  kActivePowerDown,    // >= 1 row open, CKE low (short idle gaps, open-page)
+  kPowerDown,          // all rows closed, CKE low (precharge power-down)
+  kSelfRefresh,        // CKE low, cells refreshed internally (long idle)
+};
+
+/// Raw activity totals accumulated by one channel during a run.
+struct EnergyLedger {
+  std::uint64_t n_act = 0;  // ACT/PRE pairs (every ACT is eventually PREd)
+  std::uint64_t n_rd = 0;
+  std::uint64_t n_wr = 0;
+  std::uint64_t n_ref = 0;
+  std::uint64_t n_powerdown_entries = 0;
+  std::uint64_t n_selfrefresh_entries = 0;
+
+  Time t_active_standby = Time::zero();
+  Time t_precharge_standby = Time::zero();
+  Time t_active_powerdown = Time::zero();
+  Time t_powerdown = Time::zero();
+  Time t_selfrefresh = Time::zero();
+
+  void add_residency(PowerState s, Time dt) {
+    switch (s) {
+      case PowerState::kActiveStandby: t_active_standby += dt; break;
+      case PowerState::kPrechargeStandby: t_precharge_standby += dt; break;
+      case PowerState::kActivePowerDown: t_active_powerdown += dt; break;
+      case PowerState::kPowerDown: t_powerdown += dt; break;
+      case PowerState::kSelfRefresh: t_selfrefresh += dt; break;
+    }
+  }
+
+  EnergyLedger& operator+=(const EnergyLedger& rhs) {
+    n_act += rhs.n_act;
+    n_rd += rhs.n_rd;
+    n_wr += rhs.n_wr;
+    n_ref += rhs.n_ref;
+    n_powerdown_entries += rhs.n_powerdown_entries;
+    n_selfrefresh_entries += rhs.n_selfrefresh_entries;
+    t_active_standby += rhs.t_active_standby;
+    t_precharge_standby += rhs.t_precharge_standby;
+    t_active_powerdown += rhs.t_active_powerdown;
+    t_powerdown += rhs.t_powerdown;
+    t_selfrefresh += rhs.t_selfrefresh;
+    return *this;
+  }
+};
+
+/// Energy by component, in picojoules.
+struct EnergyBreakdown {
+  double act_pre_pj = 0;
+  double read_pj = 0;
+  double write_pj = 0;
+  double refresh_pj = 0;
+  double active_standby_pj = 0;
+  double precharge_standby_pj = 0;
+  double active_powerdown_pj = 0;
+  double powerdown_pj = 0;
+  double selfrefresh_pj = 0;
+
+  [[nodiscard]] double total_pj() const {
+    return act_pre_pj + read_pj + write_pj + refresh_pj + active_standby_pj +
+           precharge_standby_pj + active_powerdown_pj + powerdown_pj +
+           selfrefresh_pj;
+  }
+  [[nodiscard]] double background_pj() const {
+    return active_standby_pj + precharge_standby_pj + active_powerdown_pj +
+           powerdown_pj + selfrefresh_pj;
+  }
+
+  EnergyBreakdown& operator+=(const EnergyBreakdown& rhs) {
+    act_pre_pj += rhs.act_pre_pj;
+    read_pj += rhs.read_pj;
+    write_pj += rhs.write_pj;
+    refresh_pj += rhs.refresh_pj;
+    active_standby_pj += rhs.active_standby_pj;
+    precharge_standby_pj += rhs.precharge_standby_pj;
+    active_powerdown_pj += rhs.active_powerdown_pj;
+    powerdown_pj += rhs.powerdown_pj;
+    selfrefresh_pj += rhs.selfrefresh_pj;
+    return *this;
+  }
+};
+
+class EnergyModel {
+ public:
+  EnergyModel(const PowerSpec& p, const DerivedTiming& d);
+
+  /// Per-event energies (pJ).
+  [[nodiscard]] double e_act_pre_pj() const { return e_act_pre_pj_; }
+  [[nodiscard]] double e_read_pj() const { return e_read_pj_; }
+  [[nodiscard]] double e_write_pj() const { return e_write_pj_; }
+  [[nodiscard]] double e_refresh_pj() const { return e_refresh_pj_; }
+
+  /// Background powers (mW).
+  [[nodiscard]] double p_active_standby_mw() const { return p_act_stby_mw_; }
+  [[nodiscard]] double p_precharge_standby_mw() const { return p_pre_stby_mw_; }
+  [[nodiscard]] double p_active_powerdown_mw() const { return p_act_pd_mw_; }
+  [[nodiscard]] double p_powerdown_mw() const { return p_pd_mw_; }
+  [[nodiscard]] double p_selfrefresh_mw() const { return p_sr_mw_; }
+
+  [[nodiscard]] EnergyBreakdown tally(const EnergyLedger& ledger) const;
+
+ private:
+  double e_act_pre_pj_;
+  double e_read_pj_;
+  double e_write_pj_;
+  double e_refresh_pj_;
+  double p_act_stby_mw_;
+  double p_pre_stby_mw_;
+  double p_act_pd_mw_;
+  double p_pd_mw_;
+  double p_sr_mw_;
+};
+
+}  // namespace mcm::dram

@@ -1,0 +1,210 @@
+#include "dram/timing_checker.hpp"
+
+#include <cstdio>
+#include <optional>
+
+namespace mcm::dram {
+namespace {
+
+struct BankView {
+  bool open = false;
+  Time last_act = Time{-1'000'000'000};
+  Time last_pre = Time{-1'000'000'000};
+  Time last_rd = Time{-1'000'000'000};
+  Time wr_data_end = Time{-1'000'000'000};
+};
+
+std::string msg(const CommandRecord& c, const char* what) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "t=%lld ps %s bank=%u: %s",
+                static_cast<long long>(c.at.ps()), std::string(to_string(c.cmd)).c_str(),
+                c.bank, what);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<std::string> TimingChecker::check(
+    std::span<const CommandRecord> trace) const {
+  std::vector<std::string> violations;
+  std::vector<BankView> banks(org_.banks);
+
+  const Time far_past{-1'000'000'000};
+  Time last_any_act = far_past;
+  Time last_cmd = far_past;
+  Time ref_busy_until = far_past;       // end of in-progress refresh
+  Time data_bus_free = far_past;        // end of last data transfer
+  bool last_data_was_write = false;
+  Time last_wr_data_end_any = far_past; // for tWTR (any bank, shared bus)
+  bool powered_down = false;
+  Time pd_enter = far_past;
+  Time pd_exit_ready = far_past;        // pd_exit + tXP
+  bool self_refreshing = false;
+  Time sr_enter = far_past;
+  Time sr_exit_ready = far_past;        // sr_exit + tXSR
+  Time faw_acts[4] = {far_past, far_past, far_past, far_past};
+  int faw_head = 0;
+
+  auto cyc = [&](int n) { return d_.cycles(n); };
+
+  for (const auto& c : trace) {
+    if (c.at < last_cmd) {
+      violations.push_back(msg(c, "trace not in time order"));
+    }
+    if (c.at.ps() % d_.clk.ps() != 0) {
+      violations.push_back(msg(c, "command not on a clock edge"));
+    }
+    if (c.at == last_cmd && c.cmd != Command::kPowerDownExit) {
+      violations.push_back(msg(c, "two commands on one clock edge"));
+    }
+    last_cmd = c.at;
+
+    const bool is_dram_cmd = c.cmd != Command::kPowerDownEnter &&
+                             c.cmd != Command::kPowerDownExit &&
+                             c.cmd != Command::kSelfRefreshEnter &&
+                             c.cmd != Command::kSelfRefreshExit;
+    if (powered_down && is_dram_cmd) {
+      violations.push_back(msg(c, "command while in power-down"));
+    }
+    if (self_refreshing && is_dram_cmd) {
+      violations.push_back(msg(c, "command while in self-refresh"));
+    }
+    if (is_dram_cmd && c.at < pd_exit_ready) {
+      violations.push_back(msg(c, "command before tXP after power-down exit"));
+    }
+    if (is_dram_cmd && c.at < sr_exit_ready) {
+      violations.push_back(msg(c, "command before tXSR after self-refresh exit"));
+    }
+    if (is_dram_cmd && c.at < ref_busy_until) {
+      violations.push_back(msg(c, "command during refresh (tRFC)"));
+    }
+    if (c.bank >= org_.banks && is_dram_cmd && c.cmd != Command::kRefresh) {
+      violations.push_back(msg(c, "bank index out of range"));
+      continue;
+    }
+
+    switch (c.cmd) {
+      case Command::kActivate: {
+        auto& b = banks[c.bank];
+        if (b.open) violations.push_back(msg(c, "ACT to open bank"));
+        if (c.at < b.last_act + cyc(d_.trc))
+          violations.push_back(msg(c, "tRC violated"));
+        if (c.at < b.last_pre + cyc(d_.trp))
+          violations.push_back(msg(c, "tRP violated"));
+        if (c.at < last_any_act + cyc(d_.trrd))
+          violations.push_back(msg(c, "tRRD violated"));
+        if (d_.tfaw > 0) {
+          if (c.at < faw_acts[faw_head] + cyc(d_.tfaw))
+            violations.push_back(msg(c, "tFAW violated"));
+          faw_acts[faw_head] = c.at;
+          faw_head = (faw_head + 1) % 4;
+        }
+        b.open = true;
+        b.last_act = c.at;
+        last_any_act = c.at;
+        break;
+      }
+      case Command::kPrecharge: {
+        auto& b = banks[c.bank];
+        if (!b.open) violations.push_back(msg(c, "PRE to closed bank"));
+        if (c.at < b.last_act + cyc(d_.tras))
+          violations.push_back(msg(c, "tRAS violated"));
+        if (c.at < b.last_rd + cyc(d_.trtp))
+          violations.push_back(msg(c, "tRTP violated"));
+        if (c.at < b.wr_data_end + cyc(d_.twr))
+          violations.push_back(msg(c, "tWR violated"));
+        b.open = false;
+        b.last_pre = c.at;
+        break;
+      }
+      case Command::kRead: {
+        auto& b = banks[c.bank];
+        if (!b.open) violations.push_back(msg(c, "RD to closed bank"));
+        if (c.at < b.last_act + cyc(d_.trcd))
+          violations.push_back(msg(c, "tRCD violated (read)"));
+        if (c.at < last_wr_data_end_any + cyc(d_.twtr))
+          violations.push_back(msg(c, "tWTR violated"));
+        const Time data_start = c.at + cyc(d_.cl);
+        Time required = data_bus_free;
+        if (last_data_was_write) required += cyc(1);  // bus turnaround
+        if (data_start < required)
+          violations.push_back(msg(c, "data bus collision (read)"));
+        data_bus_free = data_start + cyc(d_.burst_ck);
+        last_data_was_write = false;
+        b.last_rd = c.at;
+        break;
+      }
+      case Command::kWrite: {
+        auto& b = banks[c.bank];
+        if (!b.open) violations.push_back(msg(c, "WR to closed bank"));
+        if (c.at < b.last_act + cyc(d_.trcd))
+          violations.push_back(msg(c, "tRCD violated (write)"));
+        const Time data_start = c.at + cyc(d_.cwl);
+        Time required = data_bus_free;
+        if (!last_data_was_write && data_bus_free > far_past + Time{1})
+          required += cyc(1);  // read -> write turnaround
+        if (data_start < required)
+          violations.push_back(msg(c, "data bus collision (write)"));
+        data_bus_free = data_start + cyc(d_.burst_ck);
+        last_data_was_write = true;
+        b.wr_data_end = data_start + cyc(d_.burst_ck);
+        last_wr_data_end_any = b.wr_data_end;
+        break;
+      }
+      case Command::kRefresh: {
+        for (std::uint32_t i = 0; i < org_.banks; ++i) {
+          const auto& b = banks[i];
+          if (b.open) {
+            violations.push_back(msg(c, "REF with open row"));
+            break;
+          }
+          if (c.at < b.last_pre + cyc(d_.trp)) {
+            violations.push_back(msg(c, "REF before tRP"));
+            break;
+          }
+        }
+        ref_busy_until = c.at + cyc(d_.trfc);
+        break;
+      }
+      case Command::kPowerDownEnter: {
+        if (powered_down) violations.push_back(msg(c, "PDE while powered down"));
+        powered_down = true;
+        pd_enter = c.at;
+        break;
+      }
+      case Command::kPowerDownExit: {
+        if (!powered_down) violations.push_back(msg(c, "PDX while not powered down"));
+        if (c.at < pd_enter + cyc(d_.tcke))
+          violations.push_back(msg(c, "tCKE violated"));
+        powered_down = false;
+        pd_exit_ready = c.at + cyc(d_.txp);
+        break;
+      }
+      case Command::kSelfRefreshEnter: {
+        if (self_refreshing) violations.push_back(msg(c, "SRE while in self-refresh"));
+        if (powered_down) violations.push_back(msg(c, "SRE while powered down"));
+        for (std::uint32_t i = 0; i < org_.banks; ++i) {
+          if (banks[i].open) {
+            violations.push_back(msg(c, "SRE with open row"));
+            break;
+          }
+        }
+        self_refreshing = true;
+        sr_enter = c.at;
+        break;
+      }
+      case Command::kSelfRefreshExit: {
+        if (!self_refreshing)
+          violations.push_back(msg(c, "SRX while not in self-refresh"));
+        if (c.at < sr_enter + cyc(d_.tcke))
+          violations.push_back(msg(c, "tCKE violated (self-refresh)"));
+        self_refreshing = false;
+        sr_exit_ready = c.at + cyc(d_.txsr);
+        break;
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace mcm::dram

@@ -1,0 +1,31 @@
+// Independent DRAM protocol validator. Replays a recorded command trace
+// against the derived timing and reports every violation. It shares no code
+// with Bank/BankCluster on purpose: the controller's scheduling is verified
+// by a second, separately written implementation of the rules.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dram/command.hpp"
+#include "dram/spec.hpp"
+
+namespace mcm::dram {
+
+class TimingChecker {
+ public:
+  TimingChecker(const OrgSpec& org, const DerivedTiming& timing)
+      : org_(org), d_(timing) {}
+
+  /// Validate a trace (commands must be in nondecreasing time order).
+  /// Returns human-readable violation messages; empty means the trace obeys
+  /// the protocol.
+  [[nodiscard]] std::vector<std::string> check(std::span<const CommandRecord> trace) const;
+
+ private:
+  OrgSpec org_;
+  DerivedTiming d_;
+};
+
+}  // namespace mcm::dram

@@ -1,0 +1,62 @@
+#include "load/cached_source.hpp"
+
+namespace mcm::load {
+
+CachedSource::CachedSource(std::unique_ptr<TrafficSource> inner,
+                           const cache::CacheConfig& cfg, std::uint32_t burst_bytes,
+                           bool flush_dirty_at_end)
+    : inner_(std::move(inner)),
+      cache_(cfg),
+      burst_(burst_bytes),
+      flush_dirty_(flush_dirty_at_end),
+      name_("cached:" + std::string(inner_->name())) {
+  refill();
+}
+
+void CachedSource::push_line(std::uint64_t line_addr, bool is_write, Time arrival) {
+  const std::uint32_t line = cache_.config().line_bytes;
+  for (std::uint32_t off = 0; off < line; off += burst_) {
+    ctrl::Request r;
+    r.addr = line_addr + off;
+    r.is_write = is_write;
+    r.arrival = arrival;
+    pending_.push_back(r);
+    emitted_bytes_ += burst_;
+  }
+}
+
+void CachedSource::refill() {
+  while (pending_.empty()) {
+    if (inner_->done()) {
+      if (flush_dirty_ && !flushed_) {
+        flushed_ = true;
+        for (const std::uint64_t line : cache_.dirty_lines()) {
+          push_line(line, /*is_write=*/true, last_arrival_);
+        }
+      }
+      return;
+    }
+    const ctrl::Request fine = inner_->head();
+    inner_->advance();
+    last_arrival_ = fine.arrival;
+    raw_bytes_ += cache_.config().line_bytes;
+    const cache::CacheEffect eff = cache_.access_line(fine.addr, fine.is_write);
+    if (eff.writeback_addr) push_line(*eff.writeback_addr, true, fine.arrival);
+    if (eff.fill_addr) push_line(*eff.fill_addr, false, fine.arrival);
+  }
+}
+
+bool CachedSource::done() const { return pending_.empty(); }
+
+ctrl::Request CachedSource::head() const { return pending_.front(); }
+
+void CachedSource::advance() {
+  pending_.pop_front();
+  if (pending_.empty()) refill();
+}
+
+std::uint64_t CachedSource::total_bytes() const { return emitted_bytes_; }
+
+void CachedSource::set_start(Time t) { inner_->set_start(t); }
+
+}  // namespace mcm::load

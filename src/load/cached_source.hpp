@@ -1,0 +1,60 @@
+// Online cache filter: wraps a fine-grained traffic source (cache-line
+// requests from an SMP master) and emits only the memory-side traffic - miss
+// fills and dirty writebacks - as DRAM bursts. This makes the paper's
+// Section II assumption ("the cache is large enough to provide hits for any
+// other access") an executable component instead of a modelling premise:
+// feed per-line traffic through a finite cache and see what really reaches
+// the execution memory.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "cache/cache_model.hpp"
+#include "load/source.hpp"
+
+namespace mcm::load {
+
+class CachedSource final : public TrafficSource {
+ public:
+  /// `inner` must emit line-granular requests (its burst size = the cache
+  /// line size); the filter re-emits misses as `burst_bytes` DRAM bursts.
+  /// When `flush_dirty_at_end` is set, dirty lines still cached when the
+  /// inner source ends are written back (the steady-state behaviour).
+  CachedSource(std::unique_ptr<TrafficSource> inner, const cache::CacheConfig& cfg,
+               std::uint32_t burst_bytes = 16, bool flush_dirty_at_end = true);
+
+  [[nodiscard]] bool done() const override;
+  [[nodiscard]] ctrl::Request head() const override;
+  void advance() override;
+  [[nodiscard]] std::uint64_t total_bytes() const override;
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  void set_start(Time t) override;
+
+  [[nodiscard]] const cache::CacheStats& cache_stats() const {
+    return cache_.stats();
+  }
+  /// Bytes the master requested (pre-filter).
+  [[nodiscard]] std::uint64_t raw_bytes() const { return raw_bytes_; }
+
+ private:
+  /// Pull from the inner source until at least one memory request is pending
+  /// (or the inner source is exhausted and the flush emitted).
+  void refill();
+  void push_line(std::uint64_t line_addr, bool is_write, Time arrival);
+
+  std::unique_ptr<TrafficSource> inner_;
+  cache::CacheModel cache_;
+  std::uint32_t burst_;
+  bool flush_dirty_;
+  bool flushed_ = false;
+  std::string name_;
+  std::deque<ctrl::Request> pending_;
+  std::uint64_t raw_bytes_ = 0;
+  std::uint64_t emitted_bytes_ = 0;
+  Time last_arrival_ = Time::zero();
+};
+
+}  // namespace mcm::load

@@ -1,0 +1,42 @@
+#include "load/encoder_pattern_source.hpp"
+
+namespace mcm::load {
+
+EncoderPatternSource::EncoderPatternSource(std::string name,
+                                           const video::EncoderAccessParams& params,
+                                           std::uint32_t burst_bytes,
+                                           std::uint16_t source_id)
+    : name_(std::move(name)),
+      gen_(params),
+      burst_(burst_bytes),
+      source_id_(source_id) {
+  // Analytic volume estimate (window clamping at frame borders makes the
+  // true number slightly smaller): input MB + per-ref window + recon.
+  const std::uint64_t window =
+      static_cast<std::uint64_t>(16 + 2 * params.search_range) *
+      (16 + 2 * params.search_range);
+  estimate_bytes_ = static_cast<std::uint64_t>(gen_.macroblocks_total()) *
+                    (512 + params.ref_frames * window + 16 * 16 + 128);
+  fetch_next_access();
+}
+
+void EncoderPatternSource::fetch_next_access() {
+  current_ = gen_.next();
+  offset_ = 0;
+}
+
+ctrl::Request EncoderPatternSource::head() const {
+  ctrl::Request r;
+  r.addr = current_->addr + offset_;
+  r.is_write = current_->is_write;
+  r.arrival = start_;
+  r.source = source_id_;
+  return r;
+}
+
+void EncoderPatternSource::advance() {
+  offset_ += burst_;
+  if (offset_ >= current_->bytes) fetch_next_access();
+}
+
+}  // namespace mcm::load

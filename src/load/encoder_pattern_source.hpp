@@ -1,0 +1,41 @@
+// Adapts the macroblock-level EncoderAccessGenerator into a TrafficSource:
+// each generated access is split into DRAM-burst requests. Used by the
+// address-pattern ablation (same reference-traffic volume as the Table I
+// model, but motion-window locality instead of sequential passes).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "load/source.hpp"
+#include "video/encoder_access.hpp"
+
+namespace mcm::load {
+
+class EncoderPatternSource final : public TrafficSource {
+ public:
+  EncoderPatternSource(std::string name, const video::EncoderAccessParams& params,
+                       std::uint32_t burst_bytes = 16, std::uint16_t source_id = 0);
+
+  [[nodiscard]] bool done() const override { return !current_.has_value(); }
+  [[nodiscard]] ctrl::Request head() const override;
+  void advance() override;
+  [[nodiscard]] std::uint64_t total_bytes() const override { return estimate_bytes_; }
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  void set_start(Time t) override { start_ = t; }
+
+ private:
+  void fetch_next_access();
+
+  std::string name_;
+  video::EncoderAccessGenerator gen_;
+  std::uint32_t burst_;
+  std::optional<video::EncoderAccess> current_;
+  std::uint32_t offset_ = 0;  // bytes consumed within current access
+  std::uint64_t estimate_bytes_;
+  std::uint16_t source_id_;
+  Time start_ = Time::zero();
+};
+
+}  // namespace mcm::load

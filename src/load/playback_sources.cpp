@@ -1,0 +1,98 @@
+#include "load/playback_sources.hpp"
+
+#include <cmath>
+
+#include "load/multi_stream_source.hpp"
+
+namespace mcm::load {
+namespace {
+
+using video::PlaybackStageId;
+
+std::uint64_t bits_to_bytes(double bits) {
+  return static_cast<std::uint64_t>(std::ceil(bits / 8.0));
+}
+
+std::uint64_t align64k(std::uint64_t v) { return (v + 0xffff) & ~0xffffull; }
+
+}  // namespace
+
+std::vector<std::unique_ptr<TrafficSource>> build_playback_sources(
+    const video::PlaybackModel& model, const PlaybackLoadOptions& opt) {
+  const auto& lv = model.level();
+  const double n = static_cast<double>(lv.resolution.pixels());
+
+  // Buffer layout (64 KiB aligned regions, contiguous).
+  struct Region {
+    std::uint64_t base = 0;
+    std::uint64_t bytes = 0;
+  };
+  const std::uint64_t stream_bytes = std::max<std::uint64_t>(
+      64 * 1024, 2 * bits_to_bytes(lv.max_bitrate_mbps * 1e6 / lv.fps));
+  const std::uint64_t frame12 = bits_to_bytes(12.0 * n);
+  const std::uint64_t frame16 = bits_to_bytes(16.0 * n);
+  const std::uint64_t fb_bytes =
+      2 * video::frame_bytes(model.params().display, video::PixelFormat::kRgb888);
+
+  std::uint64_t cursor = 0;
+  const auto alloc = [&](std::uint64_t bytes) {
+    Region r{cursor, bytes};
+    cursor = align64k(cursor + bytes);
+    return r;
+  };
+  const Region mux = alloc(stream_bytes);
+  const Region video_es = alloc(stream_bytes);
+  const Region audio_es = alloc(64 * 1024);
+  const Region refs = alloc(static_cast<std::uint64_t>(opt.decoder_ref_frames) * frame12);
+  const Region recon = alloc(frame12);
+  const Region post = alloc(frame16);
+  const Region fb = alloc(fb_bytes);
+
+  std::vector<std::unique_ptr<TrafficSource>> out;
+  std::uint16_t sid = 0;
+  for (const auto& stage : model.stages()) {
+    const std::uint16_t id = sid++;
+    const std::uint64_t rd = bits_to_bytes(stage.read_bits);
+    const std::uint64_t wr = bits_to_bytes(stage.write_bits);
+    std::vector<StreamSpec> streams;
+    switch (stage.id) {
+      case PlaybackStageId::kMemoryCard:
+        streams.push_back({mux.base, wr, mux.bytes, true, id});
+        break;
+      case PlaybackStageId::kDemultiplex:
+        streams.push_back({mux.base, rd, mux.bytes, false, id});
+        streams.push_back({video_es.base, wr, video_es.bytes, true, id});
+        break;
+      case PlaybackStageId::kVideoDecoder: {
+        const std::uint64_t es_rd =
+            bits_to_bytes(lv.max_bitrate_mbps * 1e6 / lv.fps);
+        const std::uint64_t mc_rd = rd > es_rd ? rd - es_rd : 0;
+        streams.push_back({video_es.base, es_rd, video_es.bytes, false, id});
+        streams.push_back({refs.base, mc_rd, refs.bytes, false, id});
+        streams.push_back({recon.base, wr, recon.bytes, true, id});
+        break;
+      }
+      case PlaybackStageId::kAudioDecoder:
+        streams.push_back({audio_es.base, rd, audio_es.bytes, false, id});
+        streams.push_back({audio_es.base, wr, audio_es.bytes, true, id});
+        break;
+      case PlaybackStageId::kPostProcess:
+        streams.push_back({recon.base, rd, recon.bytes, false, id});
+        streams.push_back({post.base, wr, post.bytes, true, id});
+        break;
+      case PlaybackStageId::kScalingToDisplay:
+        streams.push_back({post.base, rd, post.bytes, false, id});
+        streams.push_back({fb.base, wr, fb.bytes, true, id});
+        break;
+      case PlaybackStageId::kDisplayCtrl:
+        streams.push_back({fb.base, rd, fb.bytes, false, id});
+        break;
+    }
+    out.push_back(std::make_unique<MultiStreamSource>(
+        std::string(stage.name), std::move(streams), opt.chunk_bytes,
+        opt.burst_bytes));
+  }
+  return out;
+}
+
+}  // namespace mcm::load

@@ -1,0 +1,24 @@
+// Stage sources for the playback (decode) chain, mirroring
+// build_stage_sources for the recording use case: one MultiStreamSource per
+// PlaybackModel stage, volumes matched to the model, buffers laid out in the
+// global address space.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "load/source.hpp"
+#include "video/playback.hpp"
+
+namespace mcm::load {
+
+struct PlaybackLoadOptions {
+  std::uint32_t chunk_bytes = 64;
+  std::uint32_t burst_bytes = 16;
+  std::uint32_t decoder_ref_frames = 4;  // DPB pictures motion comp reads from
+};
+
+[[nodiscard]] std::vector<std::unique_ptr<TrafficSource>> build_playback_sources(
+    const video::PlaybackModel& model, const PlaybackLoadOptions& opt = {});
+
+}  // namespace mcm::load

@@ -1,0 +1,37 @@
+// Traffic sources: pull-style generators of burst-granular memory requests.
+// The load model of paper Section III is a state machine over the Fig. 1
+// processing chain; each state is one TrafficSource here, producing the
+// stage's read/write volumes as interleaved sequential streams.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/units.hpp"
+#include "controller/request.hpp"
+
+namespace mcm::load {
+
+class TrafficSource {
+ public:
+  virtual ~TrafficSource() = default;
+
+  [[nodiscard]] virtual bool done() const = 0;
+  /// Current head request. Precondition: !done().
+  [[nodiscard]] virtual ctrl::Request head() const = 0;
+  virtual void advance() = 0;
+
+  [[nodiscard]] virtual std::uint64_t total_bytes() const = 0;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Set the earliest issue time for everything this source produces
+  /// (back-to-back mode stamps each stage with its start time).
+  virtual void set_start(Time t) = 0;
+
+  /// Spread arrivals over [start, start + duration] by progress (paced
+  /// masters such as a display controller). Default: unsupported no-op.
+  virtual void set_pacing(Time duration) { (void)duration; }
+};
+
+}  // namespace mcm::load

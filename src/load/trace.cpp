@@ -1,0 +1,75 @@
+#include "load/trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+
+namespace mcm::load {
+
+void write_trace(std::ostream& out, const std::vector<ctrl::Request>& requests) {
+  char line[80];
+  for (const auto& r : requests) {
+    std::snprintf(line, sizeof line, "%" PRId64 " %c 0x%" PRIx64 " %u\n",
+                  r.arrival.ps(), r.is_write ? 'W' : 'R', r.addr,
+                  static_cast<unsigned>(r.source));
+    out << line;
+  }
+}
+
+std::vector<ctrl::Request> read_trace(std::istream& in) {
+  std::vector<ctrl::Request> out;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    // Skip blank lines.
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+    long long ps = 0;
+    char rw = 0;
+    unsigned long long addr = 0;
+    unsigned source = 0;
+    const int got =
+        std::sscanf(line.c_str(), "%lld %c 0x%llx %u", &ps, &rw, &addr, &source);
+    if (got < 3 || (rw != 'R' && rw != 'W')) {
+      throw TraceError("trace line " + std::to_string(lineno) +
+                       ": expected '<ps> <R|W> 0x<addr> [source]', got '" + line +
+                       "'");
+    }
+    ctrl::Request r;
+    r.arrival = Time{ps};
+    r.is_write = rw == 'W';
+    r.addr = addr;
+    r.source = static_cast<std::uint16_t>(source);
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<ctrl::Request> record_source(TrafficSource& src) {
+  std::vector<ctrl::Request> out;
+  while (!src.done()) {
+    out.push_back(src.head());
+    src.advance();
+  }
+  return out;
+}
+
+TraceReplaySource::TraceReplaySource(std::vector<ctrl::Request> requests,
+                                     std::string name)
+    : requests_(std::move(requests)), name_(std::move(name)) {}
+
+ctrl::Request TraceReplaySource::head() const {
+  ctrl::Request r = requests_[pos_];
+  r.arrival += start_;
+  return r;
+}
+
+std::uint64_t TraceReplaySource::total_bytes() const {
+  return requests_.size() * 16ull;
+}
+
+}  // namespace mcm::load

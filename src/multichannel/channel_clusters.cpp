@@ -1,0 +1,103 @@
+#include "multichannel/channel_clusters.hpp"
+
+#include <stdexcept>
+
+namespace mcm::multichannel {
+
+ChannelClusterSystem::ChannelClusterSystem(const ClusterConfig& cfg) {
+  if (cfg.clusters == 0) throw std::invalid_argument("clusters must be > 0");
+  clusters_.reserve(cfg.clusters);
+  for (std::uint32_t i = 0; i < cfg.clusters; ++i) {
+    clusters_.push_back(std::make_unique<MemorySystem>(cfg.per_cluster));
+  }
+  slice_bytes_ = clusters_.front()->capacity_bytes();
+}
+
+std::uint32_t ChannelClusterSystem::total_channels() const {
+  std::uint32_t n = 0;
+  for (const auto& c : clusters_) n += c->channel_count();
+  return n;
+}
+
+std::uint64_t ChannelClusterSystem::capacity_bytes() const {
+  return slice_bytes_ * clusters_.size();
+}
+
+std::uint32_t ChannelClusterSystem::cluster_of(std::uint64_t global_addr) const {
+  return static_cast<std::uint32_t>((global_addr / slice_bytes_) % clusters_.size());
+}
+
+bool ChannelClusterSystem::can_accept(std::uint64_t global_addr) const {
+  const auto& c = *clusters_[cluster_of(global_addr)];
+  return c.can_accept(global_addr % slice_bytes_);
+}
+
+void ChannelClusterSystem::submit(const ctrl::Request& r) {
+  ctrl::Request local = r;
+  local.addr = r.addr % slice_bytes_;
+  clusters_[cluster_of(r.addr)]->submit(local);
+}
+
+bool ChannelClusterSystem::any_pending() const {
+  for (const auto& c : clusters_) {
+    if (c->any_pending()) return true;
+  }
+  return false;
+}
+
+std::optional<ctrl::Completion> ChannelClusterSystem::process_next() {
+  // Serve the most-behind cluster, mirroring MemorySystem::process_next.
+  MemorySystem* best = nullptr;
+  for (auto& c : clusters_) {
+    if (!c->any_pending()) continue;
+    if (best == nullptr || c->max_horizon() < best->max_horizon()) best = c.get();
+  }
+  if (best == nullptr) return std::nullopt;
+  return best->process_next();
+}
+
+Time ChannelClusterSystem::drain() {
+  Time last = Time::zero();
+  while (auto c = process_next()) last = max(last, c->done);
+  return last;
+}
+
+void ChannelClusterSystem::finalize(Time end) {
+  for (auto& c : clusters_) c->finalize(end);
+}
+
+SystemStats ChannelClusterSystem::stats() const {
+  SystemStats s;
+  for (const auto& c : clusters_) {
+    const SystemStats cs = c->stats();
+    s.reads += cs.reads;
+    s.writes += cs.writes;
+    s.bytes += cs.bytes;
+    s.row_hits += cs.row_hits;
+    s.row_misses += cs.row_misses;
+    s.row_conflicts += cs.row_conflicts;
+    s.activates += cs.activates;
+    s.precharges += cs.precharges;
+    s.refreshes += cs.refreshes;
+    s.powerdown_entries += cs.powerdown_entries;
+    s.selfrefresh_entries += cs.selfrefresh_entries;
+    s.latency_ns += cs.latency_ns;
+  }
+  return s;
+}
+
+SystemPowerReport ChannelClusterSystem::power(Time window) const {
+  SystemPowerReport r;
+  for (const auto& c : clusters_) {
+    const SystemPowerReport cr = c->power(window);
+    r.dram += cr.dram;
+    r.dram_mw += cr.dram_mw;
+    r.interface_mw += cr.interface_mw;
+    r.total_mw += cr.total_mw;
+    r.per_channel.insert(r.per_channel.end(), cr.per_channel.begin(),
+                         cr.per_channel.end());
+  }
+  return r;
+}
+
+}  // namespace mcm::multichannel

@@ -1,0 +1,59 @@
+// Independent channel clusters (paper Section V, future-work feature): a
+// very large multi-channel memory divided into clusters of a reasonable
+// number of channels, each cluster serving one use case / memory master
+// independently. Each cluster is a complete MemorySystem with its own
+// interleaver; the cluster system partitions the global address space in
+// equal contiguous slices.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "multichannel/memory_system.hpp"
+
+namespace mcm::multichannel {
+
+struct ClusterConfig {
+  SystemConfig per_cluster;     // channels per cluster etc.
+  std::uint32_t clusters = 2;
+};
+
+class ChannelClusterSystem {
+ public:
+  explicit ChannelClusterSystem(const ClusterConfig& cfg);
+
+  [[nodiscard]] std::uint32_t cluster_count() const {
+    return static_cast<std::uint32_t>(clusters_.size());
+  }
+  [[nodiscard]] MemorySystem& cluster(std::uint32_t i) { return *clusters_[i]; }
+  [[nodiscard]] const MemorySystem& cluster(std::uint32_t i) const {
+    return *clusters_[i];
+  }
+
+  /// Total channels across clusters.
+  [[nodiscard]] std::uint32_t total_channels() const;
+  [[nodiscard]] std::uint64_t capacity_bytes() const;
+
+  /// Which cluster owns a global address (contiguous equal slices).
+  [[nodiscard]] std::uint32_t cluster_of(std::uint64_t global_addr) const;
+
+  /// Submit into the owning cluster with a cluster-local address.
+  [[nodiscard]] bool can_accept(std::uint64_t global_addr) const;
+  void submit(const ctrl::Request& r);
+
+  [[nodiscard]] bool any_pending() const;
+  std::optional<ctrl::Completion> process_next();
+  Time drain();
+  void finalize(Time end);
+
+  [[nodiscard]] SystemStats stats() const;
+  [[nodiscard]] SystemPowerReport power(Time window) const;
+
+ private:
+  std::vector<std::unique_ptr<MemorySystem>> clusters_;
+  std::uint64_t slice_bytes_;
+};
+
+}  // namespace mcm::multichannel

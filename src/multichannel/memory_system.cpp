@@ -1,0 +1,108 @@
+#include "multichannel/memory_system.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace mcm::multichannel {
+
+MemorySystem::MemorySystem(const SystemConfig& cfg)
+    : cfg_(cfg), interleaver_(cfg.channels, cfg.interleave_bytes) {
+  if (cfg.channels == 0) throw std::invalid_argument("channels must be > 0");
+  if (cfg.interleave_bytes < cfg.device.org.bytes_per_burst()) {
+    throw std::invalid_argument(
+        "interleave granularity below the minimum DRAM burst size");
+  }
+  channels_.reserve(cfg.channels);
+  for (std::uint32_t i = 0; i < cfg.channels; ++i) {
+    channels_.emplace_back(cfg.device, cfg.freq, cfg.mux, cfg.controller,
+                           cfg.interconnect, cfg.interface);
+  }
+}
+
+std::uint64_t MemorySystem::capacity_bytes() const {
+  return static_cast<std::uint64_t>(channels_.size()) *
+         cfg_.device.org.capacity_bytes();
+}
+
+double MemorySystem::peak_bandwidth_bytes_per_s() const {
+  const auto& d = channels_.front().controller().timing();
+  return static_cast<double>(channels_.size()) *
+         d.peak_bandwidth_bytes_per_s(cfg_.device.org);
+}
+
+void MemorySystem::submit(const ctrl::Request& r) {
+  const RoutedAddress routed = interleaver_.route(r.addr);
+  ctrl::Request local = r;
+  local.addr = routed.local;
+  channels_[routed.channel].enqueue(local);
+}
+
+bool MemorySystem::any_pending() const {
+  for (const auto& c : channels_) {
+    if (c.has_pending()) return true;
+  }
+  return false;
+}
+
+std::optional<ctrl::Completion> MemorySystem::process_next() {
+  channel::Channel* best = nullptr;
+  for (auto& c : channels_) {
+    if (!c.has_pending()) continue;
+    if (best == nullptr || c.horizon() < best->horizon()) best = &c;
+  }
+  if (best == nullptr) return std::nullopt;
+  return best->process_one();
+}
+
+Time MemorySystem::drain() {
+  Time last = Time::zero();
+  while (auto c = process_next()) last = max(last, c->done);
+  return last;
+}
+
+void MemorySystem::finalize(Time end) {
+  assert(!any_pending());
+  for (auto& c : channels_) c.finalize(end);
+}
+
+SystemStats MemorySystem::stats() const {
+  SystemStats s;
+  for (const auto& c : channels_) {
+    const auto& st = c.stats();
+    s.reads += st.reads;
+    s.writes += st.writes;
+    s.bytes += st.bytes;
+    s.row_hits += st.row_hits;
+    s.row_misses += st.row_misses;
+    s.row_conflicts += st.row_conflicts;
+    s.activates += st.activates;
+    s.precharges += st.precharges;
+    s.refreshes += st.refreshes;
+    s.powerdown_entries += c.controller().ledger().n_powerdown_entries;
+    s.selfrefresh_entries += c.controller().ledger().n_selfrefresh_entries;
+    s.latency_ns += st.latency_ns;
+  }
+  return s;
+}
+
+SystemPowerReport MemorySystem::power(Time window) const {
+  SystemPowerReport r;
+  r.per_channel.reserve(channels_.size());
+  for (const auto& c : channels_) {
+    auto p = c.power(window);
+    r.dram += p.dram;
+    r.dram_mw += p.dram_avg_mw;
+    r.interface_mw += p.interface_mw;
+    r.total_mw += p.total_mw;
+    r.per_channel.push_back(std::move(p));
+  }
+  return r;
+}
+
+Time MemorySystem::max_horizon() const {
+  Time t = Time::zero();
+  for (const auto& c : channels_) t = max(t, c.horizon());
+  return t;
+}
+
+}  // namespace mcm::multichannel

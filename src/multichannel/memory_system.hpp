@@ -1,0 +1,115 @@
+// The multi-channel memory subsystem of paper Fig. 2: M parallel channels,
+// each a memory controller + DRAM interconnect + bank cluster, fed through
+// the Table II address interleaver. This is the library's main entry point
+// for memory simulation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "channel/channel.hpp"
+#include "common/units.hpp"
+#include "controller/request.hpp"
+#include "multichannel/interleaver.hpp"
+
+namespace mcm::multichannel {
+
+struct SystemConfig {
+  dram::DeviceSpec device = dram::DeviceSpec::next_gen_mobile_ddr();
+  Frequency freq{400.0};
+  std::uint32_t channels = 4;
+  std::uint32_t interleave_bytes = 16;  // Table II minimum practical granularity
+  ctrl::AddressMux mux = ctrl::AddressMux::kRBC;
+  ctrl::ControllerConfig controller;
+  channel::InterconnectSpec interconnect;
+  channel::InterfacePowerSpec interface;
+};
+
+struct SystemPowerReport {
+  std::vector<channel::ChannelPowerReport> per_channel;
+  dram::EnergyBreakdown dram;  // summed over channels
+  double dram_mw = 0;
+  double interface_mw = 0;
+  double total_mw = 0;
+};
+
+struct SystemStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t row_hits = 0;
+  std::uint64_t row_misses = 0;
+  std::uint64_t row_conflicts = 0;
+  std::uint64_t activates = 0;
+  std::uint64_t precharges = 0;
+  std::uint64_t refreshes = 0;
+  std::uint64_t powerdown_entries = 0;
+  std::uint64_t selfrefresh_entries = 0;
+  Accumulator latency_ns;  // per-request arrival -> data end, all channels
+
+  [[nodiscard]] std::uint64_t accesses() const { return reads + writes; }
+  [[nodiscard]] double row_hit_rate() const {
+    const auto n = accesses();
+    return n > 0 ? static_cast<double>(row_hits) / static_cast<double>(n) : 0.0;
+  }
+};
+
+class MemorySystem {
+ public:
+  explicit MemorySystem(const SystemConfig& cfg);
+
+  [[nodiscard]] const SystemConfig& config() const { return cfg_; }
+  [[nodiscard]] std::uint32_t channel_count() const {
+    return static_cast<std::uint32_t>(channels_.size());
+  }
+  [[nodiscard]] const channel::Channel& channel(std::uint32_t i) const {
+    return channels_[i];
+  }
+  [[nodiscard]] const Interleaver& interleaver() const { return interleaver_; }
+
+  /// Total byte capacity across channels.
+  [[nodiscard]] std::uint64_t capacity_bytes() const;
+
+  /// Aggregate peak data bandwidth (bytes/s).
+  [[nodiscard]] double peak_bandwidth_bytes_per_s() const;
+
+  /// Which channel a global byte address routes to.
+  [[nodiscard]] std::uint32_t channel_of(std::uint64_t global_addr) const {
+    return interleaver_.route(global_addr).channel;
+  }
+
+  /// True when the target channel queue has room for this request.
+  [[nodiscard]] bool can_accept(std::uint64_t global_addr) const {
+    return channels_[channel_of(global_addr)].can_accept();
+  }
+
+  /// Route and enqueue. Precondition: can_accept(r.addr).
+  void submit(const ctrl::Request& r);
+
+  [[nodiscard]] bool any_pending() const;
+
+  /// Serve one request on the most-behind pending channel (keeps the
+  /// channels' time horizons advancing together). Returns nullopt when
+  /// nothing is pending.
+  std::optional<ctrl::Completion> process_next();
+
+  /// Drain every queued request; returns the last completion time.
+  Time drain();
+
+  void finalize(Time end);
+
+  [[nodiscard]] SystemStats stats() const;
+  [[nodiscard]] SystemPowerReport power(Time window) const;
+
+  /// Latest horizon across channels (time committed so far).
+  [[nodiscard]] Time max_horizon() const;
+
+ private:
+  SystemConfig cfg_;
+  Interleaver interleaver_;
+  std::vector<channel::Channel> channels_;
+};
+
+}  // namespace mcm::multichannel

@@ -1,0 +1,360 @@
+#include "pixel/encoder.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "pixel/transform.hpp"
+
+namespace mcm::pixel {
+namespace {
+
+/// Sample a plane at half-pel coordinates (x2, y2 are in half-pel units):
+/// bilinear average of the 1, 2 or 4 covered integer positions.
+int sample_halfpel(const ImageU8& plane, std::int64_t x2, std::int64_t y2) {
+  const std::int64_t x0 = x2 >> 1;
+  const std::int64_t y0 = y2 >> 1;
+  const bool hx = (x2 & 1) != 0;
+  const bool hy = (y2 & 1) != 0;
+  if (!hx && !hy) return plane.clamped(x0, y0);
+  if (hx && !hy) return (plane.clamped(x0, y0) + plane.clamped(x0 + 1, y0) + 1) / 2;
+  if (!hx) return (plane.clamped(x0, y0) + plane.clamped(x0, y0 + 1) + 1) / 2;
+  return (plane.clamped(x0, y0) + plane.clamped(x0 + 1, y0) +
+          plane.clamped(x0, y0 + 1) + plane.clamped(x0 + 1, y0 + 1) + 2) /
+         4;
+}
+
+/// SAD between a 16x16 block of `cur` at (x, y) and `ref` at a half-pel
+/// offset (dx2, dy2 in half-pel units).
+std::uint32_t block_sad_halfpel(const ImageU8& cur, const ImageU8& ref,
+                                std::uint32_t x, std::uint32_t y, std::int64_t dx2,
+                                std::int64_t dy2) {
+  std::uint32_t acc = 0;
+  for (std::uint32_t r = 0; r < 16; ++r) {
+    for (std::uint32_t c = 0; c < 16; ++c) {
+      const int a = cur.at(x + c, y + r);
+      const int b = sample_halfpel(ref, 2 * (static_cast<std::int64_t>(x) + c) + dx2,
+                                   2 * (static_cast<std::int64_t>(y) + r) + dy2);
+      acc += static_cast<std::uint32_t>(std::abs(a - b));
+    }
+  }
+  return acc;
+}
+
+/// Transform-code one 4x4 block of residuals in place; returns coded bits
+/// and writes the reconstructed residual back into `res`.
+std::uint64_t code_block4(int res[16], std::int32_t step_q8) {
+  int coef[16];
+  hadamard4_forward(res, coef);
+  std::uint64_t bits = 1;  // coded-block flag (CBP-style)
+  bool any = false;
+  for (int i = 0; i < 16; ++i) {
+    const int level = quantize(coef[i], step_q8);
+    if (level != 0) {
+      any = true;
+      bits += golomb_bits_signed(level) + 1;  // value + significance
+    }
+    coef[i] = dequantize(level, step_q8);
+  }
+  if (!any) {
+    // All-zero block: the flag alone; reconstruction is the prediction.
+    for (int i = 0; i < 16; ++i) res[i] = 0;
+    return 1;
+  }
+  hadamard4_inverse(coef, res);
+  return bits;
+}
+
+/// Code a WxH plane region: 4x4 blocks, prediction provided per pixel by
+/// `pred`, output reconstruction written via `emit`.
+template <typename PredFn, typename CurFn, typename EmitFn>
+std::uint64_t code_region(std::uint32_t w, std::uint32_t h, std::int32_t step_q8,
+                          PredFn pred, CurFn cur, EmitFn emit) {
+  std::uint64_t bits = 0;
+  for (std::uint32_t by = 0; by < h; by += 4) {
+    for (std::uint32_t bx = 0; bx < w; bx += 4) {
+      int res[16];
+      for (std::uint32_t r = 0; r < 4; ++r) {
+        for (std::uint32_t c = 0; c < 4; ++c) {
+          res[4 * r + c] = cur(bx + c, by + r) - pred(bx + c, by + r);
+        }
+      }
+      bits += code_block4(res, step_q8);
+      for (std::uint32_t r = 0; r < 4; ++r) {
+        for (std::uint32_t c = 0; c < 4; ++c) {
+          emit(bx + c, by + r, clamp_u8(pred(bx + c, by + r) + res[4 * r + c]));
+        }
+      }
+    }
+  }
+  return bits;
+}
+
+/// Intra predictors over the reconstructed neighborhood of a WxW block at
+/// (bx, by) in `plane`. Falls back to 128 when a needed border is missing.
+struct IntraPredictor {
+  const ImageU8& plane;
+  std::uint32_t bx, by, size;
+
+  [[nodiscard]] int dc() const {
+    int acc = 0, n = 0;
+    if (by > 0) {
+      for (std::uint32_t c = 0; c < size; ++c) acc += plane.at(bx + c, by - 1), ++n;
+    }
+    if (bx > 0) {
+      for (std::uint32_t r = 0; r < size; ++r) acc += plane.at(bx - 1, by + r), ++n;
+    }
+    return n > 0 ? (acc + n / 2) / n : 128;
+  }
+  [[nodiscard]] int vertical(std::uint32_t x) const {
+    return by > 0 ? plane.at(bx + x, by - 1) : 128;
+  }
+  [[nodiscard]] int horizontal(std::uint32_t y) const {
+    return bx > 0 ? plane.at(bx - 1, by + y) : 128;
+  }
+};
+
+}  // namespace
+
+ToyEncoder::ToyEncoder(const EncoderConfig& cfg, std::uint32_t width,
+                       std::uint32_t height)
+    : cfg_(cfg), width_(width), height_(height), qp_(cfg.qp) {
+  assert(width % 16 == 0 && height % 16 == 0);
+}
+
+ToyEncoder::MbDecision ToyEncoder::search_macroblock(const Yuv420Image& input,
+                                                     std::uint32_t mb_x,
+                                                     std::uint32_t mb_y,
+                                                     MemoryTracer* tracer) const {
+  MbDecision best;
+  best.cost = std::numeric_limits<std::uint64_t>::max();
+  std::uint32_t best_sad = 0;
+  const int range = cfg_.search_range;
+
+  // Input macroblock read (16 luma rows).
+  if (tracer != nullptr) {
+    for (std::uint32_t r = 0; r < 16; ++r) {
+      tracer->access(cfg_.input_base + (static_cast<std::uint64_t>(mb_y + r) * width_ + mb_x),
+                     16, false);
+    }
+  }
+
+  const auto trace_candidate = [&](std::uint32_t ref_idx, int dx, int dy) {
+    if (tracer == nullptr) return;
+    const std::uint64_t ref_plane = cfg_.ref_base + ref_idx * cfg_.ref_stride;
+    const std::int64_t rx = std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(mb_x) + dx, 0, width_ - 16);
+    for (std::uint32_t r = 0; r < 16; ++r) {
+      const std::int64_t ry = std::clamp<std::int64_t>(
+          static_cast<std::int64_t>(mb_y) + r + dy, 0, height_ - 1);
+      tracer->access(ref_plane + static_cast<std::uint64_t>(ry) * width_ +
+                         static_cast<std::uint64_t>(rx),
+                     16, false);
+    }
+  };
+
+  for (std::uint32_t ref_idx = 0; ref_idx < refs_.size(); ++ref_idx) {
+    const ImageU8& ref_y = refs_[ref_idx].y;
+    for (int dy = -range; dy <= range; ++dy) {
+      for (int dx = -range; dx <= range; ++dx) {
+        trace_candidate(ref_idx, dx, dy);
+        const std::uint32_t sad =
+            block_sad_halfpel(input.y, ref_y, mb_x, mb_y, 2 * dx, 2 * dy);
+        const std::uint64_t mv_bits =
+            golomb_bits_signed(dx) + golomb_bits_signed(dy) +
+            golomb_bits_unsigned(ref_idx);
+        const std::uint64_t cost =
+            sad + static_cast<std::uint64_t>(cfg_.lambda) * mv_bits;
+        if (cost < best.cost) {
+          best.cost = cost;
+          best.mv = MotionVector{dx, dy};
+          best.ref = ref_idx;
+          best_sad = sad;
+        }
+      }
+    }
+  }
+
+  // Half-pel refinement around the integer winner.
+  if (cfg_.half_pel && !refs_.empty()) {
+    const ImageU8& ref_y = refs_[best.ref].y;
+    const std::int64_t cx2 = 2 * best.mv.dx;
+    const std::int64_t cy2 = 2 * best.mv.dy;
+    std::uint32_t refined_sad = best_sad;
+    std::int64_t rx2 = cx2, ry2 = cy2;
+    for (std::int64_t dy2 = cy2 - 1; dy2 <= cy2 + 1; ++dy2) {
+      for (std::int64_t dx2 = cx2 - 1; dx2 <= cx2 + 1; ++dx2) {
+        if (dx2 == cx2 && dy2 == cy2) continue;
+        trace_candidate(best.ref, static_cast<int>(dx2 / 2),
+                        static_cast<int>(dy2 / 2));
+        const std::uint32_t sad =
+            block_sad_halfpel(input.y, ref_y, mb_x, mb_y, dx2, dy2);
+        if (sad < refined_sad) {
+          refined_sad = sad;
+          rx2 = dx2;
+          ry2 = dy2;
+        }
+      }
+    }
+    best.mv = MotionVector{static_cast<int>(rx2 >> 1), static_cast<int>(ry2 >> 1)};
+    best.half_x = (rx2 & 1) != 0;
+    best.half_y = (ry2 & 1) != 0;
+    // Keep the cost consistent for the skip decision.
+    best.cost = refined_sad + (best.cost - best_sad);
+  }
+  return best;
+}
+
+ToyEncoder::IntraMode ToyEncoder::choose_intra_mode(const Yuv420Image& input,
+                                                    const Yuv420Image& recon,
+                                                    std::uint32_t mb_x,
+                                                    std::uint32_t mb_y) const {
+  const IntraPredictor p{recon.y, mb_x, mb_y, 16};
+  std::uint64_t sad_dc = 0, sad_v = 0, sad_h = 0;
+  const int dc = p.dc();
+  for (std::uint32_t r = 0; r < 16; ++r) {
+    for (std::uint32_t c = 0; c < 16; ++c) {
+      const int cur = input.y.at(mb_x + c, mb_y + r);
+      sad_dc += static_cast<std::uint64_t>(std::abs(cur - dc));
+      sad_v += static_cast<std::uint64_t>(std::abs(cur - p.vertical(c)));
+      sad_h += static_cast<std::uint64_t>(std::abs(cur - p.horizontal(r)));
+    }
+  }
+  if (sad_v < sad_dc && sad_v <= sad_h) return IntraMode::kVertical;
+  if (sad_h < sad_dc && sad_h < sad_v) return IntraMode::kHorizontal;
+  return IntraMode::kDc;
+}
+
+std::uint64_t ToyEncoder::code_macroblock(const Yuv420Image& input,
+                                          const MbDecision& dec, IntraMode intra,
+                                          std::uint32_t mb_x, std::uint32_t mb_y,
+                                          Yuv420Image& recon,
+                                          MemoryTracer* tracer) const {
+  const std::int32_t step = qstep_q8(qp_);
+  const bool inter = !refs_.empty();
+  const Yuv420Image* ref = inter ? &refs_[dec.ref] : nullptr;
+  std::uint64_t bits = 10;  // macroblock header estimate
+  if (inter) {
+    bits += golomb_bits_signed(dec.mv.dx) + golomb_bits_signed(dec.mv.dy) +
+            golomb_bits_unsigned(dec.ref) + 2;  // + half-pel flags
+  } else {
+    bits += 3;  // intra mode
+  }
+
+  // Luma 16x16.
+  const IntraPredictor luma_intra{recon.y, mb_x, mb_y, 16};
+  const int luma_dc = inter ? 0 : luma_intra.dc();
+  bits += code_region(
+      16, 16, step,
+      [&](std::uint32_t x, std::uint32_t y) -> int {
+        if (inter) {
+          const std::int64_t sx = 2 * (static_cast<std::int64_t>(mb_x + x) + dec.mv.dx) +
+                                  (dec.half_x ? 1 : 0);
+          const std::int64_t sy = 2 * (static_cast<std::int64_t>(mb_y + y) + dec.mv.dy) +
+                                  (dec.half_y ? 1 : 0);
+          return sample_halfpel(ref->y, sx, sy);
+        }
+        switch (intra) {
+          case IntraMode::kVertical: return luma_intra.vertical(x);
+          case IntraMode::kHorizontal: return luma_intra.horizontal(y);
+          case IntraMode::kDc: return luma_dc;
+        }
+        return 128;
+      },
+      [&](std::uint32_t x, std::uint32_t y) -> int {
+        return input.y.at(mb_x + x, mb_y + y);
+      },
+      [&](std::uint32_t x, std::uint32_t y, std::uint8_t v) {
+        recon.y.at(mb_x + x, mb_y + y) = v;
+      });
+
+  // Chroma 8x8 x2 (motion vector halved; intra uses DC of chroma borders).
+  const auto code_chroma = [&](const ImageU8& cur_c, const ImageU8* ref_c,
+                               ImageU8& out_c) {
+    const std::uint32_t cx = mb_x / 2;
+    const std::uint32_t cy = mb_y / 2;
+    const IntraPredictor chroma_intra{out_c, cx, cy, 8};
+    const int chroma_dc = inter ? 0 : chroma_intra.dc();
+    bits += code_region(
+        8, 8, step,
+        [&](std::uint32_t x, std::uint32_t y) -> int {
+          if (!inter) return chroma_dc;
+          return ref_c->clamped(
+              static_cast<std::int64_t>(cx + x) + dec.mv.dx / 2,
+              static_cast<std::int64_t>(cy + y) + dec.mv.dy / 2);
+        },
+        [&](std::uint32_t x, std::uint32_t y) -> int {
+          return cur_c.at(cx + x, cy + y);
+        },
+        [&](std::uint32_t x, std::uint32_t y, std::uint8_t v) {
+          out_c.at(cx + x, cy + y) = v;
+        });
+  };
+  code_chroma(input.u, inter ? &ref->u : nullptr, recon.u);
+  code_chroma(input.v, inter ? &ref->v : nullptr, recon.v);
+
+  // Reconstruction write-back: 16 luma rows + 2 chroma blocks.
+  if (tracer != nullptr) {
+    const std::uint64_t luma_bytes = static_cast<std::uint64_t>(width_) * height_;
+    for (std::uint32_t r = 0; r < 16; ++r) {
+      tracer->access(cfg_.recon_base + (static_cast<std::uint64_t>(mb_y + r) * width_ + mb_x),
+                     16, true);
+    }
+    tracer->access(cfg_.recon_base + luma_bytes +
+                       (static_cast<std::uint64_t>(mb_y / 2) * (width_ / 2) + mb_x / 2),
+                   64, true);
+    tracer->access(cfg_.recon_base + luma_bytes + luma_bytes / 4 +
+                       (static_cast<std::uint64_t>(mb_y / 2) * (width_ / 2) + mb_x / 2),
+                   64, true);
+  }
+  return bits;
+}
+
+void ToyEncoder::update_rate_control(std::uint64_t frame_bits) {
+  if (cfg_.target_bitrate_kbps == 0) return;
+  const double target =
+      cfg_.target_bitrate_kbps * 1000.0 / std::max(1.0, cfg_.target_fps);
+  if (target <= 0.0 || frame_bits == 0) return;
+  const double ratio = static_cast<double>(frame_bits) / target;
+  const int delta = static_cast<int>(std::lround(3.0 * std::log2(ratio)));
+  qp_ = std::clamp(qp_ + std::clamp(delta, -4, 4), cfg_.min_qp, cfg_.max_qp);
+}
+
+FrameStats ToyEncoder::encode(const Yuv420Image& input, MemoryTracer* tracer) {
+  assert(input.width() == width_ && input.height() == height_);
+  Yuv420Image recon(width_, height_);
+  FrameStats stats;
+  stats.qp_used = qp_;
+  double mv_acc = 0;
+  std::uint64_t mb_count = 0;
+
+  for (std::uint32_t mb_y = 0; mb_y < height_; mb_y += 16) {
+    for (std::uint32_t mb_x = 0; mb_x < width_; mb_x += 16) {
+      ++mb_count;
+      MbDecision dec;
+      IntraMode intra = IntraMode::kDc;
+      if (refs_.empty()) {
+        ++stats.intra_mbs;
+        intra = choose_intra_mode(input, recon, mb_x, mb_y);
+      } else {
+        dec = search_macroblock(input, mb_x, mb_y, tracer);
+        mv_acc += (std::abs(dec.mv.dx) + std::abs(dec.mv.dy)) / 2.0;
+        // Skip decision: perfectly predicted macroblocks cost one bit.
+        if (dec.cost == 0) ++stats.skipped_mbs;
+      }
+      stats.bits += code_macroblock(input, dec, intra, mb_x, mb_y, recon, tracer);
+    }
+  }
+
+  stats.psnr_y = plane_psnr(input.y, recon.y);
+  stats.mean_abs_mv = mb_count > 0 ? mv_acc / static_cast<double>(mb_count) : 0.0;
+  update_rate_control(stats.bits);
+
+  refs_.push_front(std::move(recon));
+  while (refs_.size() > cfg_.max_ref_frames) refs_.pop_back();
+  return stats;
+}
+
+}  // namespace mcm::pixel

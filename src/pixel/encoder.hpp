@@ -1,0 +1,110 @@
+// Toy H.264-style encoder: full-search motion estimation over multiple
+// reference frames, Hadamard transform + QP quantization of the residual,
+// exp-Golomb bit accounting, and in-loop reconstruction. Not a compliant
+// codec - a functional stand-in that (a) produces realistic per-macroblock
+// memory behaviour for the cache/bandwidth experiments and (b) lets tests
+// validate the paper's encoder-traffic model against actual code.
+//
+// Memory instrumentation: pass a MemoryTracer and every reference-window
+// fetch, input read, and reconstruction write is reported against a virtual
+// address map (one contiguous plane per buffer).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "pixel/image.hpp"
+#include "pixel/stages.hpp"
+
+namespace mcm::pixel {
+
+class MemoryTracer {
+ public:
+  virtual ~MemoryTracer() = default;
+  virtual void access(std::uint64_t addr, std::uint32_t bytes, bool is_write) = 0;
+};
+
+struct EncoderConfig {
+  int qp = 28;
+  int search_range = 8;            // +/- pixels, full search
+  std::uint32_t max_ref_frames = 4;
+  int lambda = 4;                  // rate weight in the ME cost (SAD + lambda*mvbits)
+  bool half_pel = false;           // refine the best integer MV at half-pel
+
+  /// Target stream bitrate in kbit/s (0 = constant QP). When set, the QP
+  /// adapts per frame to track bitrate/fps, clamped to [min_qp, max_qp].
+  std::uint32_t target_bitrate_kbps = 0;
+  double target_fps = 30.0;
+  int min_qp = 10;
+  int max_qp = 44;
+
+  /// Virtual address map for tracing.
+  std::uint64_t input_base = 0x1000'0000;
+  std::uint64_t recon_base = 0x2000'0000;
+  std::uint64_t ref_base = 0x3000'0000;
+  std::uint64_t ref_stride = 0x0100'0000;  // address distance between refs
+};
+
+struct FrameStats {
+  std::uint64_t bits = 0;       // coded size estimate
+  double psnr_y = 0;            // reconstruction quality vs input luma
+  std::uint64_t skipped_mbs = 0;
+  std::uint64_t intra_mbs = 0;  // first frame / no reference
+  double mean_abs_mv = 0;       // average |mv| component, integer pixels
+  int qp_used = 0;              // QP this frame was coded with (rate control)
+};
+
+class ToyEncoder {
+ public:
+  ToyEncoder(const EncoderConfig& cfg, std::uint32_t width, std::uint32_t height);
+
+  /// Encode one 4:2:0 frame; returns coded statistics and updates the
+  /// reference list with the reconstructed frame.
+  FrameStats encode(const Yuv420Image& input, MemoryTracer* tracer = nullptr);
+
+  [[nodiscard]] const Yuv420Image& last_recon() const { return refs_.front(); }
+  [[nodiscard]] std::size_t reference_count() const { return refs_.size(); }
+  [[nodiscard]] const EncoderConfig& config() const { return cfg_; }
+
+  /// Current QP (constant, or the rate controller's last decision).
+  [[nodiscard]] int current_qp() const { return qp_; }
+
+ private:
+  struct MbDecision {
+    MotionVector mv;            // integer-pel component
+    bool half_x = false;        // +1/2 pel refinements
+    bool half_y = false;
+    std::uint32_t ref = 0;
+    std::uint64_t cost = 0;
+  };
+
+  enum class IntraMode : std::uint8_t { kDc, kVertical, kHorizontal };
+
+  [[nodiscard]] MbDecision search_macroblock(const Yuv420Image& input,
+                                             std::uint32_t mb_x, std::uint32_t mb_y,
+                                             MemoryTracer* tracer) const;
+
+  /// Pick the intra prediction mode from the reconstructed neighbors.
+  [[nodiscard]] IntraMode choose_intra_mode(const Yuv420Image& input,
+                                            const Yuv420Image& recon,
+                                            std::uint32_t mb_x,
+                                            std::uint32_t mb_y) const;
+
+  /// Transform/quantize/reconstruct one 16x16 luma + 8x8 chroma macroblock;
+  /// returns coded bits.
+  std::uint64_t code_macroblock(const Yuv420Image& input, const MbDecision& dec,
+                                IntraMode intra, std::uint32_t mb_x,
+                                std::uint32_t mb_y, Yuv420Image& recon,
+                                MemoryTracer* tracer) const;
+
+  void update_rate_control(std::uint64_t frame_bits);
+
+  EncoderConfig cfg_;
+  std::uint32_t width_;
+  std::uint32_t height_;
+  int qp_;
+  std::deque<Yuv420Image> refs_;  // most recent first
+};
+
+}  // namespace mcm::pixel

@@ -1,0 +1,27 @@
+#include "pixel/image.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace mcm::pixel {
+
+double plane_mse(const ImageU8& a, const ImageU8& b) {
+  assert(a.width() == b.width() && a.height() == b.height());
+  if (a.empty()) return 0.0;
+  double acc = 0.0;
+  const auto& da = a.data();
+  const auto& db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    const double d = static_cast<double>(da[i]) - static_cast<double>(db[i]);
+    acc += d * d;
+  }
+  return acc / static_cast<double>(da.size());
+}
+
+double plane_psnr(const ImageU8& a, const ImageU8& b) {
+  const double mse = plane_mse(a, b);
+  if (mse <= 1e-12) return 99.0;
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+}  // namespace mcm::pixel

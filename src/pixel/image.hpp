@@ -1,0 +1,95 @@
+// Planar image containers for the functional pixel pipeline. Single-channel
+// images with explicit geometry plus the packed-plane structs the Fig. 1
+// stages exchange (Bayer mosaic, YUV 4:2:2 / 4:2:0, planar RGB888).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace mcm::pixel {
+
+template <typename T>
+class Image {
+ public:
+  Image() = default;
+  Image(std::uint32_t width, std::uint32_t height, T fill = T{})
+      : width_(width), height_(height), data_(static_cast<std::size_t>(width) * height, fill) {}
+
+  [[nodiscard]] std::uint32_t width() const { return width_; }
+  [[nodiscard]] std::uint32_t height() const { return height_; }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+  [[nodiscard]] std::size_t size_bytes() const { return data_.size() * sizeof(T); }
+
+  [[nodiscard]] T& at(std::uint32_t x, std::uint32_t y) {
+    assert(x < width_ && y < height_);
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
+  [[nodiscard]] const T& at(std::uint32_t x, std::uint32_t y) const {
+    assert(x < width_ && y < height_);
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
+
+  /// Clamp-to-edge access for filters.
+  [[nodiscard]] T clamped(std::int64_t x, std::int64_t y) const {
+    const auto cx = static_cast<std::uint32_t>(
+        x < 0 ? 0 : (x >= width_ ? width_ - 1 : x));
+    const auto cy = static_cast<std::uint32_t>(
+        y < 0 ? 0 : (y >= height_ ? height_ - 1 : y));
+    return at(cx, cy);
+  }
+
+  [[nodiscard]] const std::vector<T>& data() const { return data_; }
+  [[nodiscard]] std::vector<T>& data() { return data_; }
+
+ private:
+  std::uint32_t width_ = 0;
+  std::uint32_t height_ = 0;
+  std::vector<T> data_;
+};
+
+using ImageU8 = Image<std::uint8_t>;
+
+/// Planar RGB, full resolution per plane.
+struct Rgb888Image {
+  ImageU8 r, g, b;
+
+  Rgb888Image() = default;
+  Rgb888Image(std::uint32_t w, std::uint32_t h) : r(w, h), g(w, h), b(w, h) {}
+  [[nodiscard]] std::uint32_t width() const { return r.width(); }
+  [[nodiscard]] std::uint32_t height() const { return r.height(); }
+};
+
+/// YUV 4:2:2 - chroma at half horizontal resolution.
+struct Yuv422Image {
+  ImageU8 y, u, v;
+
+  Yuv422Image() = default;
+  Yuv422Image(std::uint32_t w, std::uint32_t h)
+      : y(w, h), u(w / 2, h), v(w / 2, h) {}
+  [[nodiscard]] std::uint32_t width() const { return y.width(); }
+  [[nodiscard]] std::uint32_t height() const { return y.height(); }
+};
+
+/// YUV 4:2:0 - chroma at half resolution in both dimensions (encoder domain).
+struct Yuv420Image {
+  ImageU8 y, u, v;
+
+  Yuv420Image() = default;
+  Yuv420Image(std::uint32_t w, std::uint32_t h)
+      : y(w, h), u(w / 2, h / 2), v(w / 2, h / 2) {}
+  [[nodiscard]] std::uint32_t width() const { return y.width(); }
+  [[nodiscard]] std::uint32_t height() const { return y.height(); }
+};
+
+[[nodiscard]] inline std::uint8_t clamp_u8(int v) {
+  return static_cast<std::uint8_t>(v < 0 ? 0 : (v > 255 ? 255 : v));
+}
+
+/// Mean squared error between two same-sized planes.
+[[nodiscard]] double plane_mse(const ImageU8& a, const ImageU8& b);
+
+/// Luma PSNR in dB (infinity-capped at 99 dB for identical planes).
+[[nodiscard]] double plane_psnr(const ImageU8& a, const ImageU8& b);
+
+}  // namespace mcm::pixel

@@ -1,0 +1,268 @@
+#include "pixel/stages.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+namespace mcm::pixel {
+
+ImageU8 denoise_box3(const ImageU8& bayer) {
+  ImageU8 out(bayer.width(), bayer.height());
+  // Border handling must preserve Bayer parity: reflect by whole color
+  // periods (2 sites) so an R site never averages a G neighbor.
+  const auto reflect2 = [](std::int64_t v, std::int64_t n) {
+    while (v < 0) v += 2;
+    while (v >= n) v -= 2;
+    return static_cast<std::uint32_t>(v);
+  };
+  for (std::uint32_t y = 0; y < bayer.height(); ++y) {
+    for (std::uint32_t x = 0; x < bayer.width(); ++x) {
+      // Same-color neighbors in a Bayer mosaic sit two sites away.
+      int acc = 0;
+      for (int dy = -2; dy <= 2; dy += 2) {
+        for (int dx = -2; dx <= 2; dx += 2) {
+          acc += bayer.at(reflect2(static_cast<std::int64_t>(x) + dx, bayer.width()),
+                          reflect2(static_cast<std::int64_t>(y) + dy, bayer.height()));
+        }
+      }
+      out.at(x, y) = static_cast<std::uint8_t>((acc + 4) / 9);
+    }
+  }
+  return out;
+}
+
+Rgb888Image demosaic_bilinear(const ImageU8& bayer) {
+  const std::uint32_t w = bayer.width();
+  const std::uint32_t h = bayer.height();
+  Rgb888Image out(w, h);
+
+  const auto avg2 = [](int a, int b) { return (a + b + 1) / 2; };
+  const auto avg4 = [](int a, int b, int c, int d) { return (a + b + c + d + 2) / 4; };
+
+  for (std::uint32_t y = 0; y < h; ++y) {
+    for (std::uint32_t x = 0; x < w; ++x) {
+      const auto sx = static_cast<std::int64_t>(x);
+      const auto sy = static_cast<std::int64_t>(y);
+      const bool even_row = (y % 2) == 0;
+      const bool even_col = (x % 2) == 0;
+      int r, g, b;
+      if (even_row && even_col) {  // R site
+        r = bayer.at(x, y);
+        g = avg4(bayer.clamped(sx - 1, sy), bayer.clamped(sx + 1, sy),
+                 bayer.clamped(sx, sy - 1), bayer.clamped(sx, sy + 1));
+        b = avg4(bayer.clamped(sx - 1, sy - 1), bayer.clamped(sx + 1, sy - 1),
+                 bayer.clamped(sx - 1, sy + 1), bayer.clamped(sx + 1, sy + 1));
+      } else if (!even_row && !even_col) {  // B site
+        b = bayer.at(x, y);
+        g = avg4(bayer.clamped(sx - 1, sy), bayer.clamped(sx + 1, sy),
+                 bayer.clamped(sx, sy - 1), bayer.clamped(sx, sy + 1));
+        r = avg4(bayer.clamped(sx - 1, sy - 1), bayer.clamped(sx + 1, sy - 1),
+                 bayer.clamped(sx - 1, sy + 1), bayer.clamped(sx + 1, sy + 1));
+      } else {  // G site
+        g = bayer.at(x, y);
+        if (even_row) {  // G between R (horizontally) and B (vertically)
+          r = avg2(bayer.clamped(sx - 1, sy), bayer.clamped(sx + 1, sy));
+          b = avg2(bayer.clamped(sx, sy - 1), bayer.clamped(sx, sy + 1));
+        } else {
+          b = avg2(bayer.clamped(sx - 1, sy), bayer.clamped(sx + 1, sy));
+          r = avg2(bayer.clamped(sx, sy - 1), bayer.clamped(sx, sy + 1));
+        }
+      }
+      out.r.at(x, y) = clamp_u8(r);
+      out.g.at(x, y) = clamp_u8(g);
+      out.b.at(x, y) = clamp_u8(b);
+    }
+  }
+  return out;
+}
+
+Yuv422Image rgb_to_yuv422(const Rgb888Image& rgb) {
+  const std::uint32_t w = rgb.width();
+  const std::uint32_t h = rgb.height();
+  Yuv422Image out(w, h);
+  for (std::uint32_t y = 0; y < h; ++y) {
+    for (std::uint32_t x = 0; x < w; ++x) {
+      const int r = rgb.r.at(x, y), g = rgb.g.at(x, y), b = rgb.b.at(x, y);
+      out.y.at(x, y) = clamp_u8(((66 * r + 129 * g + 25 * b + 128) >> 8) + 16);
+    }
+    for (std::uint32_t cx = 0; cx < w / 2; ++cx) {
+      // Average the chroma of the two covered pixels.
+      int ru = 0, gu = 0, bu = 0;
+      for (std::uint32_t k = 0; k < 2; ++k) {
+        ru += rgb.r.at(cx * 2 + k, y);
+        gu += rgb.g.at(cx * 2 + k, y);
+        bu += rgb.b.at(cx * 2 + k, y);
+      }
+      ru /= 2;
+      gu /= 2;
+      bu /= 2;
+      out.u.at(cx, y) = clamp_u8(((-38 * ru - 74 * gu + 112 * bu + 128) >> 8) + 128);
+      out.v.at(cx, y) = clamp_u8(((112 * ru - 94 * gu - 18 * bu + 128) >> 8) + 128);
+    }
+  }
+  return out;
+}
+
+Rgb888Image yuv422_to_rgb(const Yuv422Image& yuv) {
+  const std::uint32_t w = yuv.width();
+  const std::uint32_t h = yuv.height();
+  Rgb888Image out(w, h);
+  for (std::uint32_t y = 0; y < h; ++y) {
+    for (std::uint32_t x = 0; x < w; ++x) {
+      const int c = 298 * (yuv.y.at(x, y) - 16);
+      const int d = yuv.u.at(std::min(x / 2, yuv.u.width() - 1), y) - 128;
+      const int e = yuv.v.at(std::min(x / 2, yuv.v.width() - 1), y) - 128;
+      out.r.at(x, y) = clamp_u8((c + 409 * e + 128) >> 8);
+      out.g.at(x, y) = clamp_u8((c - 100 * d - 208 * e + 128) >> 8);
+      out.b.at(x, y) = clamp_u8((c + 516 * d + 128) >> 8);
+    }
+  }
+  return out;
+}
+
+Yuv420Image yuv422_to_yuv420(const Yuv422Image& yuv) {
+  const std::uint32_t w = yuv.width();
+  const std::uint32_t h = yuv.height();
+  Yuv420Image out(w, h);
+  out.y = yuv.y;
+  for (std::uint32_t cy = 0; cy < h / 2; ++cy) {
+    for (std::uint32_t cx = 0; cx < yuv.u.width(); ++cx) {
+      out.u.at(cx, cy) = static_cast<std::uint8_t>(
+          (yuv.u.at(cx, cy * 2) + yuv.u.at(cx, cy * 2 + 1) + 1) / 2);
+      out.v.at(cx, cy) = static_cast<std::uint8_t>(
+          (yuv.v.at(cx, cy * 2) + yuv.v.at(cx, cy * 2 + 1) + 1) / 2);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Sum of absolute differences between `cur` and `prev` shifted by (dx, dy),
+/// evaluated on a subsampled grid for speed.
+std::uint64_t shifted_sad(const ImageU8& prev, const ImageU8& cur, int dx, int dy,
+                          std::uint32_t step) {
+  std::uint64_t acc = 0;
+  for (std::uint32_t y = 0; y < cur.height(); y += step) {
+    for (std::uint32_t x = 0; x < cur.width(); x += step) {
+      const int a = cur.at(x, y);
+      const int b = prev.clamped(static_cast<std::int64_t>(x) + dx,
+                                 static_cast<std::int64_t>(y) + dy);
+      acc += static_cast<std::uint64_t>(std::abs(a - b));
+    }
+  }
+  return acc;
+}
+
+ImageU8 downsample4(const ImageU8& src) {
+  ImageU8 out(std::max(1u, src.width() / 4), std::max(1u, src.height() / 4));
+  for (std::uint32_t y = 0; y < out.height(); ++y) {
+    for (std::uint32_t x = 0; x < out.width(); ++x) {
+      int acc = 0;
+      for (std::uint32_t dy = 0; dy < 4; ++dy) {
+        for (std::uint32_t dx = 0; dx < 4; ++dx) {
+          acc += src.clamped(static_cast<std::int64_t>(x) * 4 + dx,
+                             static_cast<std::int64_t>(y) * 4 + dy);
+        }
+      }
+      out.at(x, y) = static_cast<std::uint8_t>(acc / 16);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+MotionVector estimate_global_motion(const ImageU8& prev, const ImageU8& cur,
+                                    int range) {
+  assert(prev.width() == cur.width() && prev.height() == cur.height());
+  // Coarse: full search at quarter resolution.
+  const ImageU8 prev4 = downsample4(prev);
+  const ImageU8 cur4 = downsample4(cur);
+  const int coarse_range = std::max(1, range / 4 + 1);
+  MotionVector best{0, 0};
+  std::uint64_t best_sad = std::numeric_limits<std::uint64_t>::max();
+  for (int dy = -coarse_range; dy <= coarse_range; ++dy) {
+    for (int dx = -coarse_range; dx <= coarse_range; ++dx) {
+      const std::uint64_t sad = shifted_sad(prev4, cur4, dx, dy, 2);
+      if (sad < best_sad) {
+        best_sad = sad;
+        best = MotionVector{dx, dy};
+      }
+    }
+  }
+  // Refine: +/-3 at full resolution around the scaled coarse vector.
+  MotionVector refined{best.dx * 4, best.dy * 4};
+  best_sad = std::numeric_limits<std::uint64_t>::max();
+  MotionVector out = refined;
+  for (int dy = refined.dy - 3; dy <= refined.dy + 3; ++dy) {
+    for (int dx = refined.dx - 3; dx <= refined.dx + 3; ++dx) {
+      if (std::abs(dx) > range || std::abs(dy) > range) continue;
+      const std::uint64_t sad = shifted_sad(prev, cur, dx, dy, 4);
+      if (sad < best_sad) {
+        best_sad = sad;
+        out = MotionVector{dx, dy};
+      }
+    }
+  }
+  return out;
+}
+
+Yuv422Image crop(const Yuv422Image& src, int x0, int y0, std::uint32_t w,
+                 std::uint32_t h) {
+  assert(w <= src.width() && h <= src.height());
+  // Clamp the window into the source; keep chroma alignment (even x).
+  const int max_x = static_cast<int>(src.width() - w);
+  const int max_y = static_cast<int>(src.height() - h);
+  const std::uint32_t cx0 =
+      static_cast<std::uint32_t>(std::clamp(x0, 0, max_x)) & ~1u;
+  const std::uint32_t cy0 = static_cast<std::uint32_t>(std::clamp(y0, 0, max_y));
+
+  Yuv422Image out(w, h);
+  for (std::uint32_t y = 0; y < h; ++y) {
+    for (std::uint32_t x = 0; x < w; ++x) {
+      out.y.at(x, y) = src.y.at(cx0 + x, cy0 + y);
+    }
+    for (std::uint32_t cx = 0; cx < w / 2; ++cx) {
+      out.u.at(cx, y) = src.u.at(cx0 / 2 + cx, cy0 + y);
+      out.v.at(cx, y) = src.v.at(cx0 / 2 + cx, cy0 + y);
+    }
+  }
+  return out;
+}
+
+ImageU8 scale_bilinear(const ImageU8& src, std::uint32_t w, std::uint32_t h) {
+  assert(w > 0 && h > 0 && !src.empty());
+  ImageU8 out(w, h);
+  const double sx = static_cast<double>(src.width()) / w;
+  const double sy = static_cast<double>(src.height()) / h;
+  for (std::uint32_t y = 0; y < h; ++y) {
+    const double fy = (y + 0.5) * sy - 0.5;
+    const auto y0 = static_cast<std::int64_t>(std::floor(fy));
+    const double wy = fy - static_cast<double>(y0);
+    for (std::uint32_t x = 0; x < w; ++x) {
+      const double fx = (x + 0.5) * sx - 0.5;
+      const auto x0 = static_cast<std::int64_t>(std::floor(fx));
+      const double wx = fx - static_cast<double>(x0);
+      const double v = (1 - wy) * ((1 - wx) * src.clamped(x0, y0) +
+                                   wx * src.clamped(x0 + 1, y0)) +
+                       wy * ((1 - wx) * src.clamped(x0, y0 + 1) +
+                             wx * src.clamped(x0 + 1, y0 + 1));
+      out.at(x, y) = clamp_u8(static_cast<int>(v + 0.5));
+    }
+  }
+  return out;
+}
+
+Yuv422Image scale_bilinear(const Yuv422Image& src, std::uint32_t w,
+                           std::uint32_t h) {
+  Yuv422Image out;
+  out.y = scale_bilinear(src.y, w, h);
+  out.u = scale_bilinear(src.u, w / 2, h);
+  out.v = scale_bilinear(src.v, w / 2, h);
+  return out;
+}
+
+}  // namespace mcm::pixel

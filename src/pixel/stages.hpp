@@ -1,0 +1,52 @@
+// Functional implementations of the Fig. 1 image-processing stages:
+// noise filtering, Bayer demosaic + YUV conversion, global-motion video
+// stabilization, digital zoom / scaling, and display color conversion.
+// These run on real pixels; tests verify algorithmic behaviour, and the
+// functional-pipeline bench connects their buffer traffic back to Table I.
+#pragma once
+
+#include <cstdint>
+
+#include "pixel/image.hpp"
+
+namespace mcm::pixel {
+
+/// 3x3 box filter ("Preprocess (e.g. noise filter)"), Bayer-aware: averages
+/// only same-color sites (stride-2 neighbors) so the mosaic is preserved.
+[[nodiscard]] ImageU8 denoise_box3(const ImageU8& bayer);
+
+/// Bilinear RGGB demosaic ("Bayer to YUV", first half).
+[[nodiscard]] Rgb888Image demosaic_bilinear(const ImageU8& bayer);
+
+/// BT.601 RGB -> YUV 4:2:2 ("Bayer to YUV", second half).
+[[nodiscard]] Yuv422Image rgb_to_yuv422(const Rgb888Image& rgb);
+
+/// YUV 4:2:2 -> RGB888 for scan-out.
+[[nodiscard]] Rgb888Image yuv422_to_rgb(const Yuv422Image& yuv);
+
+/// 4:2:2 -> 4:2:0 chroma downsample (encoder input domain).
+[[nodiscard]] Yuv420Image yuv422_to_yuv420(const Yuv422Image& yuv);
+
+struct MotionVector {
+  int dx = 0;
+  int dy = 0;
+  friend bool operator==(const MotionVector&, const MotionVector&) = default;
+};
+
+/// Global-motion estimate between two luma frames (video stabilization):
+/// coarse full search on 4x-downsampled planes, refined at full resolution.
+[[nodiscard]] MotionVector estimate_global_motion(const ImageU8& prev,
+                                                  const ImageU8& cur, int range);
+
+/// Crop a window (stabilization output: bordered frame -> coded frame).
+/// The window is clamped to the source bounds.
+[[nodiscard]] Yuv422Image crop(const Yuv422Image& src, int x0, int y0,
+                               std::uint32_t w, std::uint32_t h);
+
+/// Bilinear resize ("Post proc & digizoom" and "Scaling to display").
+[[nodiscard]] ImageU8 scale_bilinear(const ImageU8& src, std::uint32_t w,
+                                     std::uint32_t h);
+[[nodiscard]] Yuv422Image scale_bilinear(const Yuv422Image& src, std::uint32_t w,
+                                         std::uint32_t h);
+
+}  // namespace mcm::pixel

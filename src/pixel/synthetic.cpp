@@ -1,0 +1,123 @@
+#include "pixel/synthetic.hpp"
+
+#include <cmath>
+
+namespace mcm::pixel {
+namespace {
+
+/// Deterministic per-pixel noise: hash of (seed, frame, x, y) mapped to an
+/// approximately normal value via a sum of uniforms.
+double pixel_noise(std::uint64_t seed, int frame, std::uint32_t x, std::uint32_t y) {
+  std::uint64_t h = seed ^ (static_cast<std::uint64_t>(frame) << 40) ^
+                    (static_cast<std::uint64_t>(x) << 20) ^ y;
+  double acc = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+    acc += static_cast<double>(h & 0xffff) / 65535.0;
+  }
+  return acc - 2.0;  // ~N(0, 0.577)
+}
+
+}  // namespace
+
+SceneGenerator::SceneGenerator(const SceneParams& params) : params_(params) {
+  Rng rng(params.seed);
+  objects_.reserve(static_cast<std::size_t>(params.objects));
+  for (int i = 0; i < params.objects; ++i) {
+    ObjectSpec o;
+    o.x0 = static_cast<double>(rng.next_below(params.width));
+    o.y0 = static_cast<double>(rng.next_below(params.height));
+    o.vx = (rng.next_double() - 0.5) * 8.0;
+    o.vy = (rng.next_double() - 0.5) * 8.0;
+    o.w = 24 + static_cast<std::uint32_t>(rng.next_below(params.width / 6 + 1));
+    o.h = 24 + static_cast<std::uint32_t>(rng.next_below(params.height / 6 + 1));
+    o.r = static_cast<std::uint8_t>(rng.next_below(256));
+    o.g = static_cast<std::uint8_t>(rng.next_below(256));
+    o.b = static_cast<std::uint8_t>(rng.next_below(256));
+    objects_.push_back(o);
+  }
+}
+
+Rgb888Image SceneGenerator::render(int index) const {
+  const std::uint32_t w = params_.width;
+  const std::uint32_t h = params_.height;
+  Rgb888Image img(w, h);
+
+  const double pan_x = params_.pan_x * index;
+  const double pan_y = params_.pan_y * index;
+
+  for (std::uint32_t y = 0; y < h; ++y) {
+    for (std::uint32_t x = 0; x < w; ++x) {
+      // Panning smooth background texture. Incommensurate sinusoids give a
+      // translation-unambiguous pattern (a plain linear gradient is constant
+      // along its iso-lines, which defeats motion estimation tests).
+      const double gx = x + pan_x;
+      const double gy = y + pan_y;
+      const double t = 50.0 * std::sin(gx * 0.13) + 40.0 * std::sin(gy * 0.17) +
+                       20.0 * std::sin((gx + gy) * 0.057);
+      const int base = clamp_u8(static_cast<int>(120.0 + t));
+      int r = base;
+      int g = (base * 3 / 4) + 32;
+      int b = 255 - base;
+      // Moving objects on top.
+      for (const auto& o : objects_) {
+        const double ox = o.x0 + o.vx * index + pan_x;
+        const double oy = o.y0 + o.vy * index + pan_y;
+        const double wrapped_x = std::fmod(std::fmod(ox, w) + w, w);
+        const double wrapped_y = std::fmod(std::fmod(oy, h) + h, h);
+        if (x >= wrapped_x && x < wrapped_x + o.w && y >= wrapped_y &&
+            y < wrapped_y + o.h) {
+          r = o.r;
+          g = o.g;
+          b = o.b;
+        }
+      }
+      const double n = params_.noise_sigma == 0.0
+                           ? 0.0
+                           : pixel_noise(params_.seed, index, x, y) *
+                                 params_.noise_sigma * 1.73;
+      img.r.at(x, y) = clamp_u8(static_cast<int>(r + n));
+      img.g.at(x, y) = clamp_u8(static_cast<int>(g + n));
+      img.b.at(x, y) = clamp_u8(static_cast<int>(b + n));
+    }
+  }
+  return img;
+}
+
+ImageU8 SceneGenerator::render_luma(int index) const {
+  const Rgb888Image rgb = render(index);
+  ImageU8 out(rgb.width(), rgb.height());
+  for (std::uint32_t y = 0; y < rgb.height(); ++y) {
+    for (std::uint32_t x = 0; x < rgb.width(); ++x) {
+      const int l = (66 * rgb.r.at(x, y) + 129 * rgb.g.at(x, y) +
+                     25 * rgb.b.at(x, y) + 128) >>
+                        8;
+      out.at(x, y) = clamp_u8(l + 16);
+    }
+  }
+  return out;
+}
+
+ImageU8 bayer_mosaic_rggb(const Rgb888Image& rgb) {
+  ImageU8 out(rgb.width(), rgb.height());
+  for (std::uint32_t y = 0; y < rgb.height(); ++y) {
+    for (std::uint32_t x = 0; x < rgb.width(); ++x) {
+      const bool even_row = (y % 2) == 0;
+      const bool even_col = (x % 2) == 0;
+      std::uint8_t v;
+      if (even_row && even_col) {
+        v = rgb.r.at(x, y);  // R
+      } else if (!even_row && !even_col) {
+        v = rgb.b.at(x, y);  // B
+      } else {
+        v = rgb.g.at(x, y);  // G (two per quad)
+      }
+      out.at(x, y) = v;
+    }
+  }
+  return out;
+}
+
+}  // namespace mcm::pixel

@@ -1,0 +1,54 @@
+// Deterministic synthetic video source: a panning gradient background with
+// independently moving rectangles plus sensor noise, and an RGGB Bayer
+// mosaic sampler. Stands in for the image sensor (and for the test material
+// the paper points to [10]) so every experiment is self-contained and
+// reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "pixel/image.hpp"
+
+namespace mcm::pixel {
+
+struct SceneParams {
+  std::uint32_t width = 1280;
+  std::uint32_t height = 720;
+  std::uint64_t seed = 1;
+  double noise_sigma = 1.5;   // additive sensor noise (std dev, gray levels)
+  int objects = 5;            // moving rectangles
+  double pan_x = 1.5;         // global camera pan, pixels/frame
+  double pan_y = -0.75;
+};
+
+class SceneGenerator {
+ public:
+  explicit SceneGenerator(const SceneParams& params);
+
+  /// Render frame `index` (deterministic: same index, same pixels).
+  [[nodiscard]] Rgb888Image render(int index) const;
+
+  /// Luma-only render (for motion-estimation tests).
+  [[nodiscard]] ImageU8 render_luma(int index) const;
+
+  [[nodiscard]] const SceneParams& params() const { return params_; }
+
+ private:
+  struct ObjectSpec {
+    double x0, y0;      // position at frame 0
+    double vx, vy;      // velocity, pixels/frame
+    std::uint32_t w, h;
+    std::uint8_t r, g, b;
+  };
+
+  SceneParams params_;
+  std::vector<ObjectSpec> objects_;
+};
+
+/// Sample a planar RGB image into an RGGB Bayer mosaic (16-bit container
+/// with 10-bit-style values in the low bits, matching the paper's 16
+/// bits/pixel raw format; we keep 8-bit values for simplicity).
+[[nodiscard]] ImageU8 bayer_mosaic_rggb(const Rgb888Image& rgb);
+
+}  // namespace mcm::pixel

@@ -1,0 +1,60 @@
+#include "pixel/transform.hpp"
+
+#include <cmath>
+
+namespace mcm::pixel {
+namespace {
+
+// One-dimensional order-4 Hadamard butterfly.
+void hadamard4_1d(const int in[4], int out[4]) {
+  const int a = in[0] + in[1];
+  const int b = in[0] - in[1];
+  const int c = in[2] + in[3];
+  const int d = in[2] - in[3];
+  out[0] = a + c;
+  out[1] = b + d;
+  out[2] = a - c;
+  out[3] = b - d;
+}
+
+void transform2d(const int in[16], int out[16]) {
+  int tmp[16];
+  for (int r = 0; r < 4; ++r) hadamard4_1d(in + 4 * r, tmp + 4 * r);
+  for (int c = 0; c < 4; ++c) {
+    int col[4], res[4];
+    for (int r = 0; r < 4; ++r) col[r] = tmp[4 * r + c];
+    hadamard4_1d(col, res);
+    for (int r = 0; r < 4; ++r) out[4 * r + c] = res[r];
+  }
+}
+
+}  // namespace
+
+void hadamard4_forward(const int in[16], int out[16]) { transform2d(in, out); }
+
+void hadamard4_inverse(const int in[16], int out[16]) {
+  int tmp[16];
+  transform2d(in, tmp);
+  for (int i = 0; i < 16; ++i) {
+    // Symmetric rounding to nearest for exactness on x16 multiples.
+    tmp[i] = tmp[i] >= 0 ? (tmp[i] + 8) / 16 : -((-tmp[i] + 8) / 16);
+    out[i] = tmp[i];
+  }
+}
+
+std::int32_t qstep_q8(int qp) {
+  const double step = std::pow(2.0, (qp - 4) / 6.0);
+  return static_cast<std::int32_t>(std::lround(step * 256.0));
+}
+
+std::uint32_t golomb_bits_unsigned(std::uint32_t v) {
+  std::uint32_t bits = 1;
+  std::uint32_t k = v + 1;
+  while (k > 1) {
+    bits += 2;
+    k >>= 1;
+  }
+  return bits;
+}
+
+}  // namespace mcm::pixel

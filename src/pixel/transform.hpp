@@ -1,0 +1,47 @@
+// 4x4 integer transform + quantization for the toy encoder: the 4x4
+// Hadamard transform (H.264 uses it for DC coefficients; we use it as the
+// core transform too - orthogonal up to a factor 16, so the forward/inverse
+// pair is exact in integers) with an H.264-style QP-to-stepsize mapping
+// (doubles every 6 QP) and exp-Golomb bit-length accounting.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace mcm::pixel {
+
+/// out = H * in * H^T with H the order-4 Hadamard matrix (values x16).
+void hadamard4_forward(const int in[16], int out[16]);
+
+/// Exact inverse of hadamard4_forward: out = H * in * H^T / 16.
+void hadamard4_inverse(const int in[16], int out[16]);
+
+/// H.264-style quantizer step size in Q8 fixed point: doubles every 6 QP,
+/// qstep(4) = 1.0.
+[[nodiscard]] std::int32_t qstep_q8(int qp);
+
+/// Quantize a (x16-scaled) transform coefficient.
+[[nodiscard]] inline int quantize(int coef, std::int32_t step_q8) {
+  const std::int64_t denom = static_cast<std::int64_t>(step_q8) * 16;
+  const std::int64_t num = static_cast<std::int64_t>(coef) * 256;
+  return static_cast<int>(num >= 0 ? (num + denom / 2) / denom
+                                   : -((-num + denom / 2) / denom));
+}
+
+/// Reconstruct the (x16-scaled) coefficient from its quantized level.
+[[nodiscard]] inline int dequantize(int level, std::int32_t step_q8) {
+  return static_cast<int>((static_cast<std::int64_t>(level) * step_q8 * 16) / 256);
+}
+
+/// Bits to code an unsigned value with exp-Golomb (ue(v)).
+[[nodiscard]] std::uint32_t golomb_bits_unsigned(std::uint32_t v);
+
+/// Bits to code a signed value with exp-Golomb (se(v)).
+[[nodiscard]] inline std::uint32_t golomb_bits_signed(int v) {
+  const std::uint32_t mapped =
+      v > 0 ? static_cast<std::uint32_t>(2 * v - 1)
+            : static_cast<std::uint32_t>(-2 * static_cast<std::int64_t>(v));
+  return golomb_bits_unsigned(mapped);
+}
+
+}  // namespace mcm::pixel

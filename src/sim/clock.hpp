@@ -1,0 +1,43 @@
+// Clock-domain helper: snaps absolute picosecond times to clock edges and
+// converts between cycles and time. DRAM commands are only legal on edges,
+// so the controller quantizes every command time through one of these.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace mcm::sim {
+
+class Clock {
+ public:
+  Clock() : period_(Time{1}) {}
+  explicit Clock(Frequency f) : period_(f.period()) { assert(period_.ps() > 0); }
+  explicit Clock(Time period) : period_(period) { assert(period_.ps() > 0); }
+
+  [[nodiscard]] Time period() const { return period_; }
+
+  /// Earliest clock edge at or after t.
+  [[nodiscard]] Time next_edge(Time t) const {
+    const std::int64_t p = period_.ps();
+    const std::int64_t q = (t.ps() + p - 1) / p;
+    return Time{q * p};
+  }
+
+  /// Edge strictly after t.
+  [[nodiscard]] Time edge_after(Time t) const { return next_edge(Time{t.ps() + 1}); }
+
+  [[nodiscard]] Time cycles(std::int64_t n) const { return Time{period_.ps() * n}; }
+
+  /// Number of whole cycles needed to cover duration d (ceil).
+  [[nodiscard]] std::int64_t cycles_for(Time d) const {
+    const std::int64_t p = period_.ps();
+    return (d.ps() + p - 1) / p;
+  }
+
+ private:
+  Time period_;
+};
+
+}  // namespace mcm::sim

@@ -1,0 +1,49 @@
+// Generic discrete-event priority queue. Events fire in (time, insertion
+// order): ties are broken by a monotonically increasing sequence number so
+// simulation results never depend on std::priority_queue tie-breaking.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace mcm::sim {
+
+template <typename Payload>
+class EventQueue {
+ public:
+  struct Event {
+    Time when;
+    std::uint64_t seq;
+    Payload payload;
+  };
+
+  void push(Time when, Payload payload) {
+    heap_.push(Event{when, next_seq_++, std::move(payload)});
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] const Event& top() const { return heap_.top(); }
+
+  Event pop() {
+    Event e = heap_.top();
+    heap_.pop();
+    return e;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace mcm::sim

@@ -1,0 +1,114 @@
+#include "video/encoder_access.hpp"
+
+#include <algorithm>
+
+namespace mcm::video {
+namespace {
+
+std::int32_t clamp_i32(std::int32_t v, std::int32_t lo, std::int32_t hi) {
+  return std::max(lo, std::min(v, hi));
+}
+
+}  // namespace
+
+EncoderAccessGenerator::EncoderAccessGenerator(const EncoderAccessParams& p)
+    : p_(p),
+      rng_(p.seed),
+      mb_cols_((p.resolution.width + 15) / 16),
+      mb_rows_((p.resolution.height + 15) / 16) {
+  mb_count_ = mb_cols_ * mb_rows_;
+  if (p_.max_macroblocks > 0) mb_count_ = std::min(mb_count_, p_.max_macroblocks);
+  if (p_.ref_frame_bytes == 0) {
+    p_.ref_frame_bytes = frame_bytes(p_.resolution, PixelFormat::kYuv420);
+  }
+}
+
+void EncoderAccessGenerator::fill_macroblock() {
+  pending_.clear();
+  pos_ = 0;
+  if (mb_index_ >= mb_count_) return;
+
+  const std::uint32_t mb_x = (mb_index_ % mb_cols_) * 16;
+  const std::uint32_t mb_y = (mb_index_ / mb_cols_) * 16;
+  const std::uint32_t width = p_.resolution.width;
+  const std::uint32_t height = p_.resolution.height;
+  const std::int32_t range = static_cast<std::int32_t>(p_.search_range);
+
+  // Current macroblock, YUV422 input (2 B/pel): 16 lines of 32 B.
+  for (std::uint32_t line = 0; line < 16; ++line) {
+    const std::uint64_t addr =
+        p_.input_base + (static_cast<std::uint64_t>(mb_y + line) * width + mb_x) * 2;
+    pending_.push_back({addr, 32, false});
+  }
+
+  // Motion search window per reference frame. The motion center wanders a
+  // little per macroblock/reference, like real content.
+  for (std::uint32_t ref = 0; ref < p_.ref_frames; ++ref) {
+    const std::int32_t jitter_x =
+        static_cast<std::int32_t>(rng_.next_below(2 * p_.search_range + 1)) - range;
+    const std::int32_t jitter_y =
+        static_cast<std::int32_t>(rng_.next_below(2 * p_.search_range + 1)) - range;
+    const std::int32_t cx = clamp_i32(static_cast<std::int32_t>(mb_x) + jitter_x / 2,
+                                      0, static_cast<std::int32_t>(width) - 16);
+    const std::int32_t cy = clamp_i32(static_cast<std::int32_t>(mb_y) + jitter_y / 2,
+                                      0, static_cast<std::int32_t>(height) - 16);
+    const std::int32_t wx0 = clamp_i32(cx - range, 0, static_cast<std::int32_t>(width) - 16);
+    const std::int32_t wy0 = clamp_i32(cy - range, 0, static_cast<std::int32_t>(height) - 16);
+    const std::int32_t wx1 =
+        clamp_i32(cx + range + 16, 16, static_cast<std::int32_t>(width));
+    const std::int32_t wy1 =
+        clamp_i32(cy + range + 16, 16, static_cast<std::int32_t>(height));
+    const std::uint64_t ref_luma = p_.ref_base + ref * p_.ref_frame_bytes;
+
+    if (p_.mode == EncoderAccessMode::kWindowLoads) {
+      // Each window line touched once (luma plane, 1 B/pel).
+      for (std::int32_t y = wy0; y < wy1; ++y) {
+        const std::uint64_t addr =
+            ref_luma + static_cast<std::uint64_t>(y) * width + static_cast<std::uint32_t>(wx0);
+        pending_.push_back({addr, static_cast<std::uint32_t>(wx1 - wx0), false});
+      }
+    } else {
+      // Every candidate position reads its 16x16 block (raw full-search
+      // traffic; candidate_step subsamples the grid to bound volume).
+      const std::int32_t step = static_cast<std::int32_t>(std::max(1u, p_.candidate_step));
+      for (std::int32_t y = wy0; y + 16 <= wy1; y += step) {
+        for (std::int32_t x = wx0; x + 16 <= wx1; x += step) {
+          for (std::int32_t line = 0; line < 16; ++line) {
+            const std::uint64_t addr = ref_luma +
+                                       static_cast<std::uint64_t>(y + line) * width +
+                                       static_cast<std::uint32_t>(x);
+            pending_.push_back({addr, 16, false});
+          }
+        }
+      }
+    }
+  }
+
+  // Reconstructed macroblock write-back, YUV420: 16 luma lines of 16 B plus
+  // two 8x8 chroma blocks.
+  const std::uint64_t luma_plane_bytes =
+      static_cast<std::uint64_t>(width) * height;
+  for (std::uint32_t line = 0; line < 16; ++line) {
+    const std::uint64_t addr =
+        p_.recon_base + (static_cast<std::uint64_t>(mb_y + line) * width + mb_x);
+    pending_.push_back({addr, 16, true});
+  }
+  const std::uint64_t chroma_base =
+      p_.recon_base + luma_plane_bytes +
+      (static_cast<std::uint64_t>(mb_y / 2) * width + mb_x) / 1;
+  pending_.push_back({chroma_base, 64, true});
+  pending_.push_back({chroma_base + luma_plane_bytes / 4, 64, true});
+
+  ++mb_index_;
+}
+
+std::optional<EncoderAccess> EncoderAccessGenerator::next() {
+  while (pos_ >= pending_.size()) {
+    if (mb_index_ >= mb_count_) return std::nullopt;
+    fill_macroblock();
+    if (pending_.empty() && mb_index_ >= mb_count_) return std::nullopt;
+  }
+  return pending_[pos_++];
+}
+
+}  // namespace mcm::video

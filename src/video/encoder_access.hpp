@@ -1,0 +1,80 @@
+// Block-level H.264 motion-estimation access generator.
+//
+// The Table I model abstracts the encoder to per-frame volumes; this
+// generator produces the underlying macroblock-level access pattern instead:
+// for each macroblock, the current-frame block is read, a +/-search_range
+// luma window is fetched from every reference frame around a pseudo-random
+// motion center, and the reconstructed block is written back.
+//
+// Two modes:
+//  - kWindowLoads: each window line is touched once (the traffic an ideal
+//    macroblock-local buffer would still miss) - used as the high-fidelity
+//    load for the address-pattern ablation.
+//  - kAllTouches: every candidate block position reads all its lines (the
+//    raw, cache-less software-encoder traffic in the spirit of the paper's
+//    5570 GB/s citation [2]) - used to demonstrate the cache filter.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "video/formats.hpp"
+
+namespace mcm::video {
+
+struct EncoderAccess {
+  std::uint64_t addr = 0;
+  std::uint32_t bytes = 0;
+  bool is_write = false;
+};
+
+enum class EncoderAccessMode : std::uint8_t { kWindowLoads, kAllTouches };
+
+struct EncoderAccessParams {
+  Resolution resolution;
+  std::uint32_t ref_frames = 4;
+  std::uint32_t search_range = 16;  // +/- pixels, luma
+  EncoderAccessMode mode = EncoderAccessMode::kWindowLoads;
+
+  std::uint64_t input_base = 0;     // current frame, YUV422 (2 B/pel)
+  std::uint64_t ref_base = 0;       // reference area, frames contiguous
+  std::uint64_t ref_frame_bytes = 0;  // stride between reference frames
+  std::uint64_t recon_base = 0;     // reconstructed frame, YUV420
+
+  std::uint32_t line_bytes = 64;    // access granularity (cache line)
+  std::uint32_t candidate_step = 4; // kAllTouches: stride between candidates
+  std::uint64_t seed = 1;
+
+  /// Stop after this many macroblocks (0 = whole frame); results can be
+  /// scaled by the caller when sampling.
+  std::uint32_t max_macroblocks = 0;
+};
+
+class EncoderAccessGenerator {
+ public:
+  explicit EncoderAccessGenerator(const EncoderAccessParams& p);
+
+  /// Next access, or nullopt at end of frame.
+  std::optional<EncoderAccess> next();
+
+  [[nodiscard]] std::uint32_t macroblocks_total() const { return mb_count_; }
+  [[nodiscard]] std::uint32_t macroblocks_done() const { return mb_index_; }
+
+ private:
+  /// Build the access list for the next macroblock into pending_.
+  void fill_macroblock();
+
+  EncoderAccessParams p_;
+  Rng rng_;
+  std::uint32_t mb_cols_;
+  std::uint32_t mb_rows_;
+  std::uint32_t mb_count_;
+  std::uint32_t mb_index_ = 0;
+
+  std::vector<EncoderAccess> pending_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mcm::video

@@ -1,0 +1,60 @@
+// Pixel formats and frame geometry used by the video recording use case
+// (paper Fig. 1): Bayer raw and YUV422 at 16 bits/pixel, H.264 reference and
+// reconstructed frames in YUV420 at 12 bits/pixel, and the WVGA RGB888
+// display at 24 bits/pixel.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace mcm::video {
+
+enum class PixelFormat : std::uint8_t { kBayer, kYuv422, kYuv420, kRgb888 };
+
+[[nodiscard]] constexpr int bits_per_pixel(PixelFormat f) {
+  switch (f) {
+    case PixelFormat::kBayer: return 16;
+    case PixelFormat::kYuv422: return 16;
+    case PixelFormat::kYuv420: return 12;
+    case PixelFormat::kRgb888: return 24;
+  }
+  return 0;
+}
+
+[[nodiscard]] constexpr std::string_view to_string(PixelFormat f) {
+  switch (f) {
+    case PixelFormat::kBayer: return "Bayer";
+    case PixelFormat::kYuv422: return "YUV422";
+    case PixelFormat::kYuv420: return "YUV420";
+    case PixelFormat::kRgb888: return "RGB888";
+  }
+  return "?";
+}
+
+struct Resolution {
+  std::uint32_t width = 0;
+  std::uint32_t height = 0;
+
+  [[nodiscard]] constexpr std::uint64_t pixels() const {
+    return static_cast<std::uint64_t>(width) * height;
+  }
+  friend constexpr bool operator==(const Resolution&, const Resolution&) = default;
+};
+
+/// Frame sizes used in the paper.
+inline constexpr Resolution kWvga{800, 480};        // device display
+inline constexpr Resolution k720p{1280, 720};
+inline constexpr Resolution k1080p{1920, 1088};     // paper uses 1920x1088
+inline constexpr Resolution k2160p{3840, 2160};
+
+/// Bytes for a whole frame in a given format (rounded up).
+[[nodiscard]] constexpr std::uint64_t frame_bytes(Resolution r, PixelFormat f) {
+  return (r.pixels() * static_cast<std::uint64_t>(bits_per_pixel(f)) + 7) / 8;
+}
+
+/// Bits for a whole frame in a given format (exact).
+[[nodiscard]] constexpr double frame_bits(Resolution r, PixelFormat f) {
+  return static_cast<double>(r.pixels()) * bits_per_pixel(f);
+}
+
+}  // namespace mcm::video

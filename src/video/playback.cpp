@@ -1,0 +1,56 @@
+#include "video/playback.hpp"
+
+namespace mcm::video {
+
+std::string_view to_string(PlaybackStageId id) {
+  switch (id) {
+    case PlaybackStageId::kMemoryCard: return "Memory card";
+    case PlaybackStageId::kDemultiplex: return "Demultiplex";
+    case PlaybackStageId::kVideoDecoder: return "Video decoder";
+    case PlaybackStageId::kAudioDecoder: return "Audio decoder";
+    case PlaybackStageId::kPostProcess: return "Post process";
+    case PlaybackStageId::kScalingToDisplay: return "Scaling to display";
+    case PlaybackStageId::kDisplayCtrl: return "DisplayCtrl";
+  }
+  return "?";
+}
+
+PlaybackModel::PlaybackModel(PlaybackParams params)
+    : params_(params), level_(level_spec(params.level)) {
+  const double n = static_cast<double>(level_.resolution.pixels());
+  const double fps = level_.fps;
+  const double v_bits = level_.max_bitrate_mbps * 1e6 / fps;
+  const double a_bits = params_.audio_mbps * 1e6 / fps;
+  const double wvga_rgb = static_cast<double>(params_.display.pixels()) *
+                          bits_per_pixel(PixelFormat::kRgb888);
+  const double b12 = bits_per_pixel(PixelFormat::kYuv420);
+  const double b16 = bits_per_pixel(PixelFormat::kYuv422);
+
+  stages_ = {
+      {PlaybackStageId::kMemoryCard, to_string(PlaybackStageId::kMemoryCard),
+       /*read=*/0.0, /*write=*/v_bits + a_bits},  // card DMA into memory
+      {PlaybackStageId::kDemultiplex, to_string(PlaybackStageId::kDemultiplex),
+       v_bits + a_bits, v_bits + a_bits},
+      // Decoder: bitstream in, one motion-compensated reference read per
+      // block (with interpolation overlap), reconstructed frame out.
+      {PlaybackStageId::kVideoDecoder, to_string(PlaybackStageId::kVideoDecoder),
+       v_bits + params_.mc_read_factor * b12 * n, b12 * n},
+      {PlaybackStageId::kAudioDecoder, to_string(PlaybackStageId::kAudioDecoder),
+       a_bits, a_bits},
+      // Display path: read the decoded picture, convert/scale, scan out.
+      {PlaybackStageId::kPostProcess, to_string(PlaybackStageId::kPostProcess),
+       b12 * n, b16 * n},
+      {PlaybackStageId::kScalingToDisplay,
+       to_string(PlaybackStageId::kScalingToDisplay), b16 * n, wvga_rgb},
+      {PlaybackStageId::kDisplayCtrl, to_string(PlaybackStageId::kDisplayCtrl),
+       wvga_rgb * params_.display_refresh_hz / fps, 0.0},
+  };
+}
+
+double PlaybackModel::total_bits_per_frame() const {
+  double bits = 0;
+  for (const auto& s : stages_) bits += s.total_bits();
+  return bits;
+}
+
+}  // namespace mcm::video

@@ -1,0 +1,82 @@
+// Video playback (decode) chain: memory card -> demultiplex -> H.264 decode
+// (motion compensation + reconstruction) -> scaling -> display. The
+// companion workload of the paper's recording use case - the introduction
+// motivates devices that both record and play back. Decoding has no motion
+// *search*, so its execution-memory load is an order of magnitude below
+// recording; the model quantifies that asymmetry with the same conventions
+// as UseCaseModel (per-frame read/write bits per stage).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/units.hpp"
+#include "video/h264_levels.hpp"
+#include "video/usecase.hpp"
+
+namespace mcm::video {
+
+enum class PlaybackStageId : std::uint8_t {
+  kMemoryCard,    // read the multiplexed stream from removable media buffer
+  kDemultiplex,   // split into video + audio elementary streams
+  kVideoDecoder,  // bitstream read, motion compensation, reconstruction
+  kAudioDecoder,
+  kPostProcess,   // deblock/convert for display
+  kScalingToDisplay,
+  kDisplayCtrl,
+};
+
+[[nodiscard]] std::string_view to_string(PlaybackStageId id);
+
+struct PlaybackStageTraffic {
+  PlaybackStageId id;
+  std::string_view name;
+  double read_bits = 0;   // per frame
+  double write_bits = 0;  // per frame
+
+  [[nodiscard]] double total_bits() const { return read_bits + write_bits; }
+};
+
+struct PlaybackParams {
+  H264Level level = H264Level::k40;
+  double audio_mbps = 0.256;
+
+  /// Motion-compensation read amplification per pixel: each predicted block
+  /// reads its reference area once, with interpolation overlap between
+  /// neighbouring blocks (a (16+5)^2 / 16^2 = ~1.7x factor for 6-tap
+  /// half-pel filters). Contrast with the encoder's search factor of 6.
+  double mc_read_factor = 1.7;
+
+  Resolution display = kWvga;
+  double display_refresh_hz = 60.0;
+};
+
+class PlaybackModel {
+ public:
+  explicit PlaybackModel(PlaybackParams params);
+
+  [[nodiscard]] const PlaybackParams& params() const { return params_; }
+  [[nodiscard]] const LevelSpec& level() const { return level_; }
+  [[nodiscard]] const std::vector<PlaybackStageTraffic>& stages() const {
+    return stages_;
+  }
+
+  [[nodiscard]] double total_bits_per_frame() const;
+  [[nodiscard]] double total_bits_per_second() const {
+    return total_bits_per_frame() * level_.fps;
+  }
+  [[nodiscard]] double total_mb_per_second() const {
+    return total_bits_per_second() / 8e6;
+  }
+  [[nodiscard]] Time frame_period() const {
+    return Time::from_seconds(1.0 / level_.fps);
+  }
+
+ private:
+  PlaybackParams params_;
+  LevelSpec level_;
+  std::vector<PlaybackStageTraffic> stages_;
+};
+
+}  // namespace mcm::video

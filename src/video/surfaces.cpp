@@ -1,0 +1,70 @@
+#include "video/surfaces.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcm::video {
+namespace {
+
+std::uint64_t align_up(std::uint64_t v, std::uint64_t a) {
+  return (v + a - 1) / a * a;
+}
+
+std::uint64_t bits_to_bytes(double bits) {
+  return static_cast<std::uint64_t>(std::ceil(bits / 8.0));
+}
+
+}  // namespace
+
+SurfaceLayout::SurfaceLayout(const UseCaseModel& model, std::uint64_t alignment) {
+  const auto& lv = model.level();
+  const auto& p = model.params();
+  const double n = static_cast<double>(lv.resolution.pixels());
+  const double border = 1.0 + p.stabilization_border;
+  const double ns = n * border * border;
+  const double nz = n / (p.digizoom * p.digizoom);
+  const double fps = lv.fps;
+
+  const std::uint64_t bayer_bytes = bits_to_bytes(16.0 * ns);
+  const std::uint64_t yuv422_full_bytes = bits_to_bytes(16.0 * ns);
+  const std::uint64_t yuv422_coded_bytes = bits_to_bytes(16.0 * n);
+  const std::uint64_t yuv422_post_bytes = bits_to_bytes(16.0 * nz);
+  const std::uint64_t fb_bytes = 2 * frame_bytes(p.display, PixelFormat::kRgb888);
+  const std::uint64_t frame12 = bits_to_bytes(12.0 * n);
+  const std::uint64_t ref_bytes = static_cast<std::uint64_t>(model.ref_frames()) * frame12;
+  const std::uint64_t stream_bytes = std::max<std::uint64_t>(
+      64 * 1024, 2 * bits_to_bytes(lv.max_bitrate_mbps * 1e6 / fps));
+  const std::uint64_t audio_bytes = 64 * 1024;
+
+  const struct {
+    SurfaceId id;
+    const char* name;
+    std::uint64_t bytes;
+  } plan[] = {
+      {SurfaceId::kBayerCapture, "bayer_capture", bayer_bytes},
+      {SurfaceId::kBayerClean, "bayer_clean", bayer_bytes},
+      {SurfaceId::kYuv422Full, "yuv422_full", yuv422_full_bytes},
+      {SurfaceId::kYuv422Stab, "yuv422_stab", yuv422_coded_bytes},
+      {SurfaceId::kYuv422Post, "yuv422_post", yuv422_post_bytes},
+      {SurfaceId::kDisplayFb, "display_fb", fb_bytes},
+      {SurfaceId::kReferenceArea, "reference_frames", ref_bytes},
+      {SurfaceId::kRecon, "reconstructed", frame12},
+      {SurfaceId::kBitstream, "bitstream_ring", stream_bytes},
+      {SurfaceId::kMuxBuffer, "mux_ring", stream_bytes},
+      {SurfaceId::kAudioRing, "audio_ring", audio_bytes},
+  };
+
+  surfaces_.resize(kSurfaceCount);
+  std::uint64_t cursor = 0;
+  for (const auto& e : plan) {
+    Surface s;
+    s.name = e.name;
+    s.base = cursor;
+    s.bytes = align_up(std::max<std::uint64_t>(e.bytes, 1), 16);
+    cursor = align_up(s.end(), alignment);
+    surfaces_[static_cast<std::size_t>(e.id)] = std::move(s);
+  }
+  total_bytes_ = cursor;
+}
+
+}  // namespace mcm::video

@@ -1,0 +1,58 @@
+// Surface layout: places every buffer of the Fig. 1 use case in the global
+// (channel-interleaved) byte address space. Surfaces are aligned so each
+// starts on a full interleave stripe, and the whole working set must fit the
+// configured memory capacity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "video/usecase.hpp"
+
+namespace mcm::video {
+
+struct Surface {
+  std::string name;
+  std::uint64_t base = 0;
+  std::uint64_t bytes = 0;
+
+  [[nodiscard]] std::uint64_t end() const { return base + bytes; }
+};
+
+/// Buffers used by the recording chain.
+enum class SurfaceId : std::uint8_t {
+  kBayerCapture,   // sensor output (with stabilization border)
+  kBayerClean,     // after preprocessing
+  kYuv422Full,     // after Bayer-to-YUV (still bordered)
+  kYuv422Stab,     // stabilized, cropped to coded size
+  kYuv422Post,     // after post processing & digizoom
+  kDisplayFb,      // double-buffered WVGA RGB888 frame buffer
+  kReferenceArea,  // all H.264 reference frames, contiguous
+  kRecon,          // reconstructed frame being written
+  kBitstream,      // encoder output ring
+  kMuxBuffer,      // multiplexer output ring
+  kAudioRing,      // audio capture ring
+};
+
+inline constexpr int kSurfaceCount = 11;
+
+class SurfaceLayout {
+ public:
+  /// Lay out all buffers for the given use case. `alignment` must be a
+  /// multiple of the interleave stripe across all channels so every surface
+  /// begins at channel 0 (keeps runs deterministic across channel counts).
+  explicit SurfaceLayout(const UseCaseModel& model, std::uint64_t alignment = 64 * 1024);
+
+  [[nodiscard]] const Surface& surface(SurfaceId id) const {
+    return surfaces_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] const std::vector<Surface>& all() const { return surfaces_; }
+  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  std::vector<Surface> surfaces_;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace mcm::video

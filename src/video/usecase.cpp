@@ -1,0 +1,96 @@
+#include "video/usecase.hpp"
+
+#include <stdexcept>
+
+namespace mcm::video {
+
+std::string_view to_string(StageId id) {
+  switch (id) {
+    case StageId::kCameraIf: return "Camera I/F";
+    case StageId::kPreprocess: return "Preprocess";
+    case StageId::kBayerToYuv: return "Bayer to YUV";
+    case StageId::kStabilization: return "Video stabilization";
+    case StageId::kPostProcDigizoom: return "Post proc & digizoom";
+    case StageId::kScalingToDisplay: return "Scaling to display";
+    case StageId::kDisplayCtrl: return "DisplayCtrl";
+    case StageId::kVideoEncoder: return "Video encoder";
+    case StageId::kMultiplex: return "Multiplex";
+    case StageId::kMemoryCard: return "Memory card";
+    case StageId::kAudioCapture: return "Audio capture";
+  }
+  return "?";
+}
+
+UseCaseModel::UseCaseModel(UseCaseParams params)
+    : params_(params),
+      level_(level_spec(params.level)),
+      ref_frames_(reference_frames(params.level, params.ref_policy)) {
+  if (params_.digizoom < 1.0) throw std::invalid_argument("digizoom must be >= 1");
+
+  const double n = static_cast<double>(level_.resolution.pixels());
+  const double border = 1.0 + params_.stabilization_border;
+  const double ns = n * border * border;      // sensor pixels incl. border
+  const double nz = n / (params_.digizoom * params_.digizoom);
+  const double wvga_rgb = static_cast<double>(params_.display.pixels()) *
+                          bits_per_pixel(PixelFormat::kRgb888);
+  const double fps = level_.fps;
+  const double v_bits = level_.max_bitrate_mbps * 1e6 / fps;  // video, per frame
+  const double a_bits = params_.audio_mbps * 1e6 / fps;       // audio, per frame
+
+  const double b16 = bits_per_pixel(PixelFormat::kYuv422);  // Bayer/YUV422
+  const double b12 = bits_per_pixel(PixelFormat::kYuv420);  // encoder frames
+
+  stages_ = {
+      // Image processing (operates on the bordered sensor image until the
+      // stabilization crop, then on N coded pixels).
+      {StageId::kCameraIf, to_string(StageId::kCameraIf),
+       /*read=*/0.0, /*write=*/b16 * ns, true},
+      {StageId::kPreprocess, to_string(StageId::kPreprocess),
+       b16 * ns, b16 * ns, true},
+      {StageId::kBayerToYuv, to_string(StageId::kBayerToYuv),
+       b16 * ns, b16 * ns, true},
+      {StageId::kStabilization, to_string(StageId::kStabilization),
+       b16 * ns, b16 * n, true},
+      {StageId::kPostProcDigizoom, to_string(StageId::kPostProcDigizoom),
+       b16 * n, b16 * nz, true},
+      {StageId::kScalingToDisplay, to_string(StageId::kScalingToDisplay),
+       b16 * nz, wvga_rgb, true},
+      {StageId::kDisplayCtrl, to_string(StageId::kDisplayCtrl),
+       wvga_rgb * params_.display_refresh_hz / fps, 0.0, true},
+
+      // Video coding. Encoder reads the 6 x N x #refs reference traffic plus
+      // the current YUV422 input, writes the reconstructed YUV420 frame and
+      // the output bitstream.
+      {StageId::kVideoEncoder, to_string(StageId::kVideoEncoder),
+       params_.encoder_ref_factor * ref_frames_ * b12 * n + b16 * nz,
+       b12 * n + v_bits, false},
+      {StageId::kAudioCapture, to_string(StageId::kAudioCapture),
+       0.0, a_bits, false},
+      {StageId::kMultiplex, to_string(StageId::kMultiplex),
+       v_bits + a_bits, v_bits + a_bits, false},
+      {StageId::kMemoryCard, to_string(StageId::kMemoryCard),
+       v_bits + a_bits, 0.0, false},
+  };
+}
+
+double UseCaseModel::image_processing_bits_per_frame() const {
+  double bits = 0;
+  for (const auto& s : stages_) {
+    if (s.image_processing) bits += s.total_bits();
+  }
+  return bits;
+}
+
+double UseCaseModel::video_coding_bits_per_frame() const {
+  double bits = 0;
+  for (const auto& s : stages_) {
+    if (!s.image_processing) bits += s.total_bits();
+  }
+  return bits;
+}
+
+double UseCaseModel::total_bits_per_frame() const {
+  return image_processing_bits_per_frame() + video_coding_bits_per_frame();
+}
+
+}  // namespace mcm::video

@@ -1,0 +1,98 @@
+// The video recording use case of paper Fig. 1, as an execution-memory
+// traffic model. Each processing stage contributes a read volume and a write
+// volume per frame (the paper's Table I tabulates their sum per stage); the
+// totals give the data memory load per frame / per second / in MB/s.
+//
+// Derivation notes (see DESIGN.md Section 4): the sensor image carries a 20 %
+// stabilization border per dimension (1.2W x 1.2H); Bayer and YUV422 use
+// 16 bits/pixel, encoder frames 12 bits/pixel (YUV420), display RGB888
+// 24 bits/pixel; the encoder's reference traffic is 6 x N x #reference-frames
+// (implementation-dependent constant six, Section II); DisplayCtrl refreshes
+// a WVGA display at 60 Hz regardless of capture format.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/units.hpp"
+#include "video/formats.hpp"
+#include "video/h264_levels.hpp"
+
+namespace mcm::video {
+
+enum class StageId : std::uint8_t {
+  kCameraIf,
+  kPreprocess,
+  kBayerToYuv,
+  kStabilization,
+  kPostProcDigizoom,
+  kScalingToDisplay,
+  kDisplayCtrl,
+  kVideoEncoder,
+  kMultiplex,
+  kMemoryCard,
+  kAudioCapture,
+};
+
+[[nodiscard]] std::string_view to_string(StageId id);
+
+struct StageTraffic {
+  StageId id;
+  std::string_view name;
+  double read_bits = 0;   // per frame
+  double write_bits = 0;  // per frame
+  bool image_processing = false;  // Table I groups stages into two parts
+
+  [[nodiscard]] double total_bits() const { return read_bits + write_bits; }
+  [[nodiscard]] double total_mbits() const { return total_bits() / 1e6; }
+};
+
+struct UseCaseParams {
+  H264Level level = H264Level::k31;
+  double digizoom = 1.0;              // z in Fig. 1
+  double stabilization_border = 0.2;  // 20 % per dimension
+  double audio_mbps = 0.256;          // multiplexed audio stream
+  double encoder_ref_factor = 6.0;    // paper's implementation-dependent six
+  RefFramePolicy ref_policy = RefFramePolicy::kCalibrated;
+  Resolution display = kWvga;
+  double display_refresh_hz = 60.0;
+};
+
+class UseCaseModel {
+ public:
+  explicit UseCaseModel(UseCaseParams params);
+
+  [[nodiscard]] const UseCaseParams& params() const { return params_; }
+  [[nodiscard]] const LevelSpec& level() const { return level_; }
+  [[nodiscard]] std::uint32_t ref_frames() const { return ref_frames_; }
+
+  /// Per-stage traffic for one frame, in Fig. 1 order.
+  [[nodiscard]] const std::vector<StageTraffic>& stages() const { return stages_; }
+
+  [[nodiscard]] double image_processing_bits_per_frame() const;
+  [[nodiscard]] double video_coding_bits_per_frame() const;
+  [[nodiscard]] double total_bits_per_frame() const;
+  [[nodiscard]] double total_bits_per_second() const {
+    return total_bits_per_frame() * level_.fps;
+  }
+  /// The Table I bottom row: data memory load in (decimal) MB/s.
+  [[nodiscard]] double total_mb_per_second() const {
+    return total_bits_per_second() / 8e6;
+  }
+  [[nodiscard]] double total_bytes_per_frame() const {
+    return total_bits_per_frame() / 8.0;
+  }
+
+  [[nodiscard]] Time frame_period() const {
+    return Time::from_seconds(1.0 / level_.fps);
+  }
+
+ private:
+  UseCaseParams params_;
+  LevelSpec level_;
+  std::uint32_t ref_frames_;
+  std::vector<StageTraffic> stages_;
+};
+
+}  // namespace mcm::video

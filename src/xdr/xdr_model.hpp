@@ -1,0 +1,23 @@
+// Reference model of the Cell Broadband Engine's dual-channel XDR DRAM
+// interface (paper Section IV, citing Yip et al. [18]): 1.6 GHz clock,
+// 25.6 GB/s aggregate bandwidth, ~5 W typical power. The paper compares the
+// 8-channel 400 MHz mobile DDR configuration against it: similar bandwidth
+// at 4-25 % of the power depending on the encoding format.
+#pragma once
+
+namespace mcm::xdr {
+
+struct XdrInterface {
+  double clock_ghz = 1.6;
+  double bandwidth_gb_per_s = 25.6;  // dual channel
+  double typical_power_w = 5.0;
+
+  [[nodiscard]] double typical_power_mw() const { return typical_power_w * 1e3; }
+
+  /// Power of a competing memory subsystem as a fraction of XDR's.
+  [[nodiscard]] double power_fraction(double other_mw) const {
+    return other_mw / typical_power_mw();
+  }
+};
+
+}  // namespace mcm::xdr

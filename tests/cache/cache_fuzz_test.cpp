@@ -1,0 +1,106 @@
+// Property/fuzz tests: the cache model against a straightforward reference
+// implementation (map + LRU list), over random access streams and random
+// geometries.
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+
+#include "cache/cache_model.hpp"
+#include "common/rng.hpp"
+
+namespace mcm::cache {
+namespace {
+
+/// Obvious-but-slow reference: per-set std::list LRU.
+class ReferenceCache {
+ public:
+  ReferenceCache(const CacheConfig& cfg)
+      : cfg_(cfg), sets_(cfg.size_bytes / cfg.line_bytes / cfg.ways) {}
+
+  struct Result {
+    bool hit;
+    bool writeback;
+  };
+
+  Result access(std::uint64_t addr, bool is_write) {
+    const std::uint64_t line = addr / cfg_.line_bytes;
+    const std::uint64_t set = line % sets_;
+    auto& lru = sets_lru_[set];
+    for (auto it = lru.begin(); it != lru.end(); ++it) {
+      if (it->line == line) {
+        Entry e = *it;
+        e.dirty = e.dirty || is_write;
+        lru.erase(it);
+        lru.push_front(e);
+        return {true, false};
+      }
+    }
+    bool writeback = false;
+    if (lru.size() == cfg_.ways) {
+      writeback = lru.back().dirty;
+      lru.pop_back();
+    }
+    lru.push_front(Entry{line, is_write});
+    return {false, writeback};
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t line;
+    bool dirty;
+  };
+  CacheConfig cfg_;
+  std::uint64_t sets_;
+  std::map<std::uint64_t, std::list<Entry>> sets_lru_;
+};
+
+struct Geometry {
+  std::uint64_t size;
+  std::uint32_t ways;
+  std::uint32_t line;
+};
+
+class CacheFuzz : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(CacheFuzz, MatchesReferenceModel) {
+  const auto [size, ways, line] = GetParam();
+  const CacheConfig cfg{size, ways, line, true};
+  CacheModel dut(cfg);
+  ReferenceCache ref(cfg);
+  Rng rng(size ^ ways ^ line);
+
+  std::uint64_t ref_hits = 0, ref_wbs = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    // Mix of streaming, strided, and random accesses over a small footprint
+    // (4x the cache) to exercise evictions hard.
+    std::uint64_t addr;
+    switch (rng.next_below(3)) {
+      case 0: addr = (static_cast<std::uint64_t>(i) * 16) % (4 * size); break;
+      case 1: addr = (rng.next_below(64) * 4096) % (4 * size); break;
+      default: addr = rng.next_below(4 * size); break;
+    }
+    const bool is_write = rng.next_below(4) == 0;
+    const CacheEffect e = dut.access_line(addr, is_write);
+    const auto r = ref.access(addr, is_write);
+    ASSERT_EQ(e.hit, r.hit) << "access " << i;
+    ASSERT_EQ(e.writeback_addr.has_value(), r.writeback) << "access " << i;
+    ref_hits += r.hit ? 1 : 0;
+    ref_wbs += r.writeback ? 1 : 0;
+  }
+  EXPECT_EQ(dut.stats().hits, ref_hits);
+  EXPECT_EQ(dut.stats().writebacks, ref_wbs);
+  EXPECT_EQ(dut.stats().accesses, static_cast<std::uint64_t>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheFuzz,
+    ::testing::Values(Geometry{4096, 1, 64},      // direct mapped
+                      Geometry{8192, 2, 32},      // small 2-way
+                      Geometry{64 * 1024, 8, 64},  // typical L1
+                      Geometry{512 * 1024, 16, 64},
+                      Geometry{16384, 4, 128}));
+
+}  // namespace
+}  // namespace mcm::cache

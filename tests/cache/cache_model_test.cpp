@@ -1,0 +1,95 @@
+#include "cache/cache_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "video/encoder_access.hpp"
+
+namespace mcm::cache {
+namespace {
+
+TEST(Cache, ColdMissThenHit) {
+  CacheModel c(CacheConfig{1024, 2, 64, true});
+  const CacheEffect miss = c.access_line(0, false);
+  EXPECT_FALSE(miss.hit);
+  EXPECT_TRUE(miss.fill_addr.has_value());
+  const CacheEffect hit = c.access_line(32, false);  // same line
+  EXPECT_TRUE(hit.hit);
+  EXPECT_EQ(c.stats().hits, 1u);
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(Cache, LruEviction) {
+  // 2-way, 2 sets of 64 B lines: lines 0, 2, 4 map to set 0.
+  CacheModel c(CacheConfig{256, 2, 64, true});
+  (void)c.access_line(0 * 64, false);
+  (void)c.access_line(2 * 64, false);
+  (void)c.access_line(0 * 64, false);      // touch 0: line 2 is now LRU
+  (void)c.access_line(4 * 64, false);      // evicts line 2
+  EXPECT_TRUE(c.access_line(0 * 64, false).hit);
+  EXPECT_FALSE(c.access_line(2 * 64, false).hit);
+}
+
+TEST(Cache, DirtyEvictionProducesWriteback) {
+  CacheModel c(CacheConfig{256, 2, 64, true});
+  (void)c.access_line(0 * 64, true);   // dirty in set 0
+  (void)c.access_line(2 * 64, false);
+  (void)c.access_line(4 * 64, false);  // evicts dirty line 0
+  EXPECT_EQ(c.stats().writebacks, 1u);
+  const CacheEffect e = c.access_line(6 * 64, false);  // evicts clean line 2
+  EXPECT_FALSE(e.writeback_addr.has_value());
+}
+
+TEST(Cache, WritebackAddressReconstruction) {
+  CacheModel c(CacheConfig{256, 1, 64, true});  // direct mapped, 4 sets
+  (void)c.access_line(0x100, true);             // set (0x100/64)%4 = 0
+  const CacheEffect e = c.access_line(0x100 + 4 * 64, false);
+  ASSERT_TRUE(e.writeback_addr.has_value());
+  EXPECT_EQ(*e.writeback_addr, 0x100u);
+}
+
+TEST(Cache, MultiLineAccessTouchesEachLine) {
+  CacheModel c(CacheConfig{4096, 4, 64, true});
+  c.access(60, 100, false);  // spans lines 0 and 1 and 2? 60..159 -> 3 lines
+  EXPECT_EQ(c.stats().accesses, 3u);
+}
+
+TEST(Cache, SequentialStreamMissesOncePerLine) {
+  CacheModel c(CacheConfig{64 * 1024, 8, 64, true});
+  for (std::uint64_t a = 0; a < 32 * 1024; a += 16) c.access(a, 16, false);
+  EXPECT_EQ(c.stats().misses, 32u * 1024 / 64);
+  EXPECT_DOUBLE_EQ(c.stats().hit_rate(), 0.75);
+}
+
+TEST(Cache, RejectsBadGeometry) {
+  EXPECT_THROW(CacheModel(CacheConfig{1000, 3, 64, true}), std::invalid_argument);
+  EXPECT_THROW(CacheModel(CacheConfig{1024, 2, 48, true}), std::invalid_argument);
+  EXPECT_THROW(CacheModel(CacheConfig{0, 1, 64, true}), std::invalid_argument);
+}
+
+TEST(Cache, FiltersEncoderSearchTraffic) {
+  // The paper's premise: a reasonable cache absorbs the encoder's raw
+  // full-search traffic; post-cache traffic is a small fraction.
+  video::EncoderAccessParams p;
+  p.resolution = video::k720p;
+  p.ref_frames = 4;
+  p.mode = video::EncoderAccessMode::kAllTouches;
+  p.candidate_step = 4;
+  p.input_base = 0;
+  p.ref_base = 1ull << 24;
+  p.recon_base = 1ull << 27;
+  p.max_macroblocks = 200;
+  video::EncoderAccessGenerator gen(p);
+  CacheModel cache(CacheConfig{512 * 1024, 8, 64, true});
+  std::uint64_t raw = 0;
+  while (auto a = gen.next()) {
+    cache.access(a->addr, a->bytes, a->is_write);
+    raw += a->bytes;
+  }
+  const double reduction =
+      static_cast<double>(raw) / static_cast<double>(cache.miss_traffic_bytes());
+  EXPECT_GT(reduction, 10.0);
+}
+
+}  // namespace
+}  // namespace mcm::cache

@@ -1,0 +1,55 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcm {
+namespace {
+
+TEST(Config, ParsesKeyValues) {
+  const Config c = Config::from_string("a = 1\nb= hello\n# comment\nc =2.5 # trailing\n");
+  EXPECT_EQ(c.get_int("a", 0), 1);
+  EXPECT_EQ(c.get_string("b", ""), "hello");
+  EXPECT_DOUBLE_EQ(c.get_double("c", 0.0), 2.5);
+}
+
+TEST(Config, Defaults) {
+  const Config c = Config::from_string("");
+  EXPECT_EQ(c.get_int("missing", 7), 7);
+  EXPECT_EQ(c.get_string("missing", "d"), "d");
+  EXPECT_TRUE(c.get_bool("missing", true));
+  EXPECT_FALSE(c.has("missing"));
+}
+
+TEST(Config, Booleans) {
+  const Config c = Config::from_string("t1=true\nt2=1\nt3=yes\nf1=false\nf2=off\n");
+  EXPECT_TRUE(c.get_bool("t1", false));
+  EXPECT_TRUE(c.get_bool("t2", false));
+  EXPECT_TRUE(c.get_bool("t3", false));
+  EXPECT_FALSE(c.get_bool("f1", true));
+  EXPECT_FALSE(c.get_bool("f2", true));
+}
+
+TEST(Config, LaterKeysOverride) {
+  const Config c = Config::from_string("k=1\nk=2\n");
+  EXPECT_EQ(c.get_int("k", 0), 2);
+}
+
+TEST(Config, MalformedLineThrows) {
+  EXPECT_THROW(Config::from_string("no equals sign"), ConfigError);
+  EXPECT_THROW(Config::from_string("= value"), ConfigError);
+}
+
+TEST(Config, TypeErrorsThrow) {
+  const Config c = Config::from_string("k = notanint\nb = maybe\n");
+  EXPECT_THROW((void)c.get_int("k", 0), ConfigError);
+  EXPECT_THROW((void)c.get_double("k", 0.0), ConfigError);
+  EXPECT_THROW((void)c.get_bool("b", false), ConfigError);
+}
+
+TEST(Config, HexIntegers) {
+  const Config c = Config::from_string("addr = 0x10\n");
+  EXPECT_EQ(c.get_int("addr", 0), 16);
+}
+
+}  // namespace
+}  // namespace mcm

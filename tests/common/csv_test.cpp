@@ -1,0 +1,40 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mcm {
+namespace {
+
+TEST(Csv, PlainFields) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.field("a").field(std::int64_t{42}).field(2.5).endrow();
+  EXPECT_EQ(out.str(), "a,42,2.5\n");
+}
+
+TEST(Csv, QuotesWhenNeeded) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.field("hello, world").field("with \"quote\"").endrow();
+  EXPECT_EQ(out.str(), "\"hello, world\",\"with \"\"quote\"\"\"\n");
+}
+
+TEST(Csv, RowHelper) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.row({"x", "y"});
+  w.field(std::uint64_t{1}).field(std::int64_t{-2}).endrow();
+  EXPECT_EQ(out.str(), "x,y\n1,-2\n");
+}
+
+TEST(Csv, DoublePrecision) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.field(3.14159265358979, 3).endrow();
+  EXPECT_EQ(out.str(), "3.14\n");
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,48 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcm {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(33), 33u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, RoughlyUniform) {
+  Rng r(11);
+  int buckets[10] = {};
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) ++buckets[static_cast<int>(r.next_double() * 10)];
+  for (int b : buckets) {
+    EXPECT_GT(b, n / 10 - n / 50);
+    EXPECT_LT(b, n / 10 + n / 50);
+  }
+}
+
+}  // namespace
+}  // namespace mcm

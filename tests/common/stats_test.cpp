@@ -1,0 +1,83 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcm {
+namespace {
+
+TEST(Accumulator, Empty) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(Accumulator, Basic) {
+  Accumulator a;
+  a.add(2.0);
+  a.add(4.0);
+  a.add(9.0);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.sum(), 15.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+}
+
+TEST(Accumulator, Merge) {
+  Accumulator a, b;
+  a.add(1.0);
+  b.add(3.0);
+  b.add(5.0);
+  a += b;
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+}
+
+TEST(Accumulator, Reset) {
+  Accumulator a;
+  a.add(1.0);
+  a.reset();
+  EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(Histogram, Percentiles) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);  // uniform 0..100
+  EXPECT_NEAR(h.percentile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.percentile(0.95), 95.0, 1.5);
+  EXPECT_NEAR(h.percentile(0.99), 99.0, 1.5);
+  EXPECT_LE(h.percentile(0.25), h.percentile(0.75));
+}
+
+TEST(Histogram, PercentileEdgeCases) {
+  Histogram empty(0.0, 10.0, 10);
+  EXPECT_DOUBLE_EQ(empty.percentile(0.5), 0.0);
+  Histogram h(0.0, 10.0, 10);
+  h.add(-5.0);  // underflow
+  h.add(50.0);  // overflow
+  EXPECT_DOUBLE_EQ(h.percentile(0.25), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 10.0);
+}
+
+TEST(Histogram, Buckets) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-1.0);
+  h.add(0.0);
+  h.add(5.5);
+  h.add(9.999);
+  h.add(10.0);
+  h.add(42.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.buckets()[5], 1u);
+  EXPECT_EQ(h.buckets()[9], 1u);
+  EXPECT_EQ(h.summary().count(), 6u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(5), 5.0);
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,66 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcm {
+namespace {
+
+TEST(Time, ConversionsRoundTrip) {
+  const Time t = Time::from_ns(15.0);
+  EXPECT_EQ(t.ps(), 15'000);
+  EXPECT_DOUBLE_EQ(t.ns(), 15.0);
+  EXPECT_DOUBLE_EQ(Time::from_ms(33.0).ms(), 33.0);
+  EXPECT_DOUBLE_EQ(Time::from_seconds(1.0).seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(Time::from_us(7.8125).us(), 7.8125);
+}
+
+TEST(Time, Arithmetic) {
+  const Time a = Time::from_ns(10.0);
+  const Time b = Time::from_ns(4.0);
+  EXPECT_EQ((a + b).ps(), 14'000);
+  EXPECT_EQ((a - b).ps(), 6'000);
+  EXPECT_EQ((a * 3).ps(), 30'000);
+  EXPECT_EQ((3 * a).ps(), 30'000);
+  Time c = a;
+  c += b;
+  EXPECT_EQ(c.ps(), 14'000);
+  c -= b;
+  EXPECT_EQ(c, a);
+}
+
+TEST(Time, Ordering) {
+  EXPECT_LT(Time::from_ns(1.0), Time::from_ns(2.0));
+  EXPECT_EQ(max(Time{5}, Time{9}), Time{9});
+  EXPECT_EQ(min(Time{5}, Time{9}), Time{5});
+  EXPECT_LT(Time::zero(), Time::max());
+}
+
+TEST(Frequency, PeriodAtPaperClocks) {
+  EXPECT_EQ(Frequency{400.0}.period().ps(), 2'500);
+  EXPECT_EQ(Frequency{200.0}.period().ps(), 5'000);
+  EXPECT_EQ(Frequency{533.0}.period().ps(), 1'876);  // rounded to 1 ps
+  EXPECT_DOUBLE_EQ(Frequency{400.0}.hz(), 4e8);
+}
+
+TEST(Bandwidth, FromBytesOverTime) {
+  EXPECT_DOUBLE_EQ(bandwidth_bytes_per_s(1'000'000, Time::from_ms(1.0)), 1e9);
+  EXPECT_DOUBLE_EQ(bandwidth_bytes_per_s(123, Time::zero()), 0.0);
+}
+
+TEST(Format, HumanReadable) {
+  EXPECT_EQ(format_time(Time{500}), "500 ps");
+  EXPECT_EQ(format_time(Time::from_ns(55.0)), "55.00 ns");
+  EXPECT_EQ(format_time(Time::from_ms(33.0)), "33.000 ms");
+  EXPECT_EQ(format_bandwidth(3.2e9), "3.20 GB/s");
+  EXPECT_EQ(format_bandwidth(69.1e6), "69.10 MB/s");
+}
+
+TEST(Units, DataSizeHelpers) {
+  EXPECT_EQ(kKiB, 1024u);
+  EXPECT_EQ(kMiB, 1024u * 1024u);
+  EXPECT_DOUBLE_EQ(bits_to_mbits(8e6), 8.0);
+  EXPECT_DOUBLE_EQ(bytes_to_gb(2.5e9), 2.5);
+}
+
+}  // namespace
+}  // namespace mcm

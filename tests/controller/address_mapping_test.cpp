@@ -1,0 +1,128 @@
+#include "controller/address_mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace mcm::ctrl {
+namespace {
+
+const dram::OrgSpec kOrg = dram::DeviceSpec::next_gen_mobile_ddr().org;
+
+TEST(AddressMapping, RbcSequentialStaysInRowThenRotatesBank) {
+  const AddressMapper m(kOrg, AddressMux::kRBC);
+  // Within one 2 KiB row: same bank, same row, increasing column.
+  const auto first = m.decode(0);
+  const auto last = m.decode(kOrg.row_bytes - 16);
+  EXPECT_EQ(first.bank, last.bank);
+  EXPECT_EQ(first.row, last.row);
+  EXPECT_EQ(last.column_burst, kOrg.bursts_per_row() - 1);
+  // The next row-sized block lands in the next bank (same row index).
+  const auto next = m.decode(kOrg.row_bytes);
+  EXPECT_EQ(next.bank, (first.bank + 1) % kOrg.banks);
+  EXPECT_EQ(next.row, first.row);
+  // After all banks, the row advances.
+  const auto wrap = m.decode(static_cast<std::uint64_t>(kOrg.row_bytes) * kOrg.banks);
+  EXPECT_EQ(wrap.bank, first.bank);
+  EXPECT_EQ(wrap.row, first.row + 1);
+}
+
+TEST(AddressMapping, BrcKeepsBankForContiguousQuarter) {
+  const AddressMapper m(kOrg, AddressMux::kBRC);
+  const std::uint64_t quarter = kOrg.capacity_bytes() / kOrg.banks;
+  EXPECT_EQ(m.decode(0).bank, 0u);
+  EXPECT_EQ(m.decode(quarter - 16).bank, 0u);
+  EXPECT_EQ(m.decode(quarter).bank, 1u);
+  // Consecutive rows within a bank.
+  EXPECT_EQ(m.decode(kOrg.row_bytes).row, m.decode(0).row + 1);
+}
+
+TEST(AddressMapping, RcbRotatesBankPerBurst) {
+  const AddressMapper m(kOrg, AddressMux::kRCB);
+  EXPECT_EQ(m.decode(0).bank, 0u);
+  EXPECT_EQ(m.decode(16).bank, 1u);
+  EXPECT_EQ(m.decode(32).bank, 2u);
+  EXPECT_EQ(m.decode(48).bank, 3u);
+  EXPECT_EQ(m.decode(64).bank, 0u);
+}
+
+TEST(AddressMapping, WrapsBeyondCapacity) {
+  const AddressMapper m(kOrg, AddressMux::kRBC);
+  EXPECT_EQ(m.decode(kOrg.capacity_bytes()), m.decode(0));
+  EXPECT_EQ(m.decode(kOrg.capacity_bytes() + 4096), m.decode(4096));
+}
+
+class MappingProperty : public ::testing::TestWithParam<AddressMux> {};
+
+TEST_P(MappingProperty, EncodeDecodeRoundTrip) {
+  const AddressMapper m(kOrg, GetParam());
+  Rng rng(0xabc);
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint64_t addr =
+        rng.next_below(kOrg.capacity_bytes() / 16) * 16;  // burst aligned
+    const DecodedAddress d = m.decode(addr);
+    EXPECT_LT(d.bank, kOrg.banks);
+    EXPECT_LT(d.row, kOrg.rows_per_bank());
+    EXPECT_LT(d.column_burst, kOrg.bursts_per_row());
+    EXPECT_EQ(m.encode(d), addr);
+  }
+}
+
+TEST_P(MappingProperty, DecodeIsInjectiveOverASample) {
+  const AddressMapper m(kOrg, GetParam());
+  std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> seen;
+  for (std::uint64_t burst = 0; burst < 50'000; ++burst) {
+    const DecodedAddress d = m.decode(burst * 16);
+    const auto key = std::make_tuple(d.bank, d.row, d.column_burst);
+    EXPECT_TRUE(seen.insert(key).second) << "duplicate mapping at burst " << burst;
+  }
+}
+
+TEST_P(MappingProperty, BurstOffsetIgnored) {
+  const AddressMapper m(kOrg, GetParam());
+  for (std::uint64_t base : {0ull, 4096ull, 123456ull * 16}) {
+    const DecodedAddress d0 = m.decode(base);
+    for (std::uint64_t off = 1; off < 16; ++off) {
+      EXPECT_EQ(m.decode(base + off), d0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMuxes, MappingProperty,
+                         ::testing::Values(AddressMux::kRBC, AddressMux::kBRC,
+                                           AddressMux::kRCB, AddressMux::kRBCXor),
+                         [](const auto& info) {
+                           std::string name(to_string(info.param));
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(AddressMapping, XorHashSpreadsBankStrides) {
+  // A stride of banks * row_bytes thrashes one bank under plain RBC but
+  // rotates banks under the XOR permutation.
+  const AddressMapper rbc(kOrg, AddressMux::kRBC);
+  const AddressMapper xr(kOrg, AddressMux::kRBCXor);
+  const std::uint64_t stride = static_cast<std::uint64_t>(kOrg.row_bytes) * kOrg.banks;
+  std::set<std::uint32_t> rbc_banks, xor_banks;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    rbc_banks.insert(rbc.decode(i * stride).bank);
+    xor_banks.insert(xr.decode(i * stride).bank);
+  }
+  EXPECT_EQ(rbc_banks.size(), 1u);
+  EXPECT_EQ(xor_banks.size(), kOrg.banks);
+}
+
+TEST(AddressMapping, XorKeepsRowLocality) {
+  const AddressMapper xr(kOrg, AddressMux::kRBCXor);
+  const auto a = xr.decode(0);
+  const auto b = xr.decode(kOrg.row_bytes - 16);
+  EXPECT_EQ(a.bank, b.bank);
+  EXPECT_EQ(a.row, b.row);
+}
+
+}  // namespace
+}  // namespace mcm::ctrl

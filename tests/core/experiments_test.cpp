@@ -1,0 +1,49 @@
+#include "core/experiments.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcm::core {
+namespace {
+
+TEST(Experiments, PaperDefaultsMatchSectionIII) {
+  const auto cfg = ExperimentConfig::paper_defaults();
+  EXPECT_EQ(cfg.base.interleave_bytes, 16u);
+  EXPECT_EQ(cfg.base.mux, ctrl::AddressMux::kRBC);
+  EXPECT_EQ(cfg.base.controller.page_policy, ctrl::PagePolicy::kOpen);
+  EXPECT_EQ(cfg.base.controller.powerdown_idle_cycles, 1);
+  EXPECT_EQ(cfg.base.device.org.banks, 4u);
+  EXPECT_EQ(cfg.usecase.ref_policy, video::RefFramePolicy::kCalibrated);
+}
+
+TEST(Experiments, PaperAxes) {
+  EXPECT_EQ(paper_frequencies(),
+            (std::vector<double>{200.0, 266.0, 333.0, 400.0, 466.0, 533.0}));
+  EXPECT_EQ(paper_channel_counts(), (std::vector<std::uint32_t>{1, 2, 4, 8}));
+}
+
+TEST(Experiments, FrequencySweepShapesAreMonotonic) {
+  // Restrict to 1-2 channels at three frequencies to keep the test fast;
+  // access time must fall with frequency and with channels.
+  auto cfg = ExperimentConfig::paper_defaults();
+  const FrameSimulator sim(cfg.sim);
+  auto run = [&](double freq, std::uint32_t ch) {
+    auto sys = cfg.base;
+    sys.freq = Frequency{freq};
+    sys.channels = ch;
+    video::UseCaseParams uc = cfg.usecase;
+    uc.level = video::H264Level::k31;
+    return sim.run(sys, uc).access_time;
+  };
+  const Time t200 = run(200.0, 1);
+  const Time t400_1 = run(400.0, 1);
+  const Time t400_2 = run(400.0, 2);
+  EXPECT_GT(t200, t400_1);
+  EXPECT_GT(t400_1, t400_2);
+  // Paper: "close to 2x speedup ... double clock frequency or double the
+  // number of exploited channels".
+  EXPECT_NEAR(static_cast<double>(t200.ps()) / t400_1.ps(), 2.0, 0.4);
+  EXPECT_NEAR(static_cast<double>(t400_1.ps()) / t400_2.ps(), 2.0, 0.4);
+}
+
+}  // namespace
+}  // namespace mcm::core

@@ -1,0 +1,143 @@
+// Figure-level shape assertions against the paper's reported results.
+// Absolute numbers are bands (our substrate is a reconstruction, not the
+// authors' ESL testbed); who-wins relations are asserted exactly.
+#include <gtest/gtest.h>
+
+#include "core/experiments.hpp"
+#include "xdr/xdr_model.hpp"
+
+namespace mcm::core {
+namespace {
+
+class PaperResults : public ::testing::Test {
+ protected:
+  FrameSimResult run(double freq, std::uint32_t channels, video::H264Level level) {
+    auto cfg = ExperimentConfig::paper_defaults();
+    cfg.base.freq = Frequency{freq};
+    cfg.base.channels = channels;
+    video::UseCaseParams uc = cfg.usecase;
+    uc.level = level;
+    return FrameSimulator(cfg.sim).run(cfg.base, uc);
+  }
+};
+
+// --- Fig. 3: access time vs clock frequency, 720p30, one frame ------------
+
+TEST_F(PaperResults, Fig3_SingleChannelFailsAt200And266) {
+  EXPECT_FALSE(run(200.0, 1, video::H264Level::k31).meets_realtime);
+  EXPECT_FALSE(run(266.0, 1, video::H264Level::k31).meets_realtime);
+}
+
+TEST_F(PaperResults, Fig3_SingleChannel333IsMarginal) {
+  // Paper: 333 MHz meets the 33 ms line but is "on the edge".
+  const auto r = run(333.0, 1, video::H264Level::k31);
+  EXPECT_TRUE(r.meets_realtime);
+  EXPECT_GT(r.access_time.seconds(), r.frame_period.seconds() * 0.70);
+}
+
+TEST_F(PaperResults, Fig3_TwoChannelsMeet720pAtEveryFrequency) {
+  // Paper conclusion from Fig. 3: "at least two channels are required to
+  // satisfy the real-time requirements of the 720p HDTV with all the
+  // examined DDR2 clock frequencies" - and two channels suffice.
+  for (const double f : paper_frequencies()) {
+    EXPECT_TRUE(run(f, 2, video::H264Level::k31).meets_realtime)
+        << "2 channels @ " << f << " MHz";
+  }
+}
+
+TEST_F(PaperResults, Fig3_DoublingFrequencyOrChannelsNearlyHalvesTime) {
+  const auto t200_1 = run(200.0, 1, video::H264Level::k31).access_time;
+  const auto t400_1 = run(400.0, 1, video::H264Level::k31).access_time;
+  const auto t200_2 = run(200.0, 2, video::H264Level::k31).access_time;
+  EXPECT_NEAR(static_cast<double>(t200_1.ps()) / t400_1.ps(), 2.0, 0.4);
+  EXPECT_NEAR(static_cast<double>(t200_1.ps()) / t200_2.ps(), 2.0, 0.4);
+}
+
+// --- Fig. 4: access time vs format at 400 MHz -----------------------------
+
+TEST_F(PaperResults, Fig4_Level31AchievableWithAllInterleavings) {
+  for (const std::uint32_t ch : paper_channel_counts()) {
+    EXPECT_TRUE(run(400.0, ch, video::H264Level::k31).meets_realtime)
+        << ch << " channels";
+  }
+}
+
+TEST_F(PaperResults, Fig4_720p60RequiresAtLeastTwoChannels) {
+  EXPECT_FALSE(run(400.0, 1, video::H264Level::k32).meets_realtime);
+  EXPECT_TRUE(run(400.0, 2, video::H264Level::k32).meets_realtime);
+}
+
+TEST_F(PaperResults, Fig4_1080p30SafeWithFourChannels) {
+  // Paper: "to be on the safe side ... 1080p employs at minimum four
+  // channels" - one channel fails outright; four meet with margin.
+  EXPECT_FALSE(run(400.0, 1, video::H264Level::k40).meets_realtime);
+  const auto four = run(400.0, 4, video::H264Level::k40);
+  EXPECT_TRUE(four.meets_realtime_with_margin);
+}
+
+TEST_F(PaperResults, Fig4_1080p60NeedsFourChannels) {
+  EXPECT_FALSE(run(400.0, 2, video::H264Level::k42).meets_realtime);
+  EXPECT_TRUE(run(400.0, 4, video::H264Level::k42).meets_realtime);
+}
+
+TEST_F(PaperResults, Fig4_2160pNeedsAllEightChannels) {
+  EXPECT_FALSE(run(400.0, 4, video::H264Level::k52).meets_realtime);
+  EXPECT_TRUE(run(400.0, 8, video::H264Level::k52).meets_realtime);
+}
+
+// --- Fig. 5: power vs format at 400 MHz ------------------------------------
+
+TEST_F(PaperResults, Fig5_720pSingleChannelNear150mW) {
+  const auto r = run(400.0, 1, video::H264Level::k31);
+  EXPECT_GT(r.total_power_mw, 100.0);
+  EXPECT_LT(r.total_power_mw, 210.0);
+}
+
+TEST_F(PaperResults, Fig5_720pEightChannelsNear205mW) {
+  // Multi-channel overhead is moderate thanks to aggressive power-down:
+  // 150 mW (1 ch) vs 205 mW (8 ch) in the paper.
+  const auto one = run(400.0, 1, video::H264Level::k31);
+  const auto eight = run(400.0, 8, video::H264Level::k31);
+  EXPECT_GT(eight.total_power_mw, one.total_power_mw);
+  EXPECT_LT(eight.total_power_mw, one.total_power_mw * 1.8);
+  EXPECT_GT(eight.total_power_mw, 140.0);
+  EXPECT_LT(eight.total_power_mw, 290.0);
+}
+
+TEST_F(PaperResults, Fig5_1080p30FourChannelsNear345mW) {
+  const auto r = run(400.0, 4, video::H264Level::k40);
+  EXPECT_GT(r.total_power_mw, 260.0);
+  EXPECT_LT(r.total_power_mw, 440.0);
+}
+
+TEST_F(PaperResults, Fig5_2160pEightChannelsNear1280mW) {
+  const auto r = run(400.0, 8, video::H264Level::k52);
+  EXPECT_GT(r.total_power_mw, 950.0);
+  EXPECT_LT(r.total_power_mw, 1650.0);
+}
+
+TEST_F(PaperResults, Fig5_InterfacePowerIsSmallStackedComponent) {
+  const auto r = run(400.0, 4, video::H264Level::k40);
+  EXPECT_NEAR(r.interface_power_mw, 4 * 4.147, 0.2);
+  EXPECT_LT(r.interface_power_mw, 0.15 * r.total_power_mw);
+}
+
+// --- Section IV/V: XDR comparison ------------------------------------------
+
+TEST_F(PaperResults, XdrComparableBandwidthFractionOfPower) {
+  const xdr::XdrInterface xdr;
+  auto cfg = ExperimentConfig::paper_defaults();
+  cfg.base.channels = 8;
+  const multichannel::MemorySystem sys(cfg.base);
+  EXPECT_NEAR(sys.peak_bandwidth_bytes_per_s() / 1e9, xdr.bandwidth_gb_per_s, 1.0);
+  // "power consumption from 4 % to 25 % of the XDR value".
+  const double lo = xdr.power_fraction(run(400.0, 8, video::H264Level::k31).total_power_mw);
+  const double hi = xdr.power_fraction(run(400.0, 8, video::H264Level::k52).total_power_mw);
+  EXPECT_GT(lo, 0.02);
+  EXPECT_LT(lo, 0.08);
+  EXPECT_GT(hi, 0.15);
+  EXPECT_LT(hi, 0.35);
+}
+
+}  // namespace
+}  // namespace mcm::core

@@ -1,0 +1,87 @@
+#include "core/source_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "load/multi_stream_source.hpp"
+
+namespace mcm::core {
+namespace {
+
+std::unique_ptr<load::TrafficSource> stream(std::uint64_t base, std::uint64_t bytes,
+                                            bool is_write, std::uint16_t id) {
+  return std::make_unique<load::MultiStreamSource>(
+      "stream",
+      std::vector<load::StreamSpec>{{base, bytes, 0, is_write, id}});
+}
+
+multichannel::SystemConfig two_channels() {
+  multichannel::SystemConfig cfg;
+  cfg.channels = 2;
+  return cfg;
+}
+
+TEST(SourceRunner, EmptySourceListFinishesInstantly) {
+  auto r = run_stage_sources(two_channels(), {}, Time::from_ms(1.0));
+  EXPECT_EQ(r.access_time, Time::zero());
+  EXPECT_EQ(r.bytes, 0u);
+  EXPECT_EQ(r.window, Time::from_ms(1.0));
+  // Idle window still burns background power (power-down + refresh + I/O).
+  EXPECT_GT(r.total_power_mw, 0.0);
+  EXPECT_LT(r.dram_power_mw, 20.0);
+}
+
+TEST(SourceRunner, VolumeConserved) {
+  std::vector<std::unique_ptr<load::TrafficSource>> sources;
+  sources.push_back(stream(0, 256 * 1024, false, 0));
+  sources.push_back(stream(1 << 22, 128 * 1024, true, 1));
+  auto r = run_stage_sources(two_channels(), std::move(sources), Time::zero());
+  EXPECT_EQ(r.bytes, 256u * 1024 + 128 * 1024);
+  EXPECT_EQ(r.stats.bytes, r.bytes);
+  EXPECT_EQ(r.stats.reads, 256u * 1024 / 16);
+  EXPECT_EQ(r.stats.writes, 128u * 1024 / 16);
+}
+
+TEST(SourceRunner, StagesRunInOrder) {
+  // Two equal stages: total time is ~2x one stage (barrier between them).
+  auto one = run_stage_sources(
+      two_channels(),
+      [] {
+        std::vector<std::unique_ptr<load::TrafficSource>> v;
+        v.push_back(stream(0, 512 * 1024, false, 0));
+        return v;
+      }(),
+      Time::zero());
+  auto two = run_stage_sources(
+      two_channels(),
+      [] {
+        std::vector<std::unique_ptr<load::TrafficSource>> v;
+        v.push_back(stream(0, 512 * 1024, false, 0));
+        v.push_back(stream(1 << 22, 512 * 1024, false, 1));
+        return v;
+      }(),
+      Time::zero());
+  EXPECT_NEAR(static_cast<double>(two.access_time.ps()),
+              2.0 * static_cast<double>(one.access_time.ps()),
+              0.15 * static_cast<double>(two.access_time.ps()));
+}
+
+TEST(SourceRunner, WindowHintExtendsAccounting) {
+  std::vector<std::unique_ptr<load::TrafficSource>> sources;
+  sources.push_back(stream(0, 64 * 1024, false, 0));
+  auto tight = run_stage_sources(two_channels(),
+                                 [] {
+                                   std::vector<std::unique_ptr<load::TrafficSource>> v;
+                                   v.push_back(stream(0, 64 * 1024, false, 0));
+                                   return v;
+                                 }(),
+                                 Time::zero());
+  auto wide = run_stage_sources(two_channels(), std::move(sources),
+                                Time::from_ms(33.0));
+  EXPECT_EQ(tight.access_time, wide.access_time);
+  EXPECT_GT(wide.window, tight.window);
+  // Average power over the long window is far lower (idle tail sleeps).
+  EXPECT_LT(wide.dram_power_mw, tight.dram_power_mw);
+}
+
+}  // namespace
+}  // namespace mcm::core

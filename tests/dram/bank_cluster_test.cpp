@@ -1,0 +1,69 @@
+#include "dram/bank_cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcm::dram {
+namespace {
+
+class BankClusterTest : public ::testing::Test {
+ protected:
+  BankClusterTest()
+      : spec_(DeviceSpec::next_gen_mobile_ddr()),
+        d_(DerivedTiming::derive(spec_.timing, Frequency{400.0})),
+        cluster_(spec_.org) {}
+
+  Time cyc(int n) const { return d_.cycles(n); }
+
+  DeviceSpec spec_;
+  DerivedTiming d_;
+  BankCluster cluster_;
+};
+
+TEST_F(BankClusterTest, HasFourBanks) {
+  EXPECT_EQ(cluster_.bank_count(), 4u);
+  EXPECT_TRUE(cluster_.all_precharged());
+}
+
+TEST_F(BankClusterTest, CrossBankActivateRespectsTrrd) {
+  cluster_.activate(Time::zero(), 0, 5, d_);
+  EXPECT_EQ(cluster_.earliest_activate(1), cyc(d_.trrd));
+  cluster_.activate(cyc(d_.trrd), 1, 9, d_);
+  EXPECT_EQ(cluster_.earliest_activate(2), cyc(2 * d_.trrd));
+}
+
+TEST_F(BankClusterTest, SameBankGuardDominatesTrrd) {
+  cluster_.activate(Time::zero(), 0, 5, d_);
+  // Same bank: tRC, not tRRD.
+  EXPECT_EQ(cluster_.earliest_activate(0), cyc(d_.trc));
+}
+
+TEST_F(BankClusterTest, TracksOpenRowsAcrossBanks) {
+  cluster_.activate(Time::zero(), 0, 5, d_);
+  cluster_.activate(cyc(d_.trrd), 2, 7, d_);
+  EXPECT_TRUE(cluster_.any_row_open());
+  EXPECT_FALSE(cluster_.all_precharged());
+  EXPECT_TRUE(cluster_.bank(0).row_open());
+  EXPECT_FALSE(cluster_.bank(1).row_open());
+  EXPECT_TRUE(cluster_.bank(2).row_open());
+}
+
+TEST_F(BankClusterTest, RefreshRequiresAllPrechargedAndBlocksAllBanks) {
+  cluster_.activate(Time::zero(), 0, 5, d_);
+  cluster_.precharge(cluster_.earliest_precharge(0), 0, d_);
+  ASSERT_TRUE(cluster_.all_precharged());
+  const Time tr = cluster_.earliest_refresh();
+  cluster_.refresh(tr, d_);
+  for (std::uint32_t b = 0; b < cluster_.bank_count(); ++b) {
+    EXPECT_EQ(cluster_.bank(b).earliest_activate(), tr + cyc(d_.trfc));
+  }
+}
+
+TEST_F(BankClusterTest, ReadWriteForwardToBank) {
+  cluster_.activate(Time::zero(), 1, 3, d_);
+  const Time t = cluster_.earliest_cas(1);
+  const Time rd_end = cluster_.read(t, 1, d_);
+  EXPECT_EQ(rd_end, t + cyc(d_.cl + d_.burst_ck));
+}
+
+}  // namespace
+}  // namespace mcm::dram

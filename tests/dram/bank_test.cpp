@@ -1,0 +1,89 @@
+#include "dram/bank.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcm::dram {
+namespace {
+
+class BankTest : public ::testing::Test {
+ protected:
+  BankTest()
+      : spec_(DeviceSpec::next_gen_mobile_ddr()),
+        d_(DerivedTiming::derive(spec_.timing, Frequency{400.0})) {}
+
+  Time cyc(int n) const { return d_.cycles(n); }
+
+  DeviceSpec spec_;
+  DerivedTiming d_;
+  Bank bank_;
+};
+
+TEST_F(BankTest, StartsClosed) {
+  EXPECT_FALSE(bank_.row_open());
+  EXPECT_EQ(bank_.earliest_activate(), Time::zero());
+}
+
+TEST_F(BankTest, ActivateOpensRowAndSetsGuards) {
+  bank_.activate(Time::zero(), 77, d_);
+  EXPECT_TRUE(bank_.row_open());
+  EXPECT_EQ(bank_.open_row(), 77u);
+  EXPECT_EQ(bank_.earliest_cas(), cyc(d_.trcd));
+  EXPECT_EQ(bank_.earliest_precharge(), cyc(d_.tras));
+  EXPECT_EQ(bank_.earliest_activate(), cyc(d_.trc));
+}
+
+TEST_F(BankTest, ReadReturnsDataEnd) {
+  bank_.activate(Time::zero(), 1, d_);
+  const Time t = bank_.earliest_cas();
+  const Time end = bank_.read(t, d_);
+  EXPECT_EQ(end, t + cyc(d_.cl + d_.burst_ck));
+}
+
+TEST_F(BankTest, WriteExtendsPrechargeGuardByWriteRecovery) {
+  bank_.activate(Time::zero(), 1, d_);
+  // Write late enough that tWR (not tRAS) bounds the next precharge.
+  const Time t = bank_.earliest_cas() + cyc(20);
+  const Time end = bank_.write(t, d_);
+  EXPECT_EQ(end, t + cyc(d_.cwl + d_.burst_ck));
+  EXPECT_EQ(bank_.earliest_precharge(), end + cyc(d_.twr));
+}
+
+TEST_F(BankTest, ReadSetsReadToPrechargeGuard) {
+  bank_.activate(Time::zero(), 1, d_);
+  const Time t = bank_.earliest_cas() + cyc(20);  // later than tRAS window
+  (void)bank_.read(t, d_);
+  EXPECT_GE(bank_.earliest_precharge(), t + cyc(d_.trtp));
+}
+
+TEST_F(BankTest, PrechargeClosesRowAndArmsActivate) {
+  bank_.activate(Time::zero(), 1, d_);
+  const Time tp = bank_.earliest_precharge();
+  bank_.precharge(tp, d_);
+  EXPECT_FALSE(bank_.row_open());
+  EXPECT_GE(bank_.earliest_activate(), tp + cyc(d_.trp));
+}
+
+TEST_F(BankTest, SameBankActRespectsTrc) {
+  bank_.activate(Time::zero(), 1, d_);
+  bank_.precharge(bank_.earliest_precharge(), d_);
+  // tRC from the first ACT dominates tRAS + tRP here only if longer; the
+  // guard must be at least both.
+  EXPECT_GE(bank_.earliest_activate(), cyc(d_.trc));
+}
+
+TEST_F(BankTest, RefreshBlocksBankForTrfc) {
+  bank_.refresh(Time::zero(), d_);
+  EXPECT_EQ(bank_.earliest_activate(), cyc(d_.trfc));
+}
+
+#ifndef NDEBUG
+TEST_F(BankTest, IllegalCommandsAssert) {
+  EXPECT_DEATH(bank_.precharge(Time::zero(), d_), "");  // no open row
+  bank_.activate(Time::zero(), 1, d_);
+  EXPECT_DEATH((void)bank_.read(Time::zero(), d_), "");  // before tRCD
+  EXPECT_DEATH(bank_.activate(Time::zero(), 2, d_), "");  // already open
+}
+#endif
+
+}  // namespace
+}  // namespace mcm::dram

@@ -1,0 +1,95 @@
+#include "dram/spec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcm::dram {
+namespace {
+
+TEST(OrgSpec, PaperDevice) {
+  const OrgSpec org = DeviceSpec::next_gen_mobile_ddr().org;
+  EXPECT_EQ(org.banks, 4u);
+  EXPECT_EQ(org.capacity_bits, 512ull * 1024 * 1024);  // 512 Mb per cluster
+  EXPECT_EQ(org.word_bits, 32u);
+  EXPECT_EQ(org.burst_length, 4u);
+  EXPECT_EQ(org.bytes_per_burst(), 16u);  // Table II: minimum granularity
+  EXPECT_EQ(org.bursts_per_row(), 128u);
+  EXPECT_EQ(org.rows_per_bank(), 8192u);
+  EXPECT_EQ(org.capacity_bytes(), 64ull * 1024 * 1024);
+}
+
+TEST(DerivedTiming, At200MHzMatchesDatasheetCycles) {
+  const auto spec = DeviceSpec::next_gen_mobile_ddr();
+  const auto d = DerivedTiming::derive(spec.timing, Frequency{200.0});
+  EXPECT_EQ(d.clk.ps(), 5000);
+  EXPECT_EQ(d.cl, 3);    // 15 ns at 5 ns clock: CL = 3 (Mobile DDR -5 grade)
+  EXPECT_EQ(d.trcd, 3);
+  EXPECT_EQ(d.trp, 3);
+  EXPECT_EQ(d.tras, 8);  // 40 ns
+  EXPECT_EQ(d.trc, 11);  // 55 ns
+  EXPECT_EQ(d.trrd, 2);
+  EXPECT_EQ(d.twr, 3);
+  EXPECT_EQ(d.trfc, 15);  // 72 ns -> ceil
+  EXPECT_EQ(d.trefi, 1563);  // 7812.5 ns
+  EXPECT_EQ(d.burst_ck, 2);  // BL4, DDR
+  EXPECT_EQ(d.cwl, 1);
+}
+
+TEST(DerivedTiming, FrequencyExtrapolationKeepsNanoseconds) {
+  // Paper rule: analog timings stay in ns, so cycle counts scale with f.
+  const auto spec = DeviceSpec::next_gen_mobile_ddr();
+  const auto d400 = DerivedTiming::derive(spec.timing, Frequency{400.0});
+  EXPECT_EQ(d400.clk.ps(), 2500);
+  EXPECT_EQ(d400.cl, 6);
+  EXPECT_EQ(d400.trcd, 6);
+  EXPECT_EQ(d400.trp, 6);
+  EXPECT_EQ(d400.tras, 16);
+  EXPECT_EQ(d400.trc, 22);
+  // Latency in ns is (nearly) frequency independent.
+  EXPECT_NEAR(d400.cycles(d400.trcd).ns(),
+              DerivedTiming::derive(spec.timing, Frequency{200.0})
+                  .cycles(3).ns(),
+              2.5);
+}
+
+TEST(DerivedTiming, PeakBandwidthIsDdr) {
+  const auto spec = DeviceSpec::next_gen_mobile_ddr();
+  const auto d = DerivedTiming::derive(spec.timing, Frequency{400.0});
+  // 400 MHz x 2 (DDR) x 4 B = 3.2 GB/s per channel.
+  EXPECT_DOUBLE_EQ(d.peak_bandwidth_bytes_per_s(spec.org), 3.2e9);
+}
+
+TEST(DerivedTiming, RejectsOutOfRangeClock) {
+  const auto spec = DeviceSpec::next_gen_mobile_ddr();
+  EXPECT_THROW((void)DerivedTiming::derive(spec.timing, Frequency{100.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)DerivedTiming::derive(spec.timing, Frequency{800.0}),
+               std::invalid_argument);
+  EXPECT_NO_THROW((void)DerivedTiming::derive(spec.timing, Frequency{533.0}));
+  EXPECT_NO_THROW((void)DerivedTiming::derive(spec.timing, Frequency{200.0}));
+}
+
+class DerivedTimingSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DerivedTimingSweep, AllCycleCountsPositiveAndOrdered) {
+  const auto spec = DeviceSpec::next_gen_mobile_ddr();
+  const auto d = DerivedTiming::derive(spec.timing, Frequency{GetParam()});
+  EXPECT_GT(d.cl, 0);
+  EXPECT_GT(d.trcd, 0);
+  EXPECT_GT(d.trp, 0);
+  EXPECT_GT(d.tras, 0);
+  EXPECT_GT(d.trrd, 0);
+  EXPECT_GT(d.twr, 0);
+  EXPECT_GT(d.trfc, 0);
+  EXPECT_GT(d.txp, 0);
+  // tRC covers tRAS + tRP (within rounding of one cycle).
+  EXPECT_GE(d.trc + 1, d.tras + d.trp);
+  // Refresh interval dwarfs the refresh cycle time.
+  EXPECT_GT(d.trefi, 10 * d.trfc);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperClocks, DerivedTimingSweep,
+                         ::testing::Values(200.0, 266.0, 333.0, 400.0, 466.0,
+                                           533.0));
+
+}  // namespace
+}  // namespace mcm::dram

@@ -1,0 +1,114 @@
+// tFAW (four-activate window) support, used by the eight-bank future-device
+// ablation. The paper's LPDDR1-class device has no tFAW (0 disables it).
+#include <gtest/gtest.h>
+
+#include "dram/bank_cluster.hpp"
+#include "dram/timing_checker.hpp"
+
+namespace mcm::dram {
+namespace {
+
+TEST(Tfaw, DisabledByDefault) {
+  const auto spec = DeviceSpec::next_gen_mobile_ddr();
+  const auto d = DerivedTiming::derive(spec.timing, Frequency{400.0});
+  EXPECT_EQ(d.tfaw, 0);
+}
+
+TEST(Tfaw, EightBankFutureHasWindow) {
+  const auto spec = DeviceSpec::eight_bank_future();
+  EXPECT_EQ(spec.org.banks, 8u);
+  const auto d = DerivedTiming::derive(spec.timing, Frequency{400.0});
+  EXPECT_EQ(d.tfaw, 20);  // 50 ns at 2.5 ns clock
+}
+
+TEST(Tfaw, FifthActivateWaitsForWindow) {
+  const auto spec = DeviceSpec::eight_bank_future();
+  const auto d = DerivedTiming::derive(spec.timing, Frequency{400.0});
+  BankCluster cluster(spec.org);
+  // Four activates at tRRD spacing.
+  Time t = Time::zero();
+  for (std::uint32_t b = 0; b < 4; ++b) {
+    t = max(t, cluster.earliest_activate(b));
+    cluster.activate(t, b, 1, d);
+    t = t + d.cycles(d.trrd);
+  }
+  // The fifth is bounded by ACT#1 + tFAW, not just tRRD.
+  const Time first_act = Time::zero();
+  EXPECT_GE(cluster.earliest_activate(4), first_act + d.cycles(d.tfaw));
+}
+
+TEST(Tfaw, WindowSlides) {
+  const auto spec = DeviceSpec::eight_bank_future();
+  const auto d = DerivedTiming::derive(spec.timing, Frequency{400.0});
+  BankCluster cluster(spec.org);
+  // Issue 8 activates as fast as legal; consecutive groups of 4 must span
+  // at least tFAW.
+  std::vector<Time> acts;
+  for (std::uint32_t b = 0; b < 8; ++b) {
+    const Time t = cluster.earliest_activate(b);
+    cluster.activate(t, b, 1, d);
+    acts.push_back(t);
+  }
+  for (std::size_t i = 4; i < acts.size(); ++i) {
+    EXPECT_GE(acts[i] - acts[i - 4], d.cycles(d.tfaw));
+  }
+}
+
+TEST(Tfaw, CheckerCatchesViolation) {
+  const auto spec = DeviceSpec::eight_bank_future();
+  const auto d = DerivedTiming::derive(spec.timing, Frequency{400.0});
+  const TimingChecker checker(spec.org, d);
+  std::vector<CommandRecord> trace;
+  // Five ACTs at tRRD spacing: the fifth violates tFAW (4 x tRRD < tFAW).
+  Time t = Time::zero();
+  for (std::uint32_t b = 0; b < 5; ++b) {
+    trace.push_back({t, Command::kActivate, b, 1});
+    t += d.cycles(d.trrd);
+  }
+  const auto v = checker.check(trace);
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v[0].find("tFAW"), std::string::npos);
+}
+
+TEST(Tfaw, CheckerAcceptsLegalSpacing) {
+  const auto spec = DeviceSpec::eight_bank_future();
+  const auto d = DerivedTiming::derive(spec.timing, Frequency{400.0});
+  const TimingChecker checker(spec.org, d);
+  std::vector<CommandRecord> trace;
+  Time t = Time::zero();
+  for (std::uint32_t b = 0; b < 8; ++b) {
+    trace.push_back({t, Command::kActivate, b, 1});
+    // Pace at tFAW/4: every 4-window spans exactly tFAW.
+    t += d.cycles((d.tfaw + 3) / 4);
+  }
+  EXPECT_TRUE(checker.check(trace).empty());
+}
+
+TEST(Presets, WideIoTradesClockForWidth) {
+  const auto wide = DeviceSpec::wide_io_like();
+  EXPECT_EQ(wide.org.word_bits, 128u);
+  EXPECT_EQ(wide.org.bytes_per_burst(), 64u);
+  EXPECT_EQ(wide.timing.burst_cycles, 4);  // SDR
+  const auto d = DerivedTiming::derive(wide.timing, Frequency{200.0});
+  // 64 B per 4 clocks at 200 MHz = 3.2 GB/s - same as one of the paper's
+  // 32-bit DDR channels at 400 MHz.
+  EXPECT_DOUBLE_EQ(d.peak_bandwidth_bytes_per_s(wide.org), 3.2e9);
+  const auto narrow = DeviceSpec::next_gen_mobile_ddr();
+  const auto dn = DerivedTiming::derive(narrow.timing, Frequency{400.0});
+  EXPECT_DOUBLE_EQ(dn.peak_bandwidth_bytes_per_s(narrow.org),
+                   d.peak_bandwidth_bytes_per_s(wide.org));
+}
+
+TEST(Presets, MobileDdr2008IsSlowerAndHungrier) {
+  const auto old = DeviceSpec::mobile_ddr_2008();
+  const auto next = DeviceSpec::next_gen_mobile_ddr();
+  EXPECT_LT(old.timing.freq_max_mhz, next.timing.freq_max_mhz);
+  EXPECT_GT(old.power.vdd, next.power.vdd);
+  EXPECT_GT(old.power.idd4r_ma, next.power.idd4r_ma);
+  EXPECT_THROW((void)DerivedTiming::derive(old.timing, Frequency{400.0}),
+               std::invalid_argument);
+  EXPECT_NO_THROW((void)DerivedTiming::derive(old.timing, Frequency{200.0}));
+}
+
+}  // namespace
+}  // namespace mcm::dram

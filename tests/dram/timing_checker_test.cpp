@@ -1,0 +1,157 @@
+#include "dram/timing_checker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcm::dram {
+namespace {
+
+class TimingCheckerTest : public ::testing::Test {
+ protected:
+  TimingCheckerTest()
+      : spec_(DeviceSpec::next_gen_mobile_ddr()),
+        d_(DerivedTiming::derive(spec_.timing, Frequency{400.0})),
+        checker_(spec_.org, d_) {}
+
+  Time cyc(int n) const { return d_.cycles(n); }
+
+  DeviceSpec spec_;
+  DerivedTiming d_;
+  TimingChecker checker_;
+};
+
+TEST_F(TimingCheckerTest, AcceptsLegalOpenPageSequence) {
+  std::vector<CommandRecord> trace = {
+      {Time::zero(), Command::kActivate, 0, 10},
+      {cyc(d_.trcd), Command::kRead, 0, 0},
+      {cyc(d_.trcd + d_.burst_ck), Command::kRead, 0, 0},
+      {cyc(d_.tras), Command::kPrecharge, 0, 0},
+      {cyc(d_.tras + d_.trp), Command::kActivate, 0, 11},
+  };
+  EXPECT_TRUE(checker_.check(trace).empty());
+}
+
+TEST_F(TimingCheckerTest, CatchesTrcdViolation) {
+  std::vector<CommandRecord> trace = {
+      {Time::zero(), Command::kActivate, 0, 10},
+      {cyc(d_.trcd - 1), Command::kRead, 0, 0},
+  };
+  const auto v = checker_.check(trace);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].find("tRCD"), std::string::npos);
+}
+
+TEST_F(TimingCheckerTest, CatchesTrasViolation) {
+  std::vector<CommandRecord> trace = {
+      {Time::zero(), Command::kActivate, 0, 10},
+      {cyc(d_.tras - 1), Command::kPrecharge, 0, 0},
+  };
+  const auto v = checker_.check(trace);
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v[0].find("tRAS"), std::string::npos);
+}
+
+TEST_F(TimingCheckerTest, CatchesTrrdViolation) {
+  std::vector<CommandRecord> trace = {
+      {Time::zero(), Command::kActivate, 0, 10},
+      {cyc(d_.trrd - 1), Command::kActivate, 1, 20},
+  };
+  const auto v = checker_.check(trace);
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v[0].find("tRRD"), std::string::npos);
+}
+
+TEST_F(TimingCheckerTest, CatchesDataBusCollision) {
+  std::vector<CommandRecord> trace = {
+      {Time::zero(), Command::kActivate, 0, 10},
+      {cyc(d_.trrd), Command::kActivate, 1, 20},
+      // Both banks past tRCD; the second read's data overlaps the first's.
+      {cyc(d_.trrd + d_.trcd), Command::kRead, 0, 0},
+      {cyc(d_.trrd + d_.trcd + 1), Command::kRead, 1, 0},
+  };
+  const auto v = checker_.check(trace);
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v[0].find("data bus"), std::string::npos);
+}
+
+TEST_F(TimingCheckerTest, CatchesWriteToReadTurnaround) {
+  std::vector<CommandRecord> trace = {
+      {Time::zero(), Command::kActivate, 0, 10},
+      {cyc(d_.trcd), Command::kWrite, 0, 0},
+      // Read immediately after the write data (needs tWTR).
+      {cyc(d_.trcd + d_.cwl + d_.burst_ck), Command::kRead, 0, 0},
+  };
+  const auto v = checker_.check(trace);
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v[0].find("tWTR"), std::string::npos);
+}
+
+TEST_F(TimingCheckerTest, CatchesReadToClosedBank) {
+  std::vector<CommandRecord> trace = {
+      {Time::zero(), Command::kRead, 0, 0},
+  };
+  const auto v = checker_.check(trace);
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v[0].find("closed bank"), std::string::npos);
+}
+
+TEST_F(TimingCheckerTest, CatchesRefreshWithOpenRow) {
+  std::vector<CommandRecord> trace = {
+      {Time::zero(), Command::kActivate, 0, 10},
+      {cyc(d_.tras + 10), Command::kRefresh, 0, 0},
+  };
+  const auto v = checker_.check(trace);
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v[0].find("REF"), std::string::npos);
+}
+
+TEST_F(TimingCheckerTest, CatchesCommandDuringRefresh) {
+  std::vector<CommandRecord> trace = {
+      {Time::zero(), Command::kRefresh, 0, 0},
+      {cyc(d_.trfc - 1), Command::kActivate, 0, 10},
+  };
+  const auto v = checker_.check(trace);
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v[0].find("tRFC"), std::string::npos);
+}
+
+TEST_F(TimingCheckerTest, CatchesOffEdgeCommand) {
+  std::vector<CommandRecord> trace = {
+      {Time{1}, Command::kActivate, 0, 10},
+  };
+  const auto v = checker_.check(trace);
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v[0].find("clock edge"), std::string::npos);
+}
+
+TEST_F(TimingCheckerTest, CatchesCommandWhilePoweredDown) {
+  std::vector<CommandRecord> trace = {
+      {Time::zero(), Command::kPowerDownEnter, 0, 0},
+      {cyc(10), Command::kActivate, 0, 1},
+  };
+  const auto v = checker_.check(trace);
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v[0].find("power-down"), std::string::npos);
+}
+
+TEST_F(TimingCheckerTest, AcceptsPowerDownCycleWithWake) {
+  std::vector<CommandRecord> trace = {
+      {Time::zero(), Command::kPowerDownEnter, 0, 0},
+      {cyc(d_.tcke), Command::kPowerDownExit, 0, 0},
+      {cyc(d_.tcke + d_.txp), Command::kActivate, 0, 1},
+  };
+  EXPECT_TRUE(checker_.check(trace).empty());
+}
+
+TEST_F(TimingCheckerTest, CatchesXpViolationAfterWake) {
+  std::vector<CommandRecord> trace = {
+      {Time::zero(), Command::kPowerDownEnter, 0, 0},
+      {cyc(d_.tcke), Command::kPowerDownExit, 0, 0},
+      {cyc(d_.tcke + d_.txp - 1), Command::kActivate, 0, 1},
+  };
+  const auto v = checker_.check(trace);
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v[0].find("tXP"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcm::dram

@@ -1,0 +1,105 @@
+#include "load/cached_source.hpp"
+
+#include <gtest/gtest.h>
+
+#include "load/encoder_pattern_source.hpp"
+#include "load/multi_stream_source.hpp"
+
+namespace mcm::load {
+namespace {
+
+std::unique_ptr<TrafficSource> line_stream(std::uint64_t base, std::uint64_t bytes,
+                                           bool is_write,
+                                           std::uint64_t window = 0) {
+  return std::make_unique<MultiStreamSource>(
+      "fine", std::vector<StreamSpec>{{base, bytes, window, is_write, 0}},
+      /*chunk=*/64, /*burst=*/64);
+}
+
+cache::CacheConfig small_cache() { return {16 * 1024, 4, 64, true}; }
+
+std::uint64_t drain_bytes(TrafficSource& src, std::uint64_t* reads = nullptr,
+                          std::uint64_t* writes = nullptr) {
+  std::uint64_t total = 0;
+  while (!src.done()) {
+    const auto r = src.head();
+    total += 16;
+    if (reads && !r.is_write) *reads += 16;
+    if (writes && r.is_write) *writes += 16;
+    src.advance();
+  }
+  return total;
+}
+
+TEST(CachedSource, StreamingReadMissesOncePerLine) {
+  // 64 KiB sequential read through a 16 KiB cache: every line misses once.
+  CachedSource src(line_stream(0, 64 * 1024, false), small_cache());
+  const std::uint64_t memory_bytes = drain_bytes(src);
+  EXPECT_EQ(memory_bytes, 64u * 1024);
+  EXPECT_EQ(src.raw_bytes(), 64u * 1024);
+  EXPECT_EQ(src.cache_stats().hits, 0u);
+}
+
+TEST(CachedSource, WriteStreamProducesWritebacks) {
+  // Streaming writes with allocate: each line fetched once (fill) and
+  // eventually written back = 2x the footprint.
+  CachedSource src(line_stream(0, 64 * 1024, true), small_cache());
+  std::uint64_t reads = 0, writes = 0;
+  const std::uint64_t memory_bytes = drain_bytes(src, &reads, &writes);
+  EXPECT_EQ(memory_bytes, 2u * 64 * 1024);
+  EXPECT_EQ(reads, 64u * 1024);   // write-allocate fills
+  EXPECT_EQ(writes, 64u * 1024);  // evict + end-of-run flush
+}
+
+TEST(CachedSource, HotLoopFitsInCacheAndVanishes) {
+  // Re-reading a 4 KiB window 16 times: only the first pass reaches memory.
+  CachedSource src(line_stream(0, 16 * 4096, false, 4096), small_cache());
+  const std::uint64_t memory_bytes = drain_bytes(src);
+  EXPECT_EQ(memory_bytes, 4096u);
+  EXPECT_GT(src.cache_stats().hit_rate(), 0.90);
+  EXPECT_EQ(src.raw_bytes(), 16u * 4096);
+}
+
+TEST(CachedSource, NoFlushLeavesDirtyLinesUncounted) {
+  CachedSource with(line_stream(0, 8 * 1024, true), small_cache(), 16, true);
+  CachedSource without(line_stream(0, 8 * 1024, true), small_cache(), 16, false);
+  const std::uint64_t w = drain_bytes(with);
+  const std::uint64_t wo = drain_bytes(without);
+  // Footprint (8 KiB) fits the 16 KiB cache: without flush only fills reach
+  // memory; with flush the dirty lines are written back too.
+  EXPECT_EQ(wo, 8u * 1024);
+  EXPECT_EQ(w, 2u * 8 * 1024);
+}
+
+TEST(CachedSource, EncoderWindowTrafficCollapsesBehindCache) {
+  auto fine = [&] {
+    video::EncoderAccessParams p;
+    p.resolution = video::k720p;
+    p.ref_frames = 4;
+    p.mode = video::EncoderAccessMode::kAllTouches;
+    p.candidate_step = 2;
+    p.input_base = 0;
+    p.ref_base = 1ull << 24;
+    p.recon_base = 1ull << 27;
+    p.max_macroblocks = 120;
+    return std::make_unique<EncoderPatternSource>("enc", p, /*burst=*/64);
+  };
+  CachedSource cached(fine(), cache::CacheConfig{256 * 1024, 8, 64, true});
+  const std::uint64_t memory_bytes = drain_bytes(cached);
+  EXPECT_LT(memory_bytes * 10, cached.raw_bytes());  // >10x reduction
+}
+
+TEST(CachedSource, ArrivalsPropagateFromInner) {
+  auto inner = line_stream(0, 4096, false);
+  inner->set_start(Time::from_ms(1.0));
+  CachedSource src(std::move(inner), small_cache());
+  EXPECT_EQ(src.head().arrival, Time::from_ms(1.0));
+}
+
+TEST(CachedSource, NamePrefixed) {
+  CachedSource src(line_stream(0, 1024, false), small_cache());
+  EXPECT_EQ(src.name(), "cached:fine");
+}
+
+}  // namespace
+}  // namespace mcm::load

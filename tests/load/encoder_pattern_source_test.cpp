@@ -1,0 +1,66 @@
+#include "load/encoder_pattern_source.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcm::load {
+namespace {
+
+video::EncoderAccessParams params(std::uint32_t mbs = 40) {
+  video::EncoderAccessParams p;
+  p.resolution = video::k720p;
+  p.ref_frames = 4;
+  p.input_base = 0;
+  p.ref_base = 1ull << 24;
+  p.recon_base = 1ull << 27;
+  p.max_macroblocks = mbs;
+  return p;
+}
+
+TEST(EncoderPatternSource, SplitsAccessesIntoBursts) {
+  EncoderPatternSource src("enc", params(2));
+  int bursts = 0;
+  while (!src.done()) {
+    (void)src.head();
+    src.advance();
+    ++bursts;
+  }
+  // 2 corner MBs: each has 16 input lines (2 bursts each) + 4 windows
+  // (clamped to ~32x32 at the frame corner, 2 bursts per line) + recon
+  // (16 lines + 2 chroma blocks): hundreds of bursts.
+  EXPECT_GT(bursts, 600);
+}
+
+TEST(EncoderPatternSource, StartTimeApplied) {
+  EncoderPatternSource src("enc", params(1));
+  src.set_start(Time::from_ms(2.0));
+  EXPECT_EQ(src.head().arrival, Time::from_ms(2.0));
+}
+
+TEST(EncoderPatternSource, EstimateCloseToActual) {
+  EncoderPatternSource src("enc", params(100));
+  std::uint64_t actual = 0;
+  while (!src.done()) {
+    src.advance();
+    actual += 16;
+  }
+  const double est = static_cast<double>(src.total_bytes());
+  EXPECT_NEAR(static_cast<double>(actual), est, est * 0.25);
+}
+
+TEST(EncoderPatternSource, MixesReadsAndWrites) {
+  EncoderPatternSource src("enc", params(5));
+  bool saw_read = false, saw_write = false;
+  while (!src.done()) {
+    if (src.head().is_write) {
+      saw_write = true;
+    } else {
+      saw_read = true;
+    }
+    src.advance();
+  }
+  EXPECT_TRUE(saw_read);
+  EXPECT_TRUE(saw_write);
+}
+
+}  // namespace
+}  // namespace mcm::load

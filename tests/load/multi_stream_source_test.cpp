@@ -1,0 +1,126 @@
+#include "load/multi_stream_source.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace mcm::load {
+namespace {
+
+TEST(MultiStream, SingleStreamSequential) {
+  MultiStreamSource src("s", {{0x1000, 64, 0, false, 3}});
+  std::uint64_t expect = 0x1000;
+  int n = 0;
+  while (!src.done()) {
+    const ctrl::Request r = src.head();
+    EXPECT_EQ(r.addr, expect);
+    EXPECT_FALSE(r.is_write);
+    EXPECT_EQ(r.source, 3);
+    src.advance();
+    expect += 16;
+    ++n;
+  }
+  EXPECT_EQ(n, 4);
+  EXPECT_EQ(src.total_bytes(), 64u);
+}
+
+TEST(MultiStream, VolumesRoundUpToBurst) {
+  MultiStreamSource src("s", {{0, 50, 0, true, 0}});
+  EXPECT_EQ(src.total_bytes(), 64u);  // 50 -> 64
+}
+
+TEST(MultiStream, CopyInterleavesAtChunks) {
+  // 128 B read stream + 128 B write stream, 64 B chunks: R R R R W W W W ...
+  MultiStreamSource src("copy", {{0, 128, 0, false, 0}, {0x10000, 128, 0, true, 1}},
+                        /*chunk=*/64);
+  std::vector<bool> pattern;
+  while (!src.done()) {
+    pattern.push_back(src.head().is_write);
+    src.advance();
+  }
+  const std::vector<bool> expect = {false, false, false, false, true, true,
+                                    true,  true,  false, false, false, false,
+                                    true,  true,  true,  true};
+  EXPECT_EQ(pattern, expect);
+}
+
+TEST(MultiStream, ProportionalForUnequalVolumes) {
+  // Read 4x the write volume: reads should lead roughly 4:1 throughout.
+  MultiStreamSource src("enc", {{0, 4096, 0, false, 0}, {0x10000, 1024, 0, true, 1}},
+                        64);
+  std::uint64_t reads = 0, writes = 0;
+  std::uint64_t half_reads = 0, half_writes = 0;
+  const std::uint64_t total = (4096 + 1024) / 16;
+  std::uint64_t i = 0;
+  while (!src.done()) {
+    if (src.head().is_write) {
+      ++writes;
+    } else {
+      ++reads;
+    }
+    ++i;
+    if (i == total / 2) {
+      half_reads = reads;
+      half_writes = writes;
+    }
+    src.advance();
+  }
+  EXPECT_EQ(reads, 256u);
+  EXPECT_EQ(writes, 64u);
+  // Half way through, both streams are near half done.
+  EXPECT_NEAR(static_cast<double>(half_reads) / 256.0, 0.5, 0.1);
+  EXPECT_NEAR(static_cast<double>(half_writes) / 64.0, 0.5, 0.1);
+}
+
+TEST(MultiStream, WindowWrapsForMultiPassStreams) {
+  // 256 B volume over a 64 B window: addresses cycle 4 times.
+  MultiStreamSource src("wrap", {{0x2000, 256, 64, false, 0}});
+  std::map<std::uint64_t, int> hits;
+  while (!src.done()) {
+    ++hits[src.head().addr];
+    src.advance();
+  }
+  EXPECT_EQ(hits.size(), 4u);
+  for (const auto& [addr, count] : hits) {
+    EXPECT_GE(addr, 0x2000u);
+    EXPECT_LT(addr, 0x2040u);
+    EXPECT_EQ(count, 4);
+  }
+}
+
+TEST(MultiStream, EmptyStreamsAreDropped) {
+  MultiStreamSource src("e", {{0, 0, 0, false, 0}, {64, 32, 0, true, 1}});
+  EXPECT_EQ(src.total_bytes(), 32u);
+  EXPECT_FALSE(src.done());
+  EXPECT_TRUE(src.head().is_write);
+}
+
+TEST(MultiStream, AllEmptyIsDone) {
+  MultiStreamSource src("none", {});
+  EXPECT_TRUE(src.done());
+  EXPECT_EQ(src.total_bytes(), 0u);
+}
+
+TEST(MultiStream, StartTimeStampsArrivals) {
+  MultiStreamSource src("t", {{0, 64, 0, false, 0}});
+  src.set_start(Time::from_ms(5.0));
+  EXPECT_EQ(src.head().arrival, Time::from_ms(5.0));
+}
+
+TEST(MultiStream, PacingSpreadsArrivals) {
+  MultiStreamSource src("p", {{0, 160, 0, false, 0}});
+  src.set_start(Time::zero());
+  src.set_pacing(Time::from_ms(1.0));
+  Time prev = Time{-1};
+  while (!src.done()) {
+    const Time a = src.head().arrival;
+    EXPECT_GE(a, prev);
+    EXPECT_LE(a, Time::from_ms(1.0));
+    prev = a;
+    src.advance();
+  }
+  EXPECT_GT(prev, Time::from_ms(0.5));  // last arrival near the end
+}
+
+}  // namespace
+}  // namespace mcm::load

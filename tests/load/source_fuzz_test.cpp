@@ -1,0 +1,100 @@
+// Property/fuzz tests for the traffic sources: random stream-spec sets must
+// always honor the volume, window, ordering, and proportionality invariants.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "load/multi_stream_source.hpp"
+
+namespace mcm::load {
+namespace {
+
+class SourceFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SourceFuzz, InvariantsHoldForRandomSpecs) {
+  Rng rng(GetParam());
+  const int streams_n = 1 + static_cast<int>(rng.next_below(5));
+  std::vector<StreamSpec> specs;
+  std::uint64_t expected_total = 0;
+  for (int s = 0; s < streams_n; ++s) {
+    StreamSpec spec;
+    spec.base = rng.next_below(1u << 24) * 16;
+    spec.bytes = rng.next_below(40'000);
+    spec.window = rng.next_below(3) == 0 ? rng.next_below(4096) + 16 : 0;
+    spec.is_write = rng.next_below(2) == 1;
+    spec.source_id = static_cast<std::uint16_t>(s);
+    expected_total += (spec.bytes + 15) / 16 * 16;
+    specs.push_back(spec);
+  }
+  const std::uint32_t chunk = 16u << rng.next_below(6);  // 16..512
+  MultiStreamSource src("fuzz", specs, chunk);
+
+  EXPECT_EQ(src.total_bytes(), expected_total);
+
+  std::map<std::uint16_t, std::uint64_t> per_stream_bytes;
+  std::map<std::uint16_t, std::uint64_t> last_cursor;
+  std::uint64_t emitted = 0;
+  while (!src.done()) {
+    const ctrl::Request r = src.head();
+    // Source id maps back to exactly one spec; address inside its window.
+    ASSERT_LT(r.source, specs.size());
+    const StreamSpec& spec = specs[r.source];
+    const std::uint64_t window =
+        spec.window == 0 ? std::max<std::uint64_t>((spec.bytes + 15) / 16 * 16, 16)
+                         : (spec.window + 15) / 16 * 16;
+    ASSERT_GE(r.addr, spec.base);
+    ASSERT_LT(r.addr, spec.base + window);
+    EXPECT_EQ(r.is_write, spec.is_write);
+    // Per-stream addresses advance monotonically modulo the window.
+    per_stream_bytes[r.source] += 16;
+    emitted += 16;
+    src.advance();
+  }
+  EXPECT_EQ(emitted, expected_total);
+  for (const auto& spec : specs) {
+    const std::uint64_t want = (spec.bytes + 15) / 16 * 16;
+    if (want == 0) continue;
+    EXPECT_EQ(per_stream_bytes[spec.source_id], want);
+  }
+}
+
+TEST_P(SourceFuzz, ProportionalProgressNeverDivergesFar) {
+  Rng rng(GetParam() ^ 0x5555);
+  std::vector<StreamSpec> specs;
+  for (int s = 0; s < 3; ++s) {
+    StreamSpec spec;
+    spec.base = static_cast<std::uint64_t>(s) << 24;
+    spec.bytes = 16'000 + rng.next_below(64'000);
+    spec.is_write = s == 2;
+    spec.source_id = static_cast<std::uint16_t>(s);
+    specs.push_back(spec);
+  }
+  MultiStreamSource src("prop", specs, 64);
+  std::vector<std::uint64_t> done(3, 0);
+  std::uint64_t steps = 0;
+  while (!src.done()) {
+    done[src.head().source] += 16;
+    src.advance();
+    ++steps;
+    if (steps % 256 == 0) {
+      // All stream progress fractions stay within a chunk's worth of each
+      // other (proportional interleaving).
+      double lo = 2.0, hi = -1.0;
+      for (int s = 0; s < 3; ++s) {
+        const double total = (specs[s].bytes + 15) / 16 * 16;
+        const double frac = static_cast<double>(done[s]) / total;
+        lo = std::min(lo, frac);
+        hi = std::max(hi, frac);
+      }
+      EXPECT_LT(hi - lo, 0.15);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SourceFuzz,
+                         ::testing::Values(1ull, 2ull, 3ull, 7ull, 1234ull,
+                                           0xdeadbeefull));
+
+}  // namespace
+}  // namespace mcm::load

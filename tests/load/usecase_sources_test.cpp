@@ -1,0 +1,145 @@
+#include "load/usecase_sources.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mcm::load {
+namespace {
+
+video::UseCaseModel model_for(video::H264Level level) {
+  video::UseCaseParams p;
+  p.level = level;
+  return video::UseCaseModel(p);
+}
+
+TEST(UseCaseSources, OneSourcePerStage) {
+  const auto m = model_for(video::H264Level::k31);
+  const video::SurfaceLayout layout(m);
+  const auto sources = build_stage_sources(m, layout);
+  EXPECT_EQ(sources.size(), m.stages().size());
+}
+
+class VolumeMatch : public ::testing::TestWithParam<video::H264Level> {};
+
+TEST_P(VolumeMatch, SourceVolumesMatchTableI) {
+  // The simulated traffic must equal the Table I volumes (up to per-stream
+  // burst rounding).
+  const auto m = model_for(GetParam());
+  const video::SurfaceLayout layout(m);
+  const auto sources = build_stage_sources(m, layout);
+  double total_table = 0, total_sources = 0;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const double table_bytes = m.stages()[i].total_bits() / 8.0;
+    const double src_bytes = static_cast<double>(sources[i]->total_bytes());
+    EXPECT_NEAR(src_bytes, table_bytes, 128.0)
+        << "stage " << m.stages()[i].name;
+    total_table += table_bytes;
+    total_sources += src_bytes;
+  }
+  EXPECT_NEAR(total_sources, total_table, 1024.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLevels, VolumeMatch,
+                         ::testing::ValuesIn(video::kAllLevels));
+
+TEST(UseCaseSources, ReadWriteSplitMatchesTableI) {
+  // Not just the stage totals: the read and write volumes individually must
+  // match the Table I model.
+  const auto m = model_for(video::H264Level::k40);
+  const video::SurfaceLayout layout(m);
+  auto sources = build_stage_sources(m, layout);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    std::uint64_t rd = 0, wr = 0;
+    auto& src = *sources[i];
+    while (!src.done()) {
+      (src.head().is_write ? wr : rd) += 16;
+      src.advance();
+    }
+    EXPECT_NEAR(static_cast<double>(rd), m.stages()[i].read_bits / 8.0, 96.0)
+        << m.stages()[i].name << " reads";
+    EXPECT_NEAR(static_cast<double>(wr), m.stages()[i].write_bits / 8.0, 96.0)
+        << m.stages()[i].name << " writes";
+  }
+}
+
+TEST(UseCaseSources, AddressesFallInsideExpectedSurfaces) {
+  const auto m = model_for(video::H264Level::k31);
+  const video::SurfaceLayout layout(m);
+  auto sources = build_stage_sources(m, layout);
+  // Stage 0 is Camera I/F: writes into bayer_capture only.
+  auto& cam = *sources[0];
+  const auto& bayer = layout.surface(video::SurfaceId::kBayerCapture);
+  while (!cam.done()) {
+    const auto r = cam.head();
+    EXPECT_TRUE(r.is_write);
+    EXPECT_GE(r.addr, bayer.base);
+    EXPECT_LT(r.addr, bayer.end());
+    cam.advance();
+  }
+}
+
+TEST(UseCaseSources, EncoderReadsDominateItsTraffic) {
+  const auto m = model_for(video::H264Level::k31);
+  const video::SurfaceLayout layout(m);
+  auto sources = build_stage_sources(m, layout);
+  // Find the encoder stage source (same index as in the model).
+  std::size_t enc_idx = 0;
+  for (std::size_t i = 0; i < m.stages().size(); ++i) {
+    if (m.stages()[i].id == video::StageId::kVideoEncoder) enc_idx = i;
+  }
+  auto& enc = *sources[enc_idx];
+  std::uint64_t reads = 0, writes = 0;
+  while (!enc.done()) {
+    if (enc.head().is_write) {
+      ++writes;
+    } else {
+      ++reads;
+    }
+    enc.advance();
+  }
+  EXPECT_GT(reads, 10 * writes);
+}
+
+TEST(UseCaseSources, MotionWindowOptionSwapsEncoderSource) {
+  const auto m = model_for(video::H264Level::k31);
+  const video::SurfaceLayout layout(m);
+  LoadOptions opt;
+  opt.motion_window_encoder = true;
+  const auto sources = build_stage_sources(m, layout, opt);
+  // Encoder stage splits into pattern source + bitstream source.
+  EXPECT_EQ(sources.size(), m.stages().size() + 1);
+  bool found = false;
+  for (const auto& s : sources) {
+    if (s->name() == "Video encoder") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(UseCaseSources, ChunkOptionControlsInterleaving) {
+  const auto m = model_for(video::H264Level::k31);
+  const video::SurfaceLayout layout(m);
+  LoadOptions fine;
+  fine.chunk_bytes = 16;
+  LoadOptions coarse;
+  coarse.chunk_bytes = 4096;
+  auto src_f = build_stage_sources(m, layout, fine);
+  auto src_c = build_stage_sources(m, layout, coarse);
+  // Count direction switches in the preprocess stage (index 1).
+  auto switches = [](TrafficSource& s) {
+    int n = 0;
+    bool last = s.head().is_write;
+    for (int i = 0; i < 2000 && !s.done(); ++i) {
+      if (s.head().is_write != last) {
+        ++n;
+        last = s.head().is_write;
+      }
+      s.advance();
+    }
+    return n;
+  };
+  EXPECT_GT(switches(*src_f[1]), 4 * switches(*src_c[1]));
+}
+
+}  // namespace
+}  // namespace mcm::load

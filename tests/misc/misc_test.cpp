@@ -1,0 +1,69 @@
+// Coverage for the small leaf modules: logging, Eq. (1) interface power,
+// the XDR reference model, and bonding-capacitance constants.
+#include <gtest/gtest.h>
+
+#include "channel/interface_power.hpp"
+#include "common/log.hpp"
+#include "xdr/xdr_model.hpp"
+
+namespace mcm {
+namespace {
+
+TEST(InterfacePower, EquationOneAt400MHz) {
+  // 36 pins x 0.4 pF x (1.2 V)^2 x 400 MHz x 0.5 = 4.147 mW.
+  const channel::InterfacePowerSpec spec;
+  EXPECT_NEAR(spec.power_mw(Frequency{400.0}), 4.147, 0.01);
+  // Linear in frequency.
+  EXPECT_NEAR(spec.power_mw(Frequency{200.0}) * 2.0,
+              spec.power_mw(Frequency{400.0}), 1e-9);
+}
+
+TEST(InterfacePower, PaperQuotesApproximatelyFiveMilliwatts) {
+  const channel::InterfacePowerSpec spec;
+  const double mw = spec.power_mw(Frequency{400.0});
+  EXPECT_GT(mw, 3.0);
+  EXPECT_LT(mw, 5.5);
+}
+
+TEST(InterfacePower, BondCapacitanceAverageIsPointFour) {
+  // Paper: 0.4 pF is the average over wire bonding, flip chip, and TAB.
+  EXPECT_NEAR(channel::InterfacePowerSpec::average_bond_capacitance_pf(), 0.4,
+              1e-9);
+  const channel::InterfacePowerSpec spec;
+  EXPECT_NEAR(spec.capacitance_pf,
+              channel::InterfacePowerSpec::average_bond_capacitance_pf(), 1e-9);
+}
+
+TEST(InterfacePower, ScalesWithPinsAndVoltage) {
+  channel::InterfacePowerSpec spec;
+  const double base = spec.power_mw(Frequency{400.0});
+  spec.pins = 72;
+  EXPECT_NEAR(spec.power_mw(Frequency{400.0}), 2 * base, 1e-9);
+  spec.pins = 36;
+  spec.vio = 2.4;  // double voltage -> 4x power
+  EXPECT_NEAR(spec.power_mw(Frequency{400.0}), 4 * base, 1e-9);
+}
+
+TEST(Xdr, CellBeReferencePoint) {
+  const xdr::XdrInterface xdr;
+  EXPECT_DOUBLE_EQ(xdr.bandwidth_gb_per_s, 25.6);
+  EXPECT_DOUBLE_EQ(xdr.typical_power_mw(), 5000.0);
+  EXPECT_NEAR(xdr.power_fraction(205.0), 0.041, 0.001);  // the paper's "4%"
+  EXPECT_NEAR(xdr.power_fraction(1280.0), 0.256, 0.001);  // and "25%"
+}
+
+TEST(Log, LevelGatesOutput) {
+  const LogLevel saved = Log::level();
+  Log::level() = LogLevel::kError;
+  // Nothing observable to assert on stderr here; exercise the paths for
+  // coverage and restore the level.
+  MCM_LOG_DEBUG("hidden %d", 1);
+  MCM_LOG_ERROR("shown %d", 2);
+  Log::level() = LogLevel::kDebug;
+  MCM_LOG_DEBUG("now shown");
+  Log::level() = saved;
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace mcm

@@ -1,0 +1,81 @@
+#include "multichannel/interleaver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace mcm::multichannel {
+namespace {
+
+TEST(Interleaver, TableIIExample) {
+  // Paper Table II: 16-byte granularity, addresses 0-15 -> BC 0,
+  // 16-31 -> BC 1, ..., 16M.. wraps back to BC 0.
+  const Interleaver il(4, 16);
+  EXPECT_EQ(il.route(0).channel, 0u);
+  EXPECT_EQ(il.route(15).channel, 0u);
+  EXPECT_EQ(il.route(16).channel, 1u);
+  EXPECT_EQ(il.route(31).channel, 1u);
+  EXPECT_EQ(il.route(32).channel, 2u);
+  EXPECT_EQ(il.route(48).channel, 3u);
+  EXPECT_EQ(il.route(64).channel, 0u);
+  EXPECT_EQ(il.route(64).local, 16u);
+}
+
+TEST(Interleaver, SingleChannelIsIdentity) {
+  const Interleaver il(1, 16);
+  for (std::uint64_t a : {0ull, 5ull, 16ull, 123456789ull}) {
+    EXPECT_EQ(il.route(a).channel, 0u);
+    EXPECT_EQ(il.route(a).local, a);
+  }
+}
+
+TEST(Interleaver, LocalAddressesAreDenseSequential) {
+  // Consecutive stripes on a channel map to consecutive local addresses.
+  const Interleaver il(8, 16);
+  for (std::uint32_t ch = 0; ch < 8; ++ch) {
+    for (std::uint64_t k = 0; k < 100; ++k) {
+      const std::uint64_t global = (k * 8 + ch) * 16;
+      const RoutedAddress r = il.route(global);
+      EXPECT_EQ(r.channel, ch);
+      EXPECT_EQ(r.local, k * 16);
+    }
+  }
+}
+
+class InterleaverProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {};
+
+TEST_P(InterleaverProperty, RouteRoundTrips) {
+  const auto [channels, granularity] = GetParam();
+  const Interleaver il(channels, granularity);
+  Rng rng(123);
+  for (int i = 0; i < 20'000; ++i) {
+    const std::uint64_t a = rng.next_u64() % (1ull << 40);
+    const RoutedAddress r = il.route(a);
+    EXPECT_LT(r.channel, channels);
+    EXPECT_EQ(il.to_global(r), a);
+  }
+}
+
+TEST_P(InterleaverProperty, SequentialTrafficBalances) {
+  const auto [channels, granularity] = GetParam();
+  const Interleaver il(channels, granularity);
+  std::vector<std::uint64_t> per_channel(channels, 0);
+  const std::uint64_t total = 1ull << 20;
+  for (std::uint64_t a = 0; a < total; a += 16) {
+    per_channel[il.route(a).channel] += 16;
+  }
+  const std::uint64_t expect = total / channels;
+  for (std::uint64_t bytes : per_channel) {
+    EXPECT_NEAR(static_cast<double>(bytes), static_cast<double>(expect),
+                static_cast<double>(granularity));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, InterleaverProperty,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u, 8u),
+                       ::testing::Values(16u, 64u, 256u, 4096u)));
+
+}  // namespace
+}  // namespace mcm::multichannel

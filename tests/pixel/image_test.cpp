@@ -1,0 +1,55 @@
+#include "pixel/image.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcm::pixel {
+namespace {
+
+TEST(Image, GeometryAndAccess) {
+  ImageU8 img(8, 4, 7);
+  EXPECT_EQ(img.width(), 8u);
+  EXPECT_EQ(img.height(), 4u);
+  EXPECT_EQ(img.size_bytes(), 32u);
+  EXPECT_EQ(img.at(0, 0), 7);
+  img.at(3, 2) = 99;
+  EXPECT_EQ(img.at(3, 2), 99);
+}
+
+TEST(Image, ClampedAccessAtEdges) {
+  ImageU8 img(4, 4);
+  img.at(0, 0) = 1;
+  img.at(3, 3) = 2;
+  EXPECT_EQ(img.clamped(-5, -5), 1);
+  EXPECT_EQ(img.clamped(10, 10), 2);
+  EXPECT_EQ(img.clamped(0, 10), img.at(0, 3));
+}
+
+TEST(Image, PlaneStructsHaveHalfChroma) {
+  const Yuv422Image y422(16, 8);
+  EXPECT_EQ(y422.u.width(), 8u);
+  EXPECT_EQ(y422.u.height(), 8u);
+  const Yuv420Image y420(16, 8);
+  EXPECT_EQ(y420.u.width(), 8u);
+  EXPECT_EQ(y420.u.height(), 4u);
+}
+
+TEST(Image, MseAndPsnr) {
+  ImageU8 a(4, 4, 100);
+  ImageU8 b(4, 4, 100);
+  EXPECT_DOUBLE_EQ(plane_mse(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(plane_psnr(a, b), 99.0);
+  b.at(0, 0) = 116;  // one pixel off by 16: MSE = 256/16 = 16
+  EXPECT_DOUBLE_EQ(plane_mse(a, b), 16.0);
+  EXPECT_NEAR(plane_psnr(a, b), 36.1, 0.1);
+}
+
+TEST(Image, ClampU8) {
+  EXPECT_EQ(clamp_u8(-3), 0);
+  EXPECT_EQ(clamp_u8(0), 0);
+  EXPECT_EQ(clamp_u8(128), 128);
+  EXPECT_EQ(clamp_u8(255), 255);
+  EXPECT_EQ(clamp_u8(300), 255);
+}
+
+}  // namespace
+}  // namespace mcm::pixel

@@ -1,0 +1,184 @@
+#include "pixel/stages.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pixel/synthetic.hpp"
+
+namespace mcm::pixel {
+namespace {
+
+Rgb888Image constant_rgb(std::uint32_t w, std::uint32_t h, std::uint8_t r,
+                         std::uint8_t g, std::uint8_t b) {
+  Rgb888Image img(w, h);
+  for (std::uint32_t y = 0; y < h; ++y) {
+    for (std::uint32_t x = 0; x < w; ++x) {
+      img.r.at(x, y) = r;
+      img.g.at(x, y) = g;
+      img.b.at(x, y) = b;
+    }
+  }
+  return img;
+}
+
+TEST(Stages, DenoisePreservesConstantMosaic) {
+  const ImageU8 bayer = bayer_mosaic_rggb(constant_rgb(16, 16, 50, 100, 150));
+  const ImageU8 out = denoise_box3(bayer);
+  // Same-color averaging on a constant mosaic is the identity.
+  EXPECT_EQ(out.data(), bayer.data());
+}
+
+TEST(Stages, DenoiseReducesNoiseVariance) {
+  SceneParams p;
+  p.width = 64;
+  p.height = 48;
+  p.noise_sigma = 6.0;
+  p.objects = 0;
+  const SceneGenerator gen(p);
+  const ImageU8 noisy = bayer_mosaic_rggb(gen.render(0));
+  SceneParams clean_p = p;
+  clean_p.noise_sigma = 0.0;
+  const ImageU8 clean = bayer_mosaic_rggb(SceneGenerator(clean_p).render(0));
+  const ImageU8 filtered = denoise_box3(noisy);
+  EXPECT_LT(plane_mse(filtered, clean), plane_mse(noisy, clean));
+}
+
+TEST(Stages, DemosaicRecoversConstantColor) {
+  const Rgb888Image src = constant_rgb(32, 32, 80, 120, 200);
+  const Rgb888Image out = demosaic_bilinear(bayer_mosaic_rggb(src));
+  for (std::uint32_t y = 2; y < 30; ++y) {
+    for (std::uint32_t x = 2; x < 30; ++x) {
+      EXPECT_NEAR(out.r.at(x, y), 80, 1);
+      EXPECT_NEAR(out.g.at(x, y), 120, 1);
+      EXPECT_NEAR(out.b.at(x, y), 200, 1);
+    }
+  }
+}
+
+TEST(Stages, RgbYuvRoundTripCloseToIdentity) {
+  const Rgb888Image src = constant_rgb(32, 16, 180, 90, 40);
+  const Rgb888Image back = yuv422_to_rgb(rgb_to_yuv422(src));
+  EXPECT_NEAR(back.r.at(8, 8), 180, 6);
+  EXPECT_NEAR(back.g.at(8, 8), 90, 6);
+  EXPECT_NEAR(back.b.at(8, 8), 40, 6);
+}
+
+TEST(Stages, Yuv420DownsampleAveragesChromaRows) {
+  Yuv422Image y422(8, 4);
+  for (std::uint32_t y = 0; y < 4; ++y) {
+    for (std::uint32_t cx = 0; cx < 4; ++cx) {
+      y422.u.at(cx, y) = static_cast<std::uint8_t>(y * 10);
+      y422.v.at(cx, y) = 200;
+    }
+  }
+  const Yuv420Image out = yuv422_to_yuv420(y422);
+  EXPECT_EQ(out.u.at(0, 0), 5);   // (0 + 10 + 1) / 2
+  EXPECT_EQ(out.u.at(0, 1), 25);  // (20 + 30 + 1) / 2
+  EXPECT_EQ(out.v.at(0, 0), 200);
+}
+
+TEST(Stages, GlobalMotionRecoversInjectedShift) {
+  SceneParams p;
+  p.width = 160;
+  p.height = 128;
+  p.noise_sigma = 1.0;
+  p.objects = 2;
+  p.pan_x = 5.0;  // exactly 5 px/frame pan
+  p.pan_y = -3.0;
+  const SceneGenerator gen(p);
+  const ImageU8 f0 = gen.render_luma(0);
+  const ImageU8 f1 = gen.render_luma(1);
+  // cur(x) == prev(x + pan): the estimator returns the per-frame pan.
+  const MotionVector mv = estimate_global_motion(f0, f1, 16);
+  EXPECT_EQ(mv.dx, 5);
+  EXPECT_EQ(mv.dy, -3);
+}
+
+TEST(Stages, GlobalMotionZeroForStaticScene) {
+  SceneParams p;
+  p.width = 96;
+  p.height = 64;
+  p.noise_sigma = 1.5;
+  p.objects = 0;
+  p.pan_x = 0;
+  p.pan_y = 0;
+  const SceneGenerator gen(p);
+  const MotionVector mv =
+      estimate_global_motion(gen.render_luma(0), gen.render_luma(1), 8);
+  EXPECT_EQ(mv, (MotionVector{0, 0}));
+}
+
+TEST(Stages, CropExtractsAlignedWindow) {
+  const SceneGenerator gen([] {
+    SceneParams p;
+    p.width = 96;
+    p.height = 64;
+    return p;
+  }());
+  const Yuv422Image full = rgb_to_yuv422(gen.render(0));
+  const Yuv422Image window = crop(full, 10, 8, 64, 48);
+  // x0 is clamped to even (10 stays 10).
+  EXPECT_EQ(window.width(), 64u);
+  EXPECT_EQ(window.height(), 48u);
+  EXPECT_EQ(window.y.at(0, 0), full.y.at(10, 8));
+  EXPECT_EQ(window.y.at(63, 47), full.y.at(73, 55));
+  EXPECT_EQ(window.u.at(0, 0), full.u.at(5, 8));
+}
+
+TEST(Stages, CropClampsOutOfRangeOrigin) {
+  Yuv422Image src(32, 16);
+  const Yuv422Image out = crop(src, -10, 100, 16, 8);
+  EXPECT_EQ(out.width(), 16u);
+  EXPECT_EQ(out.height(), 8u);
+}
+
+TEST(Stages, ScalePreservesConstant) {
+  ImageU8 src(64, 32, 77);
+  const ImageU8 out = scale_bilinear(src, 20, 10);
+  for (std::uint32_t y = 0; y < 10; ++y) {
+    for (std::uint32_t x = 0; x < 20; ++x) EXPECT_EQ(out.at(x, y), 77);
+  }
+}
+
+TEST(Stages, ScaleIdentityWhenSameSize) {
+  SceneParams p;
+  p.width = 32;
+  p.height = 16;
+  const ImageU8 src = SceneGenerator(p).render_luma(0);
+  const ImageU8 out = scale_bilinear(src, 32, 16);
+  EXPECT_EQ(out.data(), src.data());
+}
+
+TEST(Stages, StabilizationPipelineAlignsShiftedFrames) {
+  // Full stabilization flow: bordered capture, global motion estimate,
+  // compensating crop. The cropped frames of a panning scene must align far
+  // better than uncompensated crops.
+  SceneParams p;
+  p.width = 192;  // bordered sensor size
+  p.height = 160;
+  p.noise_sigma = 0.5;
+  p.objects = 0;   // pure global pan
+  p.pan_x = 4.0;
+  p.pan_y = 2.0;
+  const SceneGenerator gen(p);
+  const std::uint32_t coded_w = 160, coded_h = 128;
+  const std::uint32_t border_x = (p.width - coded_w) / 2;
+  const std::uint32_t border_y = (p.height - coded_h) / 2;
+
+  const Yuv422Image f0 = rgb_to_yuv422(gen.render(0));
+  const Yuv422Image f1 = rgb_to_yuv422(gen.render(1));
+  const MotionVector mv = estimate_global_motion(f0.y, f1.y, 12);
+
+  const Yuv422Image ref = crop(f0, static_cast<int>(border_x),
+                               static_cast<int>(border_y), coded_w, coded_h);
+  const Yuv422Image plain = crop(f1, static_cast<int>(border_x),
+                                 static_cast<int>(border_y), coded_w, coded_h);
+  // Compensate: cur(x) == prev(x + mv), so shifting the crop window by -mv
+  // re-aligns the new frame with the reference.
+  const Yuv422Image stab =
+      crop(f1, static_cast<int>(border_x) - mv.dx,
+           static_cast<int>(border_y) - mv.dy, coded_w, coded_h);
+  EXPECT_LT(plane_mse(stab.y, ref.y) * 4.0, plane_mse(plain.y, ref.y));
+}
+
+}  // namespace
+}  // namespace mcm::pixel

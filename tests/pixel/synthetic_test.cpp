@@ -1,0 +1,84 @@
+#include "pixel/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcm::pixel {
+namespace {
+
+SceneParams small_scene() {
+  SceneParams p;
+  p.width = 64;
+  p.height = 48;
+  p.seed = 7;
+  return p;
+}
+
+TEST(Synthetic, Deterministic) {
+  const SceneGenerator a(small_scene());
+  const SceneGenerator b(small_scene());
+  const Rgb888Image fa = a.render(3);
+  const Rgb888Image fb = b.render(3);
+  EXPECT_EQ(fa.r.data(), fb.r.data());
+  EXPECT_EQ(fa.g.data(), fb.g.data());
+  EXPECT_EQ(fa.b.data(), fb.b.data());
+}
+
+TEST(Synthetic, FramesChangeOverTime) {
+  const SceneGenerator gen(small_scene());
+  const Rgb888Image f0 = gen.render(0);
+  const Rgb888Image f5 = gen.render(5);
+  EXPECT_NE(f0.r.data(), f5.r.data());
+  EXPECT_GT(plane_mse(f0.r, f5.r), 1.0);
+}
+
+TEST(Synthetic, SeedsProduceDifferentContent) {
+  SceneParams p2 = small_scene();
+  p2.seed = 8;
+  const Rgb888Image a = SceneGenerator(small_scene()).render(0);
+  const Rgb888Image b = SceneGenerator(p2).render(0);
+  EXPECT_NE(a.r.data(), b.r.data());
+}
+
+TEST(Synthetic, NoiseSigmaZeroIsClean) {
+  SceneParams p = small_scene();
+  p.noise_sigma = 0.0;
+  p.objects = 0;
+  const SceneGenerator gen(p);
+  // Noise-free background is a smooth texture: neighbors stay close.
+  const Rgb888Image f = gen.render(0);
+  for (std::uint32_t y = 0; y < f.height(); ++y) {
+    for (std::uint32_t x = 1; x < f.width(); ++x) {
+      const int d = std::abs(static_cast<int>(f.r.at(x, y)) -
+                             static_cast<int>(f.r.at(x - 1, y)));
+      EXPECT_LE(d, 10);
+    }
+  }
+}
+
+TEST(Synthetic, LumaRenderMatchesBt601OfRgb) {
+  const SceneGenerator gen(small_scene());
+  const Rgb888Image rgb = gen.render(2);
+  const ImageU8 luma = gen.render_luma(2);
+  const int r = rgb.r.at(10, 10), g = rgb.g.at(10, 10), b = rgb.b.at(10, 10);
+  const int expect = ((66 * r + 129 * g + 25 * b + 128) >> 8) + 16;
+  EXPECT_EQ(luma.at(10, 10), clamp_u8(expect));
+}
+
+TEST(Synthetic, BayerMosaicPicksChannelsByRggb) {
+  Rgb888Image rgb(4, 4);
+  for (std::uint32_t y = 0; y < 4; ++y) {
+    for (std::uint32_t x = 0; x < 4; ++x) {
+      rgb.r.at(x, y) = 10;
+      rgb.g.at(x, y) = 20;
+      rgb.b.at(x, y) = 30;
+    }
+  }
+  const ImageU8 bayer = bayer_mosaic_rggb(rgb);
+  EXPECT_EQ(bayer.at(0, 0), 10);  // R
+  EXPECT_EQ(bayer.at(1, 0), 20);  // G
+  EXPECT_EQ(bayer.at(0, 1), 20);  // G
+  EXPECT_EQ(bayer.at(1, 1), 30);  // B
+}
+
+}  // namespace
+}  // namespace mcm::pixel

@@ -1,0 +1,74 @@
+#include "pixel/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace mcm::pixel {
+namespace {
+
+TEST(Transform, ForwardInverseIsIdentity) {
+  Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    int block[16], coef[16], back[16];
+    for (int& v : block) v = static_cast<int>(rng.next_below(511)) - 255;
+    hadamard4_forward(block, coef);
+    hadamard4_inverse(coef, back);
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(back[i], block[i]);
+  }
+}
+
+TEST(Transform, DcOfConstantBlock) {
+  int block[16], coef[16];
+  for (int& v : block) v = 10;
+  hadamard4_forward(block, coef);
+  EXPECT_EQ(coef[0], 160);  // 16 x 10
+  for (int i = 1; i < 16; ++i) EXPECT_EQ(coef[i], 0);
+}
+
+TEST(Transform, QstepDoublesEverySixQp) {
+  EXPECT_EQ(qstep_q8(4), 256);
+  EXPECT_EQ(qstep_q8(10), 512);
+  EXPECT_EQ(qstep_q8(16), 1024);
+  EXPECT_NEAR(qstep_q8(28), 256 * 16, 2);
+}
+
+TEST(Transform, QuantDequantErrorBounded) {
+  Rng rng(5);
+  for (int qp : {10, 20, 28, 36}) {
+    const std::int32_t step = qstep_q8(qp);
+    for (int trial = 0; trial < 200; ++trial) {
+      const int coef = static_cast<int>(rng.next_below(16000)) - 8000;
+      const int level = quantize(coef, step);
+      const int back = dequantize(level, step);
+      // Error bounded by half the effective step (step/256 * 16).
+      const double eff = step / 256.0 * 16.0;
+      EXPECT_LE(std::abs(back - coef), eff / 2.0 + 1.0);
+    }
+  }
+}
+
+TEST(Transform, QuantZeroIsZero) {
+  EXPECT_EQ(quantize(0, qstep_q8(28)), 0);
+  EXPECT_EQ(dequantize(0, qstep_q8(28)), 0);
+}
+
+TEST(Transform, GolombLengths) {
+  EXPECT_EQ(golomb_bits_unsigned(0), 1u);
+  EXPECT_EQ(golomb_bits_unsigned(1), 3u);
+  EXPECT_EQ(golomb_bits_unsigned(2), 3u);
+  EXPECT_EQ(golomb_bits_unsigned(3), 5u);
+  EXPECT_EQ(golomb_bits_unsigned(6), 5u);
+  EXPECT_EQ(golomb_bits_unsigned(7), 7u);
+  EXPECT_EQ(golomb_bits_signed(0), 1u);
+  EXPECT_EQ(golomb_bits_signed(1), 3u);
+  EXPECT_EQ(golomb_bits_signed(-1), 3u);
+  EXPECT_EQ(golomb_bits_signed(2), 5u);
+  // Monotone in magnitude.
+  for (int v = 1; v < 100; ++v) {
+    EXPECT_GE(golomb_bits_signed(v + 1), golomb_bits_signed(v));
+  }
+}
+
+}  // namespace
+}  // namespace mcm::pixel

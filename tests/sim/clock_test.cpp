@@ -1,0 +1,38 @@
+#include "sim/clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcm::sim {
+namespace {
+
+TEST(Clock, EdgesAt400MHz) {
+  const Clock c(Frequency{400.0});
+  EXPECT_EQ(c.period().ps(), 2500);
+  EXPECT_EQ(c.next_edge(Time{0}), Time{0});
+  EXPECT_EQ(c.next_edge(Time{1}), Time{2500});
+  EXPECT_EQ(c.next_edge(Time{2500}), Time{2500});
+  EXPECT_EQ(c.edge_after(Time{2500}), Time{5000});
+  EXPECT_EQ(c.edge_after(Time{2499}), Time{2500});
+}
+
+TEST(Clock, CycleConversions) {
+  const Clock c(Frequency{200.0});
+  EXPECT_EQ(c.cycles(3), Time::from_ns(15.0));
+  EXPECT_EQ(c.cycles_for(Time::from_ns(15.0)), 3);
+  EXPECT_EQ(c.cycles_for(Time::from_ns(15.1)), 4);  // ceil
+  EXPECT_EQ(c.cycles_for(Time::zero()), 0);
+}
+
+TEST(Clock, NonIntegerPeriodStillMonotonic) {
+  const Clock c(Frequency{533.0});  // 1876 ps period
+  Time t = Time::zero();
+  for (int i = 0; i < 100; ++i) {
+    const Time e = c.edge_after(t);
+    EXPECT_GT(e, t);
+    EXPECT_EQ(e.ps() % c.period().ps(), 0);
+    t = e;
+  }
+}
+
+}  // namespace
+}  // namespace mcm::sim

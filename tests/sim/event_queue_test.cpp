@@ -1,0 +1,41 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mcm::sim {
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue<int> q;
+  q.push(Time{30}, 3);
+  q.push(Time{10}, 1);
+  q.push(Time{20}, 2);
+  EXPECT_EQ(q.pop().payload, 1);
+  EXPECT_EQ(q.pop().payload, 2);
+  EXPECT_EQ(q.pop().payload, 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, StableForTies) {
+  EventQueue<std::string> q;
+  q.push(Time{5}, "first");
+  q.push(Time{5}, "second");
+  q.push(Time{5}, "third");
+  EXPECT_EQ(q.pop().payload, "first");
+  EXPECT_EQ(q.pop().payload, "second");
+  EXPECT_EQ(q.pop().payload, "third");
+}
+
+TEST(EventQueue, SizeAndTop) {
+  EventQueue<int> q;
+  EXPECT_TRUE(q.empty());
+  q.push(Time{7}, 42);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.top().when, Time{7});
+  EXPECT_EQ(q.top().payload, 42);
+}
+
+}  // namespace
+}  // namespace mcm::sim

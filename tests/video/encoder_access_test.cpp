@@ -1,0 +1,115 @@
+#include "video/encoder_access.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcm::video {
+namespace {
+
+EncoderAccessParams base_params() {
+  EncoderAccessParams p;
+  p.resolution = k720p;
+  p.ref_frames = 4;
+  p.input_base = 0;
+  p.ref_base = 1ull << 24;
+  p.recon_base = 1ull << 27;
+  return p;
+}
+
+TEST(EncoderAccess, CoversWholeFrame) {
+  auto p = base_params();
+  EncoderAccessGenerator gen(p);
+  EXPECT_EQ(gen.macroblocks_total(), 3600u);
+}
+
+TEST(EncoderAccess, MaxMacroblocksBounds) {
+  auto p = base_params();
+  p.max_macroblocks = 10;
+  EncoderAccessGenerator gen(p);
+  EXPECT_EQ(gen.macroblocks_total(), 10u);
+  std::uint64_t count = 0;
+  while (gen.next()) ++count;
+  EXPECT_GT(count, 0u);
+  EXPECT_EQ(gen.macroblocks_done(), 10u);
+}
+
+TEST(EncoderAccess, WindowLoadVolumeMatchesFactorSixModel) {
+  // A +/-16 full-search window is 48x48 luma bytes = 2304 B per macroblock
+  // per reference - exactly the paper's "6 x N x #refs" at 12 bpp
+  // (6 x 12 bit x 256 pel / 8 = 2304 B). Border clamping loses a little.
+  auto p = base_params();
+  p.max_macroblocks = 0;
+  EncoderAccessGenerator gen(p);
+  std::uint64_t ref_bytes = 0;
+  while (auto a = gen.next()) {
+    if (!a->is_write && a->addr >= p.ref_base && a->addr < p.recon_base) {
+      ref_bytes += a->bytes;
+    }
+  }
+  const double expected = 6.0 * 12.0 * 921'600.0 * 4 / 8.0;
+  EXPECT_LT(static_cast<double>(ref_bytes), expected * 1.001);
+  EXPECT_GT(static_cast<double>(ref_bytes), expected * 0.80);  // border losses
+}
+
+TEST(EncoderAccess, WritesGoToRecon) {
+  auto p = base_params();
+  p.max_macroblocks = 50;
+  EncoderAccessGenerator gen(p);
+  std::uint64_t write_bytes = 0;
+  while (auto a = gen.next()) {
+    if (a->is_write) {
+      EXPECT_GE(a->addr, p.recon_base);
+      write_bytes += a->bytes;
+    }
+  }
+  // 16x16 luma + 2 x 64 B chroma = 384 B per MB.
+  EXPECT_EQ(write_bytes, 50u * 384u);
+}
+
+TEST(EncoderAccess, AllTouchesProducesFarMoreTraffic) {
+  auto window = base_params();
+  window.max_macroblocks = 30;
+  auto all = window;
+  all.mode = EncoderAccessMode::kAllTouches;
+  all.candidate_step = 4;
+  auto volume = [](EncoderAccessParams p) {
+    EncoderAccessGenerator gen(p);
+    std::uint64_t bytes = 0;
+    while (auto a = gen.next()) bytes += a->bytes;
+    return bytes;
+  };
+  // Even subsampled 4:1, candidate touches dwarf the window loads.
+  EXPECT_GT(volume(all), 5 * volume(window));
+}
+
+TEST(EncoderAccess, DeterministicForSeed) {
+  auto p = base_params();
+  p.max_macroblocks = 20;
+  EncoderAccessGenerator a(p), b(p);
+  while (true) {
+    const auto x = a.next();
+    const auto y = b.next();
+    ASSERT_EQ(x.has_value(), y.has_value());
+    if (!x) break;
+    EXPECT_EQ(x->addr, y->addr);
+    EXPECT_EQ(x->bytes, y->bytes);
+    EXPECT_EQ(x->is_write, y->is_write);
+  }
+}
+
+TEST(EncoderAccess, AddressesStayInsidePlanes) {
+  auto p = base_params();
+  p.max_macroblocks = 200;
+  p.ref_frame_bytes = frame_bytes(p.resolution, PixelFormat::kYuv420);
+  EncoderAccessGenerator gen(p);
+  const std::uint64_t luma = 1280ull * 720;
+  while (auto a = gen.next()) {
+    if (!a->is_write && a->addr >= p.ref_base) {
+      // Window reads stay within one reference frame's luma plane.
+      const std::uint64_t off = (a->addr - p.ref_base) % p.ref_frame_bytes;
+      EXPECT_LT(off + a->bytes, luma + 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcm::video

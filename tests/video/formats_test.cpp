@@ -1,0 +1,38 @@
+#include "video/formats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcm::video {
+namespace {
+
+TEST(Formats, BitsPerPixelMatchPaper) {
+  EXPECT_EQ(bits_per_pixel(PixelFormat::kBayer), 16);
+  EXPECT_EQ(bits_per_pixel(PixelFormat::kYuv422), 16);
+  EXPECT_EQ(bits_per_pixel(PixelFormat::kYuv420), 12);
+  EXPECT_EQ(bits_per_pixel(PixelFormat::kRgb888), 24);
+}
+
+TEST(Formats, PaperResolutions) {
+  EXPECT_EQ(k720p.pixels(), 921'600u);
+  EXPECT_EQ(k1080p.pixels(), 2'088'960u);  // 1920 x 1088
+  EXPECT_EQ(k2160p.pixels(), 8'294'400u);
+  EXPECT_EQ(kWvga.pixels(), 384'000u);
+}
+
+TEST(Formats, FrameBytes) {
+  EXPECT_EQ(frame_bytes(k720p, PixelFormat::kYuv422), 1'843'200u);
+  EXPECT_EQ(frame_bytes(k720p, PixelFormat::kYuv420), 1'382'400u);
+  EXPECT_EQ(frame_bytes(kWvga, PixelFormat::kRgb888), 1'152'000u);
+}
+
+TEST(Formats, FrameBitsExact) {
+  EXPECT_DOUBLE_EQ(frame_bits(k720p, PixelFormat::kYuv420), 921'600.0 * 12);
+}
+
+TEST(Formats, Names) {
+  EXPECT_EQ(to_string(PixelFormat::kBayer), "Bayer");
+  EXPECT_EQ(to_string(PixelFormat::kRgb888), "RGB888");
+}
+
+}  // namespace
+}  // namespace mcm::video

@@ -1,0 +1,84 @@
+#include "video/h264_levels.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcm::video {
+namespace {
+
+TEST(H264Levels, FiveHdLevels) {
+  EXPECT_EQ(kAllLevels.size(), 5u);
+  EXPECT_EQ(level_spec(H264Level::k31).resolution, k720p);
+  EXPECT_DOUBLE_EQ(level_spec(H264Level::k31).fps, 30.0);
+  EXPECT_EQ(level_spec(H264Level::k32).resolution, k720p);
+  EXPECT_DOUBLE_EQ(level_spec(H264Level::k32).fps, 60.0);
+  EXPECT_EQ(level_spec(H264Level::k40).resolution, k1080p);
+  EXPECT_EQ(level_spec(H264Level::k42).resolution, k1080p);
+  EXPECT_DOUBLE_EQ(level_spec(H264Level::k42).fps, 60.0);
+  EXPECT_EQ(level_spec(H264Level::k52).resolution, k2160p);
+  EXPECT_DOUBLE_EQ(level_spec(H264Level::k52).fps, 30.0);
+}
+
+TEST(H264Levels, MaxBitrates) {
+  EXPECT_DOUBLE_EQ(level_spec(H264Level::k31).max_bitrate_mbps, 14.0);
+  EXPECT_DOUBLE_EQ(level_spec(H264Level::k32).max_bitrate_mbps, 20.0);
+  EXPECT_DOUBLE_EQ(level_spec(H264Level::k40).max_bitrate_mbps, 20.0);
+  EXPECT_DOUBLE_EQ(level_spec(H264Level::k42).max_bitrate_mbps, 50.0);
+  EXPECT_DOUBLE_EQ(level_spec(H264Level::k52).max_bitrate_mbps, 240.0);
+}
+
+TEST(H264Levels, FrameMacroblocks) {
+  EXPECT_EQ(frame_macroblocks(k720p), 3600u);
+  EXPECT_EQ(frame_macroblocks(k1080p), 8160u);
+  EXPECT_EQ(frame_macroblocks(k2160p), 32400u);
+}
+
+TEST(H264Levels, DpbDerivedReferenceFrames) {
+  EXPECT_EQ(dpb_reference_frames(H264Level::k31), 5u);   // 18000 / 3600
+  EXPECT_EQ(dpb_reference_frames(H264Level::k32), 5u);   // 20480 / 3600
+  EXPECT_EQ(dpb_reference_frames(H264Level::k40), 4u);   // 32768 / 8160
+  EXPECT_EQ(dpb_reference_frames(H264Level::k42), 4u);
+  EXPECT_EQ(dpb_reference_frames(H264Level::k52), 5u);   // 184320 / 32400
+}
+
+TEST(H264Levels, FullTableOrderedAndConsistent) {
+  const auto& limits = all_level_limits();
+  ASSERT_EQ(limits.size(), 17u);
+  for (std::size_t i = 1; i < limits.size(); ++i) {
+    EXPECT_GE(limits[i].max_mbps, limits[i - 1].max_mbps);
+    EXPECT_GE(limits[i].max_fs, limits[i - 1].max_fs);
+    EXPECT_GE(limits[i].max_bitrate_mbps, limits[i - 1].max_bitrate_mbps);
+  }
+  // The five Table I columns agree with the compact spec table.
+  for (const auto level : kAllLevels) {
+    const auto& s = level_spec(level);
+    for (const auto& l : all_level_limits()) {
+      if (l.name == s.name) {
+        EXPECT_DOUBLE_EQ(l.max_bitrate_mbps, s.max_bitrate_mbps);
+        EXPECT_EQ(l.max_dpb_mbs, s.max_dpb_mbs);
+      }
+    }
+  }
+}
+
+TEST(H264Levels, SuggestLevelForCommonModes) {
+  EXPECT_EQ(suggest_level(Resolution{176, 144}, 15.0)->name, "1");
+  EXPECT_EQ(suggest_level(Resolution{352, 288}, 30.0)->name, "1.3");
+  EXPECT_EQ(suggest_level(k720p, 30.0)->name, "3.1");
+  EXPECT_EQ(suggest_level(k720p, 60.0)->name, "3.2");
+  EXPECT_EQ(suggest_level(k1080p, 30.0)->name, "4");
+  EXPECT_EQ(suggest_level(k1080p, 60.0)->name, "4.2");
+  EXPECT_EQ(suggest_level(k2160p, 30.0)->name, "5.1");
+  EXPECT_EQ(suggest_level(k2160p, 60.0)->name, "5.2");
+  EXPECT_EQ(suggest_level(Resolution{7680, 4320}, 30.0), nullptr);  // 8K
+}
+
+TEST(H264Levels, CalibratedPolicyUsesFourEverywhere) {
+  for (const H264Level level : kAllLevels) {
+    EXPECT_EQ(reference_frames(level, RefFramePolicy::kCalibrated), 4u);
+    EXPECT_EQ(reference_frames(level, RefFramePolicy::kDpbDerived),
+              dpb_reference_frames(level));
+  }
+}
+
+}  // namespace
+}  // namespace mcm::video

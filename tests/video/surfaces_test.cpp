@@ -1,0 +1,75 @@
+#include "video/surfaces.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcm::video {
+namespace {
+
+UseCaseModel model_for(H264Level level) {
+  UseCaseParams p;
+  p.level = level;
+  return UseCaseModel(p);
+}
+
+TEST(Surfaces, AllSurfacesPresentAndAligned) {
+  const auto m = model_for(H264Level::k31);
+  const SurfaceLayout layout(m, 64 * 1024);
+  EXPECT_EQ(layout.all().size(), static_cast<std::size_t>(kSurfaceCount));
+  for (const auto& s : layout.all()) {
+    EXPECT_FALSE(s.name.empty());
+    EXPECT_GT(s.bytes, 0u);
+    EXPECT_EQ(s.base % (64 * 1024), 0u);
+  }
+}
+
+TEST(Surfaces, NoOverlaps) {
+  const auto m = model_for(H264Level::k40);
+  const SurfaceLayout layout(m);
+  const auto& all = layout.all();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    for (std::size_t j = i + 1; j < all.size(); ++j) {
+      const bool disjoint =
+          all[i].end() <= all[j].base || all[j].end() <= all[i].base;
+      EXPECT_TRUE(disjoint) << all[i].name << " overlaps " << all[j].name;
+    }
+  }
+}
+
+TEST(Surfaces, SizesMatchFormats) {
+  const auto m = model_for(H264Level::k31);
+  const SurfaceLayout layout(m);
+  // Sensor frame: 1.44 x 921600 pixels x 2 B.
+  EXPECT_NEAR(static_cast<double>(layout.surface(SurfaceId::kBayerCapture).bytes),
+              1.44 * 921'600 * 2, 32);
+  // Reference area: 4 x 12 bpp frames.
+  EXPECT_NEAR(static_cast<double>(layout.surface(SurfaceId::kReferenceArea).bytes),
+              4.0 * 921'600 * 1.5, 64);
+  // Display: two WVGA RGB888 buffers.
+  EXPECT_EQ(layout.surface(SurfaceId::kDisplayFb).bytes, 2ull * 800 * 480 * 3);
+}
+
+TEST(Surfaces, WorkingSetsFitPaperConfigurations) {
+  // 720p fits one 64 MiB channel; 1080p fits four; 2160p fits eight.
+  EXPECT_LT(SurfaceLayout(model_for(H264Level::k31)).total_bytes(),
+            64ull * 1024 * 1024);
+  EXPECT_LT(SurfaceLayout(model_for(H264Level::k40)).total_bytes(),
+            4 * 64ull * 1024 * 1024);
+  EXPECT_LT(SurfaceLayout(model_for(H264Level::k52)).total_bytes(),
+            8 * 64ull * 1024 * 1024);
+}
+
+TEST(Surfaces, GrowsWithResolution) {
+  EXPECT_LT(SurfaceLayout(model_for(H264Level::k31)).total_bytes(),
+            SurfaceLayout(model_for(H264Level::k40)).total_bytes());
+  EXPECT_LT(SurfaceLayout(model_for(H264Level::k40)).total_bytes(),
+            SurfaceLayout(model_for(H264Level::k52)).total_bytes());
+}
+
+TEST(Surfaces, CustomAlignmentHonored) {
+  const auto m = model_for(H264Level::k31);
+  const SurfaceLayout layout(m, 128);
+  for (const auto& s : layout.all()) EXPECT_EQ(s.base % 128, 0u);
+}
+
+}  // namespace
+}  // namespace mcm::video
