@@ -6,6 +6,8 @@
 
 #include "bench_util.hpp"
 #include "core/experiments.hpp"
+#include "core/result_export.hpp"
+#include "obs/metrics.hpp"
 
 int main() {
   using namespace mcm;
@@ -14,6 +16,32 @@ int main() {
 
   std::map<std::uint32_t, std::map<double, const core::SweepPoint*>> grid;
   for (const auto& p : points) grid[p.channels][p.freq_mhz] = &p;
+
+  obs::RunReport report("fig3");
+  core::export_config(report.config(), cfg.base, cfg.usecase);
+  report.config()["sweep"] = "frequency x channels";
+  for (const auto& p : points) {
+    char label[48];
+    std::snprintf(label, sizeof label, "%.0fMHz/%uch", p.freq_mhz, p.channels);
+    auto& pt = report.add_point(label);
+    pt["freq_mhz"] = p.freq_mhz;
+    pt["channels"] = p.channels;
+    core::export_result(pt, p.result);
+  }
+
+  // Instrumented headline run (400 MHz x 4 ch, one 720p30 frame): publishes
+  // the full metric catalogue into the report; MCM_TRACE_FILE additionally
+  // streams the JSONL command/request trace there.
+  {
+    core::ExperimentConfig icfg = cfg;
+    icfg.base.freq = Frequency{400.0};
+    icfg.base.channels = 4;
+    obs::MetricsRegistry reg;
+    icfg.sim.metrics = &reg;
+    if (const char* tf = std::getenv("MCM_TRACE_FILE")) icfg.sim.trace_path = tf;
+    static_cast<void>(core::FrameSimulator(icfg.sim).run(icfg.base, icfg.usecase));
+    report.add_metrics(reg);
+  }
 
   auto sink = benchutil::open_csv("fig3");
   if (sink.active()) {
@@ -76,5 +104,7 @@ int main() {
   std::printf("  - ~2x speedup from doubling frequency: %.2fx; from doubling "
               "channels: %.2fx\n",
               speedup_f, speedup_c);
+
+  benchutil::write_report(report);
   return 0;
 }

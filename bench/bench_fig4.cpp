@@ -6,6 +6,7 @@
 
 #include "bench_util.hpp"
 #include "core/experiments.hpp"
+#include "core/result_export.hpp"
 
 int main() {
   using namespace mcm;
@@ -14,6 +15,22 @@ int main() {
 
   std::map<std::uint32_t, std::map<video::H264Level, const core::SweepPoint*>> grid;
   for (const auto& p : points) grid[p.channels][p.level] = &p;
+
+  obs::RunReport report("fig4");
+  core::export_config(report.config(), cfg.base, cfg.usecase);
+  report.config()["freq_mhz"] = 400.0;
+  report.config()["sweep"] = "format x channels";
+  for (const auto& p : points) {
+    const auto& spec = video::level_spec(p.level);
+    char label[64];
+    std::snprintf(label, sizeof label, "L%s/%uch", std::string(spec.name).c_str(),
+                  p.channels);
+    auto& pt = report.add_point(label);
+    pt["level"] = spec.name;
+    pt["format"] = spec.format;
+    pt["channels"] = p.channels;
+    core::export_result(pt, p.result);
+  }
 
   auto sink = benchutil::open_csv("fig4");
   if (sink.active()) {
@@ -85,5 +102,7 @@ int main() {
       grid.at(4).at(video::H264Level::k40)->result.demand_bandwidth_bytes_per_s /
       grid.at(4).at(video::H264Level::k31)->result.demand_bandwidth_bytes_per_s;
   std::printf("  - 1080p30 needs ~2.2x the bandwidth of 720p30: %.2fx\n", ratio);
+
+  benchutil::write_report(report);
   return 0;
 }

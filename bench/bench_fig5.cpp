@@ -4,9 +4,11 @@
 // with the 15 % data-processing margin.
 #include <cstdio>
 #include <map>
+#include <string>
 
 #include "bench_util.hpp"
 #include "core/experiments.hpp"
+#include "core/result_export.hpp"
 
 int main() {
   using namespace mcm;
@@ -15,6 +17,21 @@ int main() {
 
   std::map<std::uint32_t, std::map<video::H264Level, const core::SweepPoint*>> grid;
   for (const auto& p : points) grid[p.channels][p.level] = &p;
+
+  obs::RunReport report("fig5");
+  core::export_config(report.config(), cfg.base, cfg.usecase);
+  report.config()["freq_mhz"] = 400.0;
+  report.config()["sweep"] = "format x channels (power)";
+  for (const auto& p : points) {
+    const auto& spec = video::level_spec(p.level);
+    char label[64];
+    std::snprintf(label, sizeof label, "L%s/%uch", std::string(spec.name).c_str(),
+                  p.channels);
+    auto& pt = report.add_point(label);
+    pt["level"] = spec.name;
+    pt["channels"] = p.channels;
+    core::export_result(pt, p.result);
+  }
 
   auto sink = benchutil::open_csv("fig5");
   if (sink.active()) {
@@ -70,5 +87,7 @@ int main() {
               "1080p30/4ch %.0f mW; 2160p30/8ch %.0f mW.\n",
               mw(1, video::H264Level::k31), mw(8, video::H264Level::k31),
               mw(4, video::H264Level::k40), mw(8, video::H264Level::k52));
+
+  benchutil::write_report(report);
   return 0;
 }

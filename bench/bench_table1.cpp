@@ -29,6 +29,33 @@ int main() {
     models.emplace_back(p);
   }
 
+  obs::RunReport report("table1");
+  report.config()["sweep"] = "H.264 levels (Table I load model)";
+  for (const auto& m : models) {
+    auto& pt = report.add_point(std::string("L") + std::string(m.level().name));
+    pt["level"] = m.level().name;
+    pt["format"] = m.level().format;
+    pt["width"] = m.level().resolution.width;
+    pt["height"] = m.level().resolution.height;
+    pt["fps"] = m.level().fps;
+    pt["ref_frames"] = m.ref_frames();
+    pt["image_processing_mbit_per_frame"] =
+        m.image_processing_bits_per_frame() / 1e6;
+    pt["video_coding_mbit_per_frame"] = m.video_coding_bits_per_frame() / 1e6;
+    pt["total_mbit_per_frame"] = m.total_bits_per_frame() / 1e6;
+    pt["mb_per_second"] = m.total_mb_per_second();
+    auto& stages = pt["stages"];
+    stages = obs::JsonValue::array();
+    for (const auto& s : m.stages()) {
+      obs::JsonValue st = obs::JsonValue::object();
+      st["name"] = s.name;
+      st["read_mbit"] = s.read_bits / 1e6;
+      st["write_mbit"] = s.write_bits / 1e6;
+      st["image_processing"] = s.image_processing;
+      stages.push(std::move(st));
+    }
+  }
+
   auto sink = mcm::benchutil::open_csv("table1");
   if (sink.active()) {
     sink.csv().row({"level", "stage", "read_mbit", "write_mbit", "total_mbit"});
@@ -126,5 +153,7 @@ int main() {
               models[2].total_mb_per_second() / 1000.0,
               models[2].total_mb_per_second() / models[0].total_mb_per_second(),
               models[3].total_mb_per_second() / 1000.0);
+
+  benchutil::write_report(report);
   return 0;
 }

@@ -1,14 +1,20 @@
-// Shared helpers for the benchmark binaries: optional CSV export. When the
-// MCM_CSV_DIR environment variable names a directory, each figure bench also
-// writes its data series there as <name>.csv for external plotting.
+// Shared helpers for the benchmark binaries: optional CSV export and the
+// machine-readable run report. When the MCM_CSV_DIR environment variable
+// names a directory, each figure bench also writes its data series there as
+// <name>.csv for external plotting. Every bench additionally funnels its
+// results through obs::RunReport, written as <name>.report.json (to
+// MCM_REPORT_DIR when set, the working directory otherwise; MCM_REPORT_DIR=off
+// disables it).
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <string>
 
 #include "common/csv.hpp"
+#include "obs/run_report.hpp"
 
 namespace mcm::benchutil {
 
@@ -31,6 +37,18 @@ struct CsvSink {
     sink.writer = std::make_unique<CsvWriter>(sink.file);
   }
   return sink;
+}
+
+/// Write `report` to its default destination and note the path on stdout.
+/// Benches call this last so the JSON sits next to the printed table.
+inline void write_report(const obs::RunReport& report) {
+  const std::string path = report.write_default();
+  if (!path.empty()) {
+    std::printf("[run report: %s]\n", path.c_str());
+  } else if (!report.default_path().empty()) {
+    std::fprintf(stderr, "cannot write run report %s\n",
+                 report.default_path().c_str());
+  }
 }
 
 }  // namespace mcm::benchutil

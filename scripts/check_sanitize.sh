@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Build the full tree with ASan+UBSan (-DMCM_SANITIZE=ON) and run the tier-1
+# test suite under the sanitizers. Usage:
+#
+#   scripts/check_sanitize.sh [build-dir]      # default: build-sanitize
+#
+# Any sanitizer report fails the run (halt_on_error / abort defaults).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-sanitize}"
+
+cmake -B "$build_dir" -S "$repo_root" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DMCM_SANITIZE=ON
+cmake --build "$build_dir" -j "$(nproc)"
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+
+ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"

@@ -64,6 +64,11 @@ class Channel {
 
   void finalize(Time end) { controller_.finalize(end); }
 
+  /// Forward observability tracing into the controller (nullptr detaches).
+  void set_trace_sink(obs::TraceSink* sink, std::uint32_t channel_id) {
+    controller_.set_trace_sink(sink, channel_id);
+  }
+
   /// Average power over [0, window].
   [[nodiscard]] ChannelPowerReport power(Time window) const {
     ChannelPowerReport r;

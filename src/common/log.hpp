@@ -1,9 +1,20 @@
 // Leveled logging to stderr. Off by default above Warn so simulators stay
-// quiet in benchmarks; tests and examples can raise verbosity.
+// quiet in benchmarks; tests and examples can raise verbosity, and the
+// MCM_LOG_LEVEL environment variable (error|warn|info|debug or 0-3) sets it
+// without recompiling. Format strings are compiler-checked where supported.
 #pragma once
 
+#include <cstdarg>
 #include <cstdio>
-#include <string>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define MCM_PRINTF_CHECK(fmt_idx, arg_idx) \
+  __attribute__((format(printf, fmt_idx, arg_idx)))
+#else
+#define MCM_PRINTF_CHECK(fmt_idx, arg_idx)
+#endif
 
 namespace mcm {
 
@@ -12,19 +23,11 @@ enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
 class Log {
  public:
   static LogLevel& level() {
-    static LogLevel lvl = LogLevel::kWarn;
+    static LogLevel lvl = level_from_env();
     return lvl;
   }
 
-  template <typename... Args>
-  static void write(LogLevel lvl, const char* fmt, Args... args) {
-    if (lvl > level()) return;
-    std::fprintf(stderr, "[mcm:%s] ", name(lvl));
-    std::fprintf(stderr, fmt, args...);
-    std::fputc('\n', stderr);
-  }
-
-  static void write(LogLevel lvl, const char* msg) { write(lvl, "%s", msg); }
+  MCM_PRINTF_CHECK(2, 3) static void write(LogLevel lvl, const char* fmt, ...);
 
  private:
   static const char* name(LogLevel lvl) {
@@ -36,7 +39,32 @@ class Log {
     }
     return "?";
   }
+
+  /// MCM_LOG_LEVEL parse; the compiled-in default (Warn) when unset/invalid.
+  static LogLevel level_from_env() {
+    const char* env = std::getenv("MCM_LOG_LEVEL");
+    if (env == nullptr || *env == '\0') return LogLevel::kWarn;
+    if (std::strcmp(env, "error") == 0 || std::strcmp(env, "0") == 0)
+      return LogLevel::kError;
+    if (std::strcmp(env, "warn") == 0 || std::strcmp(env, "1") == 0)
+      return LogLevel::kWarn;
+    if (std::strcmp(env, "info") == 0 || std::strcmp(env, "2") == 0)
+      return LogLevel::kInfo;
+    if (std::strcmp(env, "debug") == 0 || std::strcmp(env, "3") == 0)
+      return LogLevel::kDebug;
+    return LogLevel::kWarn;
+  }
 };
+
+inline void Log::write(LogLevel lvl, const char* fmt, ...) {
+  if (lvl > level()) return;
+  std::fprintf(stderr, "[mcm:%s] ", name(lvl));
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
 
 #define MCM_LOG_ERROR(...) ::mcm::Log::write(::mcm::LogLevel::kError, __VA_ARGS__)
 #define MCM_LOG_WARN(...) ::mcm::Log::write(::mcm::LogLevel::kWarn, __VA_ARGS__)

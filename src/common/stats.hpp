@@ -3,6 +3,8 @@
 #pragma once
 
 #include <algorithm>
+#include <cassert>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -10,7 +12,8 @@
 
 namespace mcm {
 
-/// Running scalar accumulator: count, sum, min, max, mean.
+/// Running scalar accumulator: count, sum, min, max, mean, and Welford
+/// variance (so latency reports can include jitter without a second pass).
 class Accumulator {
  public:
   void add(double x) {
@@ -18,19 +21,38 @@ class Accumulator {
     sum_ += x;
     min_ = std::min(min_, x);
     max_ = std::max(max_, x);
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
   }
 
   [[nodiscard]] std::uint64_t count() const { return count_; }
   [[nodiscard]] double sum() const { return sum_; }
-  [[nodiscard]] double mean() const {
-    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
-  }
+  [[nodiscard]] double mean() const { return count_ > 0 ? mean_ : 0.0; }
   [[nodiscard]] double min() const { return count_ > 0 ? min_ : 0.0; }
   [[nodiscard]] double max() const { return count_ > 0 ? max_ : 0.0; }
+
+  /// Population variance (mean squared deviation); 0 with fewer than two
+  /// samples.
+  [[nodiscard]] double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
 
   void reset() { *this = Accumulator{}; }
 
   Accumulator& operator+=(const Accumulator& rhs) {
+    if (rhs.count_ == 0) return *this;
+    if (count_ == 0) {
+      *this = rhs;
+      return *this;
+    }
+    // Chan et al. parallel combination of the Welford moments.
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(rhs.count_);
+    const double delta = rhs.mean_ - mean_;
+    mean_ += delta * nb / (na + nb);
+    m2_ += rhs.m2_ + delta * delta * na * nb / (na + nb);
     count_ += rhs.count_;
     sum_ += rhs.sum_;
     min_ = std::min(min_, rhs.min_);
@@ -43,6 +65,8 @@ class Accumulator {
   double sum_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // sum of squared deviations from the running mean
 };
 
 /// Linear-bucket histogram over [lo, hi); out-of-range samples land in
@@ -50,7 +74,10 @@ class Accumulator {
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t buckets)
-      : lo_(lo), hi_(hi), buckets_(buckets, 0) {}
+      : lo_(lo),
+        hi_(hi),
+        scale_(static_cast<double>(buckets) / (hi - lo)),
+        buckets_(buckets, 0) {}
 
   void add(double x) {
     acc_.add(x);
@@ -59,8 +86,7 @@ class Histogram {
     } else if (x >= hi_) {
       ++overflow_;
     } else {
-      const auto idx = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) *
-                                                static_cast<double>(buckets_.size()));
+      const auto idx = static_cast<std::size_t>((x - lo_) * scale_);
       ++buckets_[std::min(idx, buckets_.size() - 1)];
     }
   }
@@ -69,33 +95,54 @@ class Histogram {
   [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
   [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
   [[nodiscard]] const Accumulator& summary() const { return acc_; }
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
   [[nodiscard]] double bucket_lo(std::size_t i) const {
     return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(buckets_.size());
   }
 
+  /// Merge a histogram with identical bounds and bucket count.
+  Histogram& operator+=(const Histogram& rhs) {
+    assert(lo_ == rhs.lo_ && hi_ == rhs.hi_ &&
+           buckets_.size() == rhs.buckets_.size());
+    for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += rhs.buckets_[i];
+    underflow_ += rhs.underflow_;
+    overflow_ += rhs.overflow_;
+    acc_ += rhs.acc_;
+    return *this;
+  }
+
   /// Value at quantile p in [0, 1], linearly interpolated within the bucket.
-  /// Underflow counts as lo_, overflow as hi_.
+  /// p = 0 returns the observed minimum; underflow counts as lo_, overflow
+  /// as hi_. When floating-point accumulation leaves the target unreached
+  /// after the last populated bucket, that bucket's upper edge is returned
+  /// (never hi_ unless overflow samples exist).
   [[nodiscard]] double percentile(double p) const {
     const std::uint64_t n = acc_.count();
     if (n == 0) return 0.0;
+    if (p <= 0.0) return acc_.min();
     const double target = p * static_cast<double>(n);
     double cum = static_cast<double>(underflow_);
     if (target <= cum) return lo_;
     const double width = (hi_ - lo_) / static_cast<double>(buckets_.size());
+    std::size_t last_populated = buckets_.size();
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
       const double next = cum + static_cast<double>(buckets_[i]);
       if (target <= next && buckets_[i] > 0) {
         const double frac = (target - cum) / static_cast<double>(buckets_[i]);
         return bucket_lo(i) + frac * width;
       }
+      if (buckets_[i] > 0) last_populated = i;
       cum = next;
     }
-    return hi_;
+    if (overflow_ > 0 || last_populated == buckets_.size()) return hi_;
+    return bucket_lo(last_populated) + width;
   }
 
  private:
   double lo_;
   double hi_;
+  double scale_;  // buckets / (hi - lo), precomputed for the hot add path
   std::vector<std::uint64_t> buckets_;
   std::uint64_t underflow_ = 0;
   std::uint64_t overflow_ = 0;

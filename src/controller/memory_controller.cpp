@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/trace.hpp"
+
 namespace mcm::ctrl {
 
 MemoryController::MemoryController(const dram::DeviceSpec& spec, Frequency freq,
@@ -12,16 +14,19 @@ MemoryController::MemoryController(const dram::DeviceSpec& spec, Frequency freq,
       mapper_(spec.org, mux),
       cluster_(spec.org),
       cfg_(cfg),
-      next_ref_due_(d_.cycles(d_.trefi)) {}
+      next_ref_due_(d_.cycles(d_.trefi)),
+      bank_accesses_(spec.org.banks, 0) {}
 
 void MemoryController::enqueue(const Request& r) {
   assert(can_accept());
   queue_.push_back(r);
+  stats_.queue_depth.add(static_cast<double>(queue_.size()));
 }
 
 void MemoryController::record(Time at, dram::Command c, std::uint32_t bank,
                               std::uint32_t row) {
   if (cfg_.record_trace) trace_.push_back(dram::CommandRecord{at, c, bank, row});
+  if (trace_sink_ != nullptr) trace_sink_->command(trace_channel_, at, c, bank, row);
 }
 
 Time MemoryController::issue_edge(Time t) {
@@ -284,7 +289,12 @@ Completion MemoryController::process_one() {
   bus_free_ = data_end;
   bus_used_ = true;
   stats_.bytes += spec_.org.bytes_per_burst();
-  stats_.latency_ns.add((data_end - r.arrival).ns());
+  stats_.latency_hist_ns.add((data_end - r.arrival).ns());
+  ++bank_accesses_[da.bank];
+  if (trace_sink_ != nullptr) {
+    trace_sink_->span(trace_channel_, r.addr, r.is_write, r.arrival, first_cmd,
+                      data_end, row_hit);
+  }
 
   // Busy residency: rows are open throughout service.
   if (data_end > busy_from) {

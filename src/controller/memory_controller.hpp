@@ -20,9 +20,20 @@
 #include "dram/spec.hpp"
 #include "sim/clock.hpp"
 
+namespace mcm::obs {
+class TraceSink;
+}  // namespace mcm::obs
+
 namespace mcm::ctrl {
 
 struct ControllerStats {
+  /// Latency histogram span (ns). Covers queueing up to a whole 30 fps
+  /// frame period; later samples saturate into the overflow bucket.
+  static constexpr double kLatencyHistMaxNs = 4.0e7;
+  static constexpr std::size_t kLatencyHistBuckets = 4000;
+  /// Queue-depth histogram span (sampled at every enqueue).
+  static constexpr double kQueueHistMax = 64.0;
+
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
   std::uint64_t row_hits = 0;
@@ -32,7 +43,14 @@ struct ControllerStats {
   std::uint64_t precharges = 0;
   std::uint64_t refreshes = 0;
   std::uint64_t bytes = 0;
-  Accumulator latency_ns;  // request arrival -> data end
+  Histogram latency_hist_ns{0.0, kLatencyHistMaxNs, kLatencyHistBuckets};
+  Histogram queue_depth{0.0, kQueueHistMax, static_cast<std::size_t>(kQueueHistMax)};
+
+  /// Request arrival -> data end moments; the histogram's own accumulator,
+  /// so the hot path pays for one statistics update, not two.
+  [[nodiscard]] const Accumulator& latency_ns() const {
+    return latency_hist_ns.summary();
+  }
 
   [[nodiscard]] std::uint64_t accesses() const { return reads + writes; }
   [[nodiscard]] double row_hit_rate() const {
@@ -70,6 +88,18 @@ class MemoryController {
   [[nodiscard]] const dram::DerivedTiming& timing() const { return d_; }
   [[nodiscard]] const AddressMapper& mapper() const { return mapper_; }
   [[nodiscard]] const std::vector<dram::CommandRecord>& trace() const { return trace_; }
+
+  /// Accesses served per bank (index = bank id).
+  [[nodiscard]] const std::vector<std::uint64_t>& bank_accesses() const {
+    return bank_accesses_;
+  }
+
+  /// Attach (or detach with nullptr) a structured trace sink; every issued
+  /// command and request span is forwarded tagged with `channel_id`.
+  void set_trace_sink(obs::TraceSink* sink, std::uint32_t channel_id) {
+    trace_sink_ = sink;
+    trace_channel_ = channel_id;
+  }
 
  private:
   [[nodiscard]] std::size_t pick_best() const;
@@ -120,6 +150,9 @@ class MemoryController {
   ControllerStats stats_;
   dram::EnergyLedger ledger_;
   std::vector<dram::CommandRecord> trace_;
+  std::vector<std::uint64_t> bank_accesses_;
+  obs::TraceSink* trace_sink_ = nullptr;  // not owned; nullptr = disabled
+  std::uint32_t trace_channel_ = 0;
 };
 
 }  // namespace mcm::ctrl

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <fstream>
+#include <memory>
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mcm::core {
 namespace {
@@ -31,6 +35,21 @@ FrameSimResult FrameSimulator::run(const multichannel::SystemConfig& system,
                  "addresses wrap",
                  static_cast<unsigned long long>(layout.total_bytes()),
                  static_cast<unsigned long long>(sys.capacity_bytes()));
+  }
+
+  // Opt-in structured tracing; the sink must outlive all channel activity
+  // (finalize still issues PRE/REF/PDE commands into it).
+  std::ofstream trace_file;
+  std::unique_ptr<obs::TraceSink> trace;
+  if (!opt_.trace_path.empty()) {
+    trace_file.open(opt_.trace_path);
+    if (trace_file) {
+      trace = std::make_unique<obs::TraceSink>(trace_file, opt_.trace_buffer_events);
+      sys.attach_trace(trace.get());
+    } else {
+      MCM_LOG_WARN("cannot open trace file '%s'; tracing disabled",
+                   opt_.trace_path.c_str());
+    }
   }
 
   const Time period = model.frame_period();
@@ -197,6 +216,7 @@ FrameSimResult FrameSimulator::run(const multichannel::SystemConfig& system,
           : 0.0;
 
   result.stats = sys.stats();
+  if (opt_.metrics != nullptr) sys.collect_metrics(*opt_.metrics);
   result.power = sys.power(window);
   result.dram_power_mw = result.power.dram_mw;
   result.interface_power_mw = result.power.interface_mw;

@@ -20,6 +20,10 @@
 #include "video/surfaces.hpp"
 #include "video/usecase.hpp"
 
+namespace mcm::obs {
+class MetricsRegistry;
+}  // namespace mcm::obs
+
 namespace mcm::core {
 
 /// How the use-case traffic is driven through the memory system.
@@ -41,6 +45,16 @@ struct FrameSimOptions {
   /// GOP structure: every gop_length-th frame is an I frame (no reference
   /// traffic). 0 or 1 = every frame predicted (the paper's steady state).
   int gop_length = 0;
+
+  /// When non-empty, stream the full DRAM command + request-span trace of
+  /// the run to this file as JSONL (schema mcm.trace/v1). Empty = no
+  /// tracing; the only per-command cost is a null-pointer check.
+  std::string trace_path;
+  std::size_t trace_buffer_events = 4096;
+
+  /// When set, the memory system's full metric catalogue is published here
+  /// after the run (per-channel, per-bank, interleaver, residency).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct StageResult {

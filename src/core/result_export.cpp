@@ -1,0 +1,97 @@
+#include "core/result_export.hpp"
+
+#include <string>
+
+namespace mcm::core {
+
+void export_config(obs::JsonValue& cfg, const multichannel::SystemConfig& sys,
+                   const video::UseCaseParams& usecase) {
+  cfg["channels"] = sys.channels;
+  cfg["freq_mhz"] = sys.freq.mhz();
+  cfg["interleave_bytes"] = sys.interleave_bytes;
+  cfg["address_mux"] = to_string(sys.mux);
+  cfg["page_policy"] = to_string(sys.controller.page_policy);
+  cfg["scheduler"] = to_string(sys.controller.scheduler);
+  cfg["queue_depth"] = sys.controller.queue_depth;
+  cfg["powerdown_idle_cycles"] = sys.controller.powerdown_idle_cycles;
+  cfg["selfrefresh_idle_cycles"] = sys.controller.selfrefresh_idle_cycles;
+  cfg["refresh_postpone_max"] = sys.controller.refresh_postpone_max;
+  cfg["device/banks"] = sys.device.org.banks;
+  cfg["device/capacity_bits"] = sys.device.org.capacity_bits;
+  cfg["device/word_bits"] = sys.device.org.word_bits;
+  cfg["device/burst_length"] = sys.device.org.burst_length;
+  cfg["device/row_bytes"] = sys.device.org.row_bytes;
+
+  const auto& spec = video::level_spec(usecase.level);
+  cfg["level"] = spec.name;
+  cfg["format"] = spec.format;
+  cfg["width"] = spec.resolution.width;
+  cfg["height"] = spec.resolution.height;
+  cfg["fps"] = spec.fps;
+}
+
+namespace {
+
+void export_latency(obs::JsonValue& out, const Accumulator& acc,
+                    const Histogram& hist) {
+  out["count"] = acc.count();
+  out["mean_ns"] = acc.mean();
+  out["min_ns"] = acc.min();
+  out["max_ns"] = acc.max();
+  out["stddev_ns"] = acc.stddev();
+  out["p50_ns"] = hist.percentile(0.50);
+  out["p95_ns"] = hist.percentile(0.95);
+  out["p99_ns"] = hist.percentile(0.99);
+}
+
+}  // namespace
+
+void export_result(obs::JsonValue& point, const FrameSimResult& r) {
+  point["access_ms"] = r.access_time.ms();
+  point["frame_period_ms"] = r.frame_period.ms();
+  point["window_ms"] = r.window.ms();
+  point["meets_realtime"] = r.meets_realtime;
+  point["meets_realtime_with_margin"] = r.meets_realtime_with_margin;
+
+  point["total_power_mw"] = r.total_power_mw;
+  point["dram_power_mw"] = r.dram_power_mw;
+  point["interface_power_mw"] = r.interface_power_mw;
+
+  point["bytes_per_frame"] = r.bytes_per_frame;
+  point["achieved_bandwidth_bytes_per_s"] = r.achieved_bandwidth_bytes_per_s;
+  point["demand_bandwidth_bytes_per_s"] = r.demand_bandwidth_bytes_per_s;
+
+  obs::JsonValue& stats = point["stats"];
+  const auto& s = r.stats;
+  stats["reads"] = s.reads;
+  stats["writes"] = s.writes;
+  stats["bytes"] = s.bytes;
+  stats["row_hits"] = s.row_hits;
+  stats["row_misses"] = s.row_misses;
+  stats["row_conflicts"] = s.row_conflicts;
+  stats["row_hit_rate"] = s.row_hit_rate();
+  stats["activates"] = s.activates;
+  stats["precharges"] = s.precharges;
+  stats["refreshes"] = s.refreshes;
+  stats["powerdown_entries"] = s.powerdown_entries;
+  stats["selfrefresh_entries"] = s.selfrefresh_entries;
+
+  export_latency(point["latency"], s.latency_ns, s.latency_hist_ns);
+
+  obs::JsonValue& per_channel = point["per_channel"];
+  per_channel = obs::JsonValue::array();
+  for (std::size_t i = 0; i < s.per_channel.size(); ++i) {
+    const auto& st = s.per_channel[i];
+    obs::JsonValue ch = obs::JsonValue::object();
+    ch["channel"] = static_cast<std::uint64_t>(i);
+    ch["accesses"] = st.accesses();
+    ch["row_hit_rate"] = st.row_hit_rate();
+    ch["row_conflicts"] = st.row_conflicts;
+    ch["queue_depth_mean"] = st.queue_depth.summary().mean();
+    ch["queue_depth_p95"] = st.queue_depth.percentile(0.95);
+    export_latency(ch["latency"], st.latency_ns(), st.latency_hist_ns);
+    per_channel.push(std::move(ch));
+  }
+}
+
+}  // namespace mcm::core

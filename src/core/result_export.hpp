@@ -1,0 +1,22 @@
+// Bridges simulation results into the observability layer: fills RunReport
+// config/point objects from SystemConfig / UseCaseParams / FrameSimResult so
+// every bench and example emits the same machine-readable schema
+// (mcm.run_report/v1) instead of hand-rolled printing.
+#pragma once
+
+#include "core/frame_simulator.hpp"
+#include "obs/json.hpp"
+
+namespace mcm::core {
+
+/// Stamp the memory-system + use-case configuration into `cfg` (channels,
+/// frequency, device, interleave, controller policies, format).
+void export_config(obs::JsonValue& cfg, const multichannel::SystemConfig& sys,
+                   const video::UseCaseParams& usecase);
+
+/// Fill a run-report point with the tier-1 result measures: access time,
+/// real-time verdicts, power, bandwidth, aggregate stats, p50/p95/p99
+/// request latency, and per-channel row-hit rates / latency percentiles.
+void export_result(obs::JsonValue& point, const FrameSimResult& r);
+
+}  // namespace mcm::core

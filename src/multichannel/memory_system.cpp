@@ -3,10 +3,15 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace mcm::multichannel {
 
 MemorySystem::MemorySystem(const SystemConfig& cfg)
-    : cfg_(cfg), interleaver_(cfg.channels, cfg.interleave_bytes) {
+    : cfg_(cfg),
+      interleaver_(cfg.channels, cfg.interleave_bytes),
+      route_counts_(cfg.channels, 0) {
   if (cfg.channels == 0) throw std::invalid_argument("channels must be > 0");
   if (cfg.interleave_bytes < cfg.device.org.bytes_per_burst()) {
     throw std::invalid_argument(
@@ -34,6 +39,7 @@ void MemorySystem::submit(const ctrl::Request& r) {
   const RoutedAddress routed = interleaver_.route(r.addr);
   ctrl::Request local = r;
   local.addr = routed.local;
+  ++route_counts_[routed.channel];
   channels_[routed.channel].enqueue(local);
 }
 
@@ -67,6 +73,7 @@ void MemorySystem::finalize(Time end) {
 
 SystemStats MemorySystem::stats() const {
   SystemStats s;
+  s.per_channel.reserve(channels_.size());
   for (const auto& c : channels_) {
     const auto& st = c.stats();
     s.reads += st.reads;
@@ -80,9 +87,74 @@ SystemStats MemorySystem::stats() const {
     s.refreshes += st.refreshes;
     s.powerdown_entries += c.controller().ledger().n_powerdown_entries;
     s.selfrefresh_entries += c.controller().ledger().n_selfrefresh_entries;
-    s.latency_ns += st.latency_ns;
+    s.latency_ns += st.latency_ns();
+    s.latency_hist_ns += st.latency_hist_ns;
+    s.per_channel.push_back(st);
   }
   return s;
+}
+
+void MemorySystem::attach_trace(obs::TraceSink* sink) {
+  for (std::uint32_t i = 0; i < channels_.size(); ++i) {
+    channels_[i].set_trace_sink(sink, i);
+  }
+}
+
+void MemorySystem::collect_metrics(obs::MetricsRegistry& reg,
+                                   const std::string& prefix) const {
+  const SystemStats s = stats();
+  reg.counter(prefix + "system/reads").set(s.reads);
+  reg.counter(prefix + "system/writes").set(s.writes);
+  reg.counter(prefix + "system/bytes").set(s.bytes);
+  reg.counter(prefix + "system/row_hits").set(s.row_hits);
+  reg.counter(prefix + "system/row_misses").set(s.row_misses);
+  reg.counter(prefix + "system/row_conflicts").set(s.row_conflicts);
+  reg.counter(prefix + "system/activates").set(s.activates);
+  reg.counter(prefix + "system/precharges").set(s.precharges);
+  reg.counter(prefix + "system/refreshes").set(s.refreshes);
+  reg.counter(prefix + "system/powerdown_entries").set(s.powerdown_entries);
+  reg.counter(prefix + "system/selfrefresh_entries").set(s.selfrefresh_entries);
+  reg.gauge(prefix + "system/row_hit_rate").set(s.row_hit_rate());
+  reg.gauge(prefix + "system/channels").set(static_cast<double>(channels_.size()));
+  reg.histogram(prefix + "system/latency_ns", s.latency_hist_ns);
+
+  for (std::uint32_t i = 0; i < channels_.size(); ++i) {
+    const std::string ch = prefix + "ch" + std::to_string(i) + "/";
+    const auto& ctl = channels_[i].controller();
+    const auto& st = ctl.stats();
+    reg.counter(ch + "reads").set(st.reads);
+    reg.counter(ch + "writes").set(st.writes);
+    reg.counter(ch + "bytes").set(st.bytes);
+    reg.counter(ch + "row_hits").set(st.row_hits);
+    reg.counter(ch + "row_misses").set(st.row_misses);
+    reg.counter(ch + "row_conflicts").set(st.row_conflicts);
+    reg.counter(ch + "activates").set(st.activates);
+    reg.counter(ch + "precharges").set(st.precharges);
+    reg.counter(ch + "refreshes").set(st.refreshes);
+    reg.gauge(ch + "row_hit_rate").set(st.row_hit_rate());
+    reg.histogram(ch + "latency_ns", st.latency_hist_ns);
+    reg.histogram(ch + "queue_depth", st.queue_depth);
+    reg.counter(prefix + "interleaver/routed/ch" + std::to_string(i))
+        .set(route_counts_[i]);
+
+    const auto& banks = ctl.bank_accesses();
+    for (std::size_t b = 0; b < banks.size(); ++b) {
+      reg.counter(ch + "bank" + std::to_string(b) + "/accesses").set(banks[b]);
+    }
+
+    // Power-state residency (ns over the run) — where power-down thrashing
+    // or missing idle tails show up.
+    const auto& ledger = ctl.ledger();
+    reg.gauge(ch + "residency/active_standby_ns").set(ledger.t_active_standby.ns());
+    reg.gauge(ch + "residency/precharge_standby_ns")
+        .set(ledger.t_precharge_standby.ns());
+    reg.gauge(ch + "residency/active_powerdown_ns")
+        .set(ledger.t_active_powerdown.ns());
+    reg.gauge(ch + "residency/powerdown_ns").set(ledger.t_powerdown.ns());
+    reg.gauge(ch + "residency/selfrefresh_ns").set(ledger.t_selfrefresh.ns());
+    reg.counter(ch + "powerdown_entries").set(ledger.n_powerdown_entries);
+    reg.counter(ch + "selfrefresh_entries").set(ledger.n_selfrefresh_entries);
+  }
 }
 
 SystemPowerReport MemorySystem::power(Time window) const {

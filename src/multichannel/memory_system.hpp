@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -13,6 +14,11 @@
 #include "common/units.hpp"
 #include "controller/request.hpp"
 #include "multichannel/interleaver.hpp"
+
+namespace mcm::obs {
+class MetricsRegistry;
+class TraceSink;
+}  // namespace mcm::obs
 
 namespace mcm::multichannel {
 
@@ -48,6 +54,12 @@ struct SystemStats {
   std::uint64_t powerdown_entries = 0;
   std::uint64_t selfrefresh_entries = 0;
   Accumulator latency_ns;  // per-request arrival -> data end, all channels
+  Histogram latency_hist_ns{0.0, ctrl::ControllerStats::kLatencyHistMaxNs,
+                            ctrl::ControllerStats::kLatencyHistBuckets};
+
+  /// Per-channel controller statistics (index = channel id), so reports can
+  /// show which channel saturated or lost row locality.
+  std::vector<ctrl::ControllerStats> per_channel;
 
   [[nodiscard]] std::uint64_t accesses() const { return reads + writes; }
   [[nodiscard]] double row_hit_rate() const {
@@ -106,10 +118,26 @@ class MemorySystem {
   /// Latest horizon across channels (time committed so far).
   [[nodiscard]] Time max_horizon() const;
 
+  /// Requests routed to each channel by the interleaver (index = channel).
+  [[nodiscard]] const std::vector<std::uint64_t>& route_counts() const {
+    return route_counts_;
+  }
+
+  /// Attach (or detach with nullptr) a structured trace sink to every
+  /// channel's controller; events are tagged with the channel index.
+  void attach_trace(obs::TraceSink* sink);
+
+  /// Publish the full metric catalogue (system aggregates, per-channel
+  /// counters and latency/queue histograms, per-bank access counts,
+  /// interleaver routing, power-state residency) into `reg` under `prefix`.
+  void collect_metrics(obs::MetricsRegistry& reg,
+                       const std::string& prefix = "") const;
+
  private:
   SystemConfig cfg_;
   Interleaver interleaver_;
   std::vector<channel::Channel> channels_;
+  std::vector<std::uint64_t> route_counts_;
 };
 
 }  // namespace mcm::multichannel

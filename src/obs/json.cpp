@@ -1,0 +1,139 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace mcm::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+JsonValue& JsonValue::operator[](std::string_view key) {
+  if (type() == Type::kNull) v_ = Object{};
+  auto& obj = std::get<Object>(v_);
+  for (auto& [k, v] : obj) {
+    if (k == key) return v;
+  }
+  obj.emplace_back(std::string(key), JsonValue{});
+  return obj.back().second;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type() != Type::kObject) return nullptr;
+  for (const auto& [k, v] : std::get<Object>(v_)) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+JsonValue& JsonValue::push(JsonValue v) {
+  if (type() == Type::kNull) v_ = Array{};
+  auto& arr = std::get<Array>(v_);
+  arr.push_back(std::move(v));
+  return arr.back();
+}
+
+std::size_t JsonValue::size() const {
+  if (type() == Type::kArray) return std::get<Array>(v_).size();
+  if (type() == Type::kObject) return std::get<Object>(v_).size();
+  return 0;
+}
+
+namespace {
+
+void write_double(std::ostream& out, double d) {
+  if (!std::isfinite(d)) {  // JSON has no inf/nan; null keeps parsers happy
+    out << "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", d);
+  out << buf;
+  // Keep a numeric-looking token (12 significant digits never needs more).
+}
+
+void write_newline_indent(std::ostream& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out << '\n';
+  for (int i = 0; i < indent * depth; ++i) out << ' ';
+}
+
+}  // namespace
+
+void JsonValue::dump_impl(std::ostream& out, int indent, int depth) const {
+  switch (type()) {
+    case Type::kNull: out << "null"; break;
+    case Type::kBool: out << (std::get<bool>(v_) ? "true" : "false"); break;
+    case Type::kInt: out << std::get<std::int64_t>(v_); break;
+    case Type::kUint: out << std::get<std::uint64_t>(v_); break;
+    case Type::kDouble: write_double(out, std::get<double>(v_)); break;
+    case Type::kString: out << '"' << json_escape(std::get<std::string>(v_)) << '"'; break;
+    case Type::kArray: {
+      const auto& arr = std::get<Array>(v_);
+      if (arr.empty()) {
+        out << "[]";
+        break;
+      }
+      out << '[';
+      for (std::size_t i = 0; i < arr.size(); ++i) {
+        if (i > 0) out << ',';
+        write_newline_indent(out, indent, depth + 1);
+        arr[i].dump_impl(out, indent, depth + 1);
+      }
+      write_newline_indent(out, indent, depth);
+      out << ']';
+      break;
+    }
+    case Type::kObject: {
+      const auto& obj = std::get<Object>(v_);
+      if (obj.empty()) {
+        out << "{}";
+        break;
+      }
+      out << '{';
+      for (std::size_t i = 0; i < obj.size(); ++i) {
+        if (i > 0) out << ',';
+        write_newline_indent(out, indent, depth + 1);
+        out << '"' << json_escape(obj[i].first) << "\":";
+        if (indent > 0) out << ' ';
+        obj[i].second.dump_impl(out, indent, depth + 1);
+      }
+      write_newline_indent(out, indent, depth);
+      out << '}';
+      break;
+    }
+  }
+}
+
+void JsonValue::dump(std::ostream& out, int indent) const {
+  dump_impl(out, indent, 0);
+}
+
+std::string JsonValue::dump_string(int indent) const {
+  std::ostringstream os;
+  dump(os, indent);
+  return os.str();
+}
+
+}  // namespace mcm::obs

@@ -1,0 +1,77 @@
+// Minimal ordered JSON document model for the observability layer: metric
+// snapshots, run reports, and trace metadata all serialize through this one
+// writer so escaping and number formatting stay consistent. Insertion order
+// is preserved (reports diff cleanly) and output is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace mcm::obs {
+
+/// Escape `s` as the body of a JSON string (no surrounding quotes).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kInt, kUint, kDouble, kString, kArray, kObject };
+
+  JsonValue() : v_(std::monostate{}) {}
+  JsonValue(bool b) : v_(b) {}                                      // NOLINT
+  JsonValue(std::int64_t i) : v_(i) {}                              // NOLINT
+  JsonValue(std::uint64_t u) : v_(u) {}                             // NOLINT
+  JsonValue(int i) : v_(static_cast<std::int64_t>(i)) {}            // NOLINT
+  JsonValue(unsigned i) : v_(static_cast<std::uint64_t>(i)) {}      // NOLINT
+  JsonValue(double d) : v_(d) {}                                    // NOLINT
+  JsonValue(std::string s) : v_(std::move(s)) {}                    // NOLINT
+  JsonValue(std::string_view s) : v_(std::string(s)) {}             // NOLINT
+  JsonValue(const char* s) : v_(std::string(s)) {}                  // NOLINT
+
+  [[nodiscard]] static JsonValue object() {
+    JsonValue v;
+    v.v_ = Object{};
+    return v;
+  }
+  [[nodiscard]] static JsonValue array() {
+    JsonValue v;
+    v.v_ = Array{};
+    return v;
+  }
+
+  [[nodiscard]] Type type() const { return static_cast<Type>(v_.index()); }
+  [[nodiscard]] bool is_object() const { return type() == Type::kObject; }
+  [[nodiscard]] bool is_array() const { return type() == Type::kArray; }
+
+  /// Object access: get-or-create the member `key` (converts a null value
+  /// into an object on first use so `root["a"]["b"] = 1` just works).
+  JsonValue& operator[](std::string_view key);
+
+  /// Object lookup without creation; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  /// Array append; returns a reference to the stored element.
+  JsonValue& push(JsonValue v);
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Serialize. indent <= 0 emits the compact single-line form.
+  void dump(std::ostream& out, int indent = 2) const;
+  [[nodiscard]] std::string dump_string(int indent = 2) const;
+
+ private:
+  using Array = std::vector<JsonValue>;
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  void dump_impl(std::ostream& out, int indent, int depth) const;
+
+  std::variant<std::monostate, bool, std::int64_t, std::uint64_t, double,
+               std::string, Array, Object>
+      v_;
+};
+
+}  // namespace mcm::obs

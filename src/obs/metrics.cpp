@@ -1,0 +1,151 @@
+#include "obs/metrics.hpp"
+
+#include <stdexcept>
+
+#include "common/csv.hpp"
+
+namespace mcm::obs {
+
+MetricsRegistry::Metric& MetricsRegistry::get_or_create(const std::string& name,
+                                                        MetricKind kind) {
+  auto [it, inserted] = metrics_.try_emplace(name);
+  if (!inserted && it->second.kind != kind) {
+    throw std::logic_error("metric '" + name + "' already registered as " +
+                           std::string(to_string(it->second.kind)));
+  }
+  it->second.kind = kind;
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  Metric& m = get_or_create(name, MetricKind::kCounter);
+  if (!m.counter) m.counter = std::make_unique<Counter>();
+  return *m.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  Metric& m = get_or_create(name, MetricKind::kGauge);
+  if (!m.gauge) m.gauge = std::make_unique<Gauge>();
+  return *m.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, double lo,
+                                      double hi, std::size_t buckets) {
+  Metric& m = get_or_create(name, MetricKind::kHistogram);
+  if (!m.histogram) m.histogram = std::make_unique<Histogram>(lo, hi, buckets);
+  return *m.histogram;
+}
+
+void MetricsRegistry::histogram(const std::string& name, const Histogram& h) {
+  Metric& m = get_or_create(name, MetricKind::kHistogram);
+  m.histogram = std::make_unique<Histogram>(h);
+}
+
+bool MetricsRegistry::contains(const std::string& name) const {
+  return metrics_.find(name) != metrics_.end();
+}
+
+std::vector<MetricEntry> MetricsRegistry::snapshot() const {
+  std::vector<MetricEntry> out;
+  out.reserve(metrics_.size());
+  for (const auto& [name, m] : metrics_) {
+    MetricEntry e;
+    e.name = name;
+    e.kind = m.kind;
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        e.value = static_cast<double>(m.counter->value());
+        break;
+      case MetricKind::kGauge:
+        e.value = m.gauge->value();
+        break;
+      case MetricKind::kHistogram: {
+        const Accumulator& a = m.histogram->summary();
+        e.count = a.count();
+        e.mean = a.mean();
+        e.min = a.min();
+        e.max = a.max();
+        e.stddev = a.stddev();
+        e.p50 = m.histogram->percentile(0.50);
+        e.p95 = m.histogram->percentile(0.95);
+        e.p99 = m.histogram->percentile(0.99);
+        break;
+      }
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+JsonValue MetricsRegistry::to_json(bool with_buckets) const {
+  JsonValue root = JsonValue::object();
+  for (const auto& [name, m] : metrics_) {
+    JsonValue& entry = root[name];
+    entry["kind"] = to_string(m.kind);
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        entry["value"] = m.counter->value();
+        break;
+      case MetricKind::kGauge:
+        entry["value"] = m.gauge->value();
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = *m.histogram;
+        const Accumulator& a = h.summary();
+        entry["count"] = a.count();
+        entry["mean"] = a.mean();
+        entry["min"] = a.min();
+        entry["max"] = a.max();
+        entry["stddev"] = a.stddev();
+        entry["p50"] = h.percentile(0.50);
+        entry["p95"] = h.percentile(0.95);
+        entry["p99"] = h.percentile(0.99);
+        if (with_buckets) {
+          entry["underflow"] = h.underflow();
+          entry["overflow"] = h.overflow();
+          JsonValue& edges = entry["bucket_lo"];
+          JsonValue& counts = entry["bucket_count"];
+          edges = JsonValue::array();
+          counts = JsonValue::array();
+          for (std::size_t i = 0; i < h.buckets().size(); ++i) {
+            edges.push(h.bucket_lo(i));
+            counts.push(h.buckets()[i]);
+          }
+        }
+        break;
+      }
+    }
+  }
+  return root;
+}
+
+void MetricsRegistry::write_json(std::ostream& out, bool with_buckets) const {
+  to_json(with_buckets).dump(out);
+  out << '\n';
+}
+
+void MetricsRegistry::write_csv(std::ostream& out) const {
+  CsvWriter csv(out);
+  csv.row({"name", "kind", "value", "count", "mean", "min", "max", "stddev",
+           "p50", "p95", "p99"});
+  for (const MetricEntry& e : snapshot()) {
+    csv.field(e.name).field(to_string(e.kind));
+    if (e.kind == MetricKind::kHistogram) {
+      csv.field("");
+      csv.field(e.count)
+          .field(e.mean)
+          .field(e.min)
+          .field(e.max)
+          .field(e.stddev)
+          .field(e.p50)
+          .field(e.p95)
+          .field(e.p99);
+    } else {
+      csv.field(e.value);
+      for (int i = 0; i < 8; ++i) csv.field("");
+    }
+    csv.endrow();
+  }
+}
+
+}  // namespace mcm::obs

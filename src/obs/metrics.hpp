@@ -1,0 +1,109 @@
+// Metrics registry: named counters, gauges, and histograms registered by
+// component (per-channel, per-bank, interleaver, ...), snapshotted on demand
+// and exported as JSON or CSV. Names are hierarchical slash-paths, e.g.
+// "ch0/bank2/accesses" or "interleaver/routed/ch3"; the registry keeps them
+// in sorted order so exports diff cleanly between runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "obs/json.hpp"
+
+namespace mcm::obs {
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+[[nodiscard]] constexpr std::string_view to_string(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) { value_ += delta; }
+  void set(std::uint64_t v) { value_ = v; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Point-in-time scalar.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// One row of a registry snapshot. Counters/gauges carry `value`; histograms
+/// carry the distribution summary (count/mean/min/max/stddev + percentiles).
+struct MetricEntry {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double stddev = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Get-or-create. Registering an existing name returns the same object;
+  /// registering it as a different kind throws std::logic_error.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, double lo, double hi,
+                       std::size_t buckets);
+
+  /// Register a histogram by copying an already-populated one (used when a
+  /// component keeps its own Histogram and publishes it on collect).
+  void histogram(const std::string& name, const Histogram& h);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] std::size_t size() const { return metrics_.size(); }
+
+  /// Flat snapshot, sorted by name.
+  [[nodiscard]] std::vector<MetricEntry> snapshot() const;
+
+  /// {"name": {"kind": ..., ...}, ...} — histograms include bucket edges and
+  /// counts so external tools can re-derive any quantile.
+  [[nodiscard]] JsonValue to_json(bool with_buckets = false) const;
+  void write_json(std::ostream& out, bool with_buckets = false) const;
+
+  /// name,kind,value,count,mean,min,max,stddev,p50,p95,p99 rows.
+  void write_csv(std::ostream& out) const;
+
+ private:
+  struct Metric {
+    MetricKind kind = MetricKind::kCounter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Metric& get_or_create(const std::string& name, MetricKind kind);
+
+  std::map<std::string, Metric> metrics_;  // sorted => deterministic exports
+};
+
+}  // namespace mcm::obs

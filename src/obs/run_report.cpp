@@ -1,0 +1,51 @@
+#include "obs/run_report.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <utility>
+
+namespace mcm::obs {
+
+RunReport::RunReport(std::string name) : name_(std::move(name)) {
+  root_["report"] = name_;
+  root_["schema"] = "mcm.run_report/v1";
+  root_["config"] = JsonValue::object();
+  root_["points"] = JsonValue::array();
+}
+
+JsonValue& RunReport::add_point(std::string_view label) {
+  JsonValue point = JsonValue::object();
+  point["label"] = label;
+  return root_["points"].push(std::move(point));
+}
+
+void RunReport::add_metrics(const MetricsRegistry& reg, bool with_buckets) {
+  root_["metrics"] = reg.to_json(with_buckets);
+}
+
+void RunReport::write(std::ostream& out) const {
+  root_.dump(out);
+  out << '\n';
+}
+
+bool RunReport::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write(out);
+  return out.good();
+}
+
+std::string RunReport::default_path() const {
+  const char* dir = std::getenv("MCM_REPORT_DIR");
+  if (dir != nullptr && std::string_view(dir) == "off") return {};
+  std::string base = (dir != nullptr && *dir != '\0') ? dir : ".";
+  return base + "/" + name_ + ".report.json";
+}
+
+std::string RunReport::write_default() const {
+  const std::string path = default_path();
+  if (path.empty() || !write_file(path)) return {};
+  return path;
+}
+
+}  // namespace mcm::obs

@@ -1,0 +1,57 @@
+// RunReport: the one machine-readable result funnel for benches and
+// examples. A report stamps the run configuration (channels, frequency,
+// format, policies), any number of labelled result points, and an optional
+// metrics snapshot, then writes a deterministic JSON document next to the
+// human-readable table output.
+//
+// Destination resolution (write_default):
+//   MCM_REPORT_DIR=off   -> disabled (returns empty path)
+//   MCM_REPORT_DIR=<dir> -> <dir>/<name>.report.json
+//   unset                -> ./<name>.report.json
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace mcm::obs {
+
+class RunReport {
+ public:
+  /// `name` identifies the run (e.g. "fig3"); it names the output file and
+  /// is stamped into the document.
+  explicit RunReport(std::string name);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// The configuration object ("config" member) — set key/values freely.
+  [[nodiscard]] JsonValue& config() { return root_["config"]; }
+
+  /// Append a result point to the "points" array and return it for filling.
+  JsonValue& add_point(std::string_view label);
+
+  /// Attach a metrics-registry snapshot as the "metrics" member.
+  void add_metrics(const MetricsRegistry& reg, bool with_buckets = false);
+
+  /// Free-form access to the whole document.
+  [[nodiscard]] JsonValue& root() { return root_; }
+  [[nodiscard]] const JsonValue& root() const { return root_; }
+
+  void write(std::ostream& out) const;
+  [[nodiscard]] bool write_file(const std::string& path) const;
+
+  /// Resolve the default destination (see header comment); empty = disabled.
+  [[nodiscard]] std::string default_path() const;
+
+  /// Write to the default destination. Returns the path written, or an
+  /// empty string when disabled or on I/O failure.
+  std::string write_default() const;
+
+ private:
+  std::string name_;
+  JsonValue root_ = JsonValue::object();
+};
+
+}  // namespace mcm::obs

@@ -1,0 +1,73 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mcm::obs {
+
+TraceSink::TraceSink(std::ostream& out, std::size_t buffer_events)
+    : out_(out), capacity_(std::max<std::size_t>(1, buffer_events)) {
+  buf_.reserve(capacity_);
+  out_ << R"({"type":"meta","schema":"mcm.trace/v1","version":1})" << '\n';
+}
+
+TraceSink::~TraceSink() { flush(); }
+
+void TraceSink::command(std::uint32_t channel, Time at, dram::Command cmd,
+                        std::uint32_t bank, std::uint32_t row) {
+  Event e;
+  e.kind = Event::Kind::kCommand;
+  e.channel = channel;
+  e.at = at;
+  e.cmd = cmd;
+  e.bank = bank;
+  e.row = row;
+  buf_.push_back(e);
+  ++events_;
+  if (buf_.size() >= capacity_) flush();
+}
+
+void TraceSink::span(std::uint32_t channel, std::uint64_t addr, bool is_write,
+                     Time arrival, Time first_cmd, Time done, bool row_hit) {
+  Event e;
+  e.kind = Event::Kind::kSpan;
+  e.channel = channel;
+  e.addr = addr;
+  e.is_write = is_write;
+  e.arrival = arrival;
+  e.first_cmd = first_cmd;
+  e.done = done;
+  e.row_hit = row_hit;
+  buf_.push_back(e);
+  ++events_;
+  if (buf_.size() >= capacity_) flush();
+}
+
+void TraceSink::write_event(const Event& e) {
+  char line[256];
+  if (e.kind == Event::Kind::kCommand) {
+    std::snprintf(line, sizeof line,
+                  R"({"type":"cmd","ch":%u,"t_ps":%lld,"cmd":"%s","bank":%u,"row":%u})",
+                  e.channel, static_cast<long long>(e.at.ps()),
+                  std::string(dram::to_string(e.cmd)).c_str(), e.bank, e.row);
+  } else {
+    std::snprintf(line, sizeof line,
+                  R"({"type":"req","ch":%u,"op":"%s","addr":%llu,"arrival_ps":%lld,)"
+                  R"("first_cmd_ps":%lld,"done_ps":%lld,"latency_ps":%lld,"row_hit":%d})",
+                  e.channel, e.is_write ? "WR" : "RD",
+                  static_cast<unsigned long long>(e.addr),
+                  static_cast<long long>(e.arrival.ps()),
+                  static_cast<long long>(e.first_cmd.ps()),
+                  static_cast<long long>(e.done.ps()),
+                  static_cast<long long>((e.done - e.arrival).ps()), e.row_hit ? 1 : 0);
+  }
+  out_ << line << '\n';
+}
+
+void TraceSink::flush() {
+  for (const Event& e : buf_) write_event(e);
+  buf_.clear();
+  out_.flush();
+}
+
+}  // namespace mcm::obs

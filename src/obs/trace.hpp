@@ -1,0 +1,74 @@
+// Structured trace sink: an opt-in, low-overhead JSONL event stream of DRAM
+// commands (ACT/RD/WR/PRE/REF/PDE/PDX/SRE/SRX with cycle timestamps and
+// channel/bank/row) and request lifecycle spans (arrival -> first command ->
+// data end). Events are buffered in a fixed-capacity vector and formatted
+// only when the buffer fills, so tracing a full 2160p30 frame stays
+// tractable; the hot-path cost of a *disabled* sink is one null-pointer
+// check in the controller.
+//
+// Schema (one JSON object per line, schema id "mcm.trace/v1"):
+//   {"type":"meta","schema":"mcm.trace/v1","version":1}
+//   {"type":"cmd","ch":0,"t_ps":2500,"cmd":"ACT","bank":1,"row":42}
+//   {"type":"req","ch":0,"op":"RD","addr":4096,"arrival_ps":0,
+//    "first_cmd_ps":2500,"done_ps":30000,"latency_ps":30000,"row_hit":0}
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "common/units.hpp"
+#include "dram/command.hpp"
+
+namespace mcm::obs {
+
+class TraceSink {
+ public:
+  /// `buffer_events` bounds the in-memory staging area; the sink flushes to
+  /// `out` whenever it fills (and on destruction).
+  explicit TraceSink(std::ostream& out, std::size_t buffer_events = 4096);
+  ~TraceSink();
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// One DRAM command edge on `channel`.
+  void command(std::uint32_t channel, Time at, dram::Command cmd,
+               std::uint32_t bank, std::uint32_t row);
+
+  /// One request lifecycle span on `channel`.
+  void span(std::uint32_t channel, std::uint64_t addr, bool is_write,
+            Time arrival, Time first_cmd, Time done, bool row_hit);
+
+  /// Format and write out all buffered events.
+  void flush();
+
+  [[nodiscard]] std::uint64_t events_recorded() const { return events_; }
+
+ private:
+  struct Event {
+    enum class Kind : std::uint8_t { kCommand, kSpan } kind = Kind::kCommand;
+    std::uint32_t channel = 0;
+    // kCommand:
+    Time at = Time::zero();
+    dram::Command cmd = dram::Command::kActivate;
+    std::uint32_t bank = 0;
+    std::uint32_t row = 0;
+    // kSpan:
+    std::uint64_t addr = 0;
+    bool is_write = false;
+    Time arrival = Time::zero();
+    Time first_cmd = Time::zero();
+    Time done = Time::zero();
+    bool row_hit = false;
+  };
+
+  void write_event(const Event& e);
+
+  std::ostream& out_;
+  std::vector<Event> buf_;
+  std::size_t capacity_;
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace mcm::obs

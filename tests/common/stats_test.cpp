@@ -43,6 +43,49 @@ TEST(Accumulator, Reset) {
   EXPECT_EQ(a.count(), 0u);
 }
 
+TEST(Accumulator, WelfordVariance) {
+  Accumulator a;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(a.stddev(), 2.0);
+}
+
+TEST(Accumulator, VarianceNeedsTwoSamples) {
+  Accumulator a;
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  a.add(3.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+}
+
+TEST(Accumulator, MergeMatchesSequentialMoments) {
+  Accumulator a, b, all;
+  const double xs[] = {1.0, 2.5, 3.0, 10.0, -4.0, 6.5, 0.25};
+  for (int i = 0; i < 7; ++i) {
+    (i < 3 ? a : b).add(xs[i]);
+    all.add(xs[i]);
+  }
+  a += b;
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+  EXPECT_NEAR(a.stddev(), all.stddev(), 1e-12);
+}
+
+TEST(Accumulator, MergeWithEmptySides) {
+  Accumulator a, b;
+  b.add(2.0);
+  b.add(6.0);
+  a += b;  // empty lhs adopts rhs
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.variance(), 4.0);
+  const Accumulator empty;
+  a += empty;  // empty rhs is a no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.variance(), 4.0);
+}
+
 TEST(Histogram, Percentiles) {
   Histogram h(0.0, 100.0, 100);
   for (int i = 0; i < 100; ++i) h.add(i + 0.5);  // uniform 0..100
@@ -60,6 +103,47 @@ TEST(Histogram, PercentileEdgeCases) {
   h.add(50.0);  // overflow
   EXPECT_DOUBLE_EQ(h.percentile(0.25), 0.0);
   EXPECT_DOUBLE_EQ(h.percentile(1.0), 10.0);
+}
+
+TEST(Histogram, PercentileZeroReturnsObservedMin) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(2.3);
+  h.add(7.7);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 2.3);
+  EXPECT_DOUBLE_EQ(h.percentile(-1.0), 2.3);
+}
+
+TEST(Histogram, FallThroughReturnsLastPopulatedEdge) {
+  // A target beyond the accumulated count exercises the fall-through path:
+  // without overflow samples the result is the populated bucket's upper
+  // edge, never hi_.
+  Histogram h(0.0, 10.0, 10);
+  h.add(3.5);
+  h.add(3.6);
+  EXPECT_DOUBLE_EQ(h.percentile(1.5), 4.0);
+
+  Histogram o(0.0, 10.0, 10);
+  o.add(3.5);
+  o.add(99.0);  // overflow present -> saturates to hi_
+  EXPECT_DOUBLE_EQ(o.percentile(1.5), 10.0);
+}
+
+TEST(Histogram, MergeSumsBucketsAndMoments) {
+  Histogram a(0.0, 10.0, 10);
+  Histogram b(0.0, 10.0, 10);
+  a.add(1.5);
+  a.add(-2.0);
+  b.add(1.7);
+  b.add(42.0);
+  b.add(8.0);
+  a += b;
+  EXPECT_EQ(a.summary().count(), 5u);
+  EXPECT_EQ(a.underflow(), 1u);
+  EXPECT_EQ(a.overflow(), 1u);
+  EXPECT_EQ(a.buckets()[1], 2u);
+  EXPECT_EQ(a.buckets()[8], 1u);
+  EXPECT_DOUBLE_EQ(a.summary().min(), -2.0);
+  EXPECT_DOUBLE_EQ(a.summary().max(), 42.0);
 }
 
 TEST(Histogram, Buckets) {

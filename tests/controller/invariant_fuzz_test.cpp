@@ -81,7 +81,7 @@ TEST_P(InvariantFuzz, ControllerPreservesInvariants) {
   EXPECT_EQ(st.row_hits + st.row_misses + st.row_conflicts,
             static_cast<std::uint64_t>(total));
   EXPECT_EQ(st.activates, st.row_misses + st.row_conflicts);
-  EXPECT_EQ(st.latency_ns.count(), static_cast<std::uint64_t>(total));
+  EXPECT_EQ(st.latency_ns().count(), static_cast<std::uint64_t>(total));
 
   // Residency covers the whole window (within 1%: refresh windows are
   // booked as precharge standby and wake ramps as standby).

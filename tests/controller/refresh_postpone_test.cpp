@@ -88,7 +88,7 @@ TEST_F(RefreshPostponeTest, PostponingReducesWorstCaseLatency) {
   auto run_max_latency = [&](std::uint32_t postpone) {
     auto mc = make(postpone);
     stream(mc, 6);
-    return mc.stats().latency_ns.max();
+    return mc.stats().latency_ns().max();
   };
   // With immediate refresh, some request eats a full tRFC stall; postponed
   // mode defers that to idle time.

@@ -1,0 +1,75 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+namespace mcm::obs {
+namespace {
+
+TEST(Json, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  JsonValue v = JsonValue::object();
+  v["zebra"] = 1;
+  v["alpha"] = 2;
+  v["mid"] = 3;
+  EXPECT_EQ(v.dump_string(-1), R"({"zebra":1,"alpha":2,"mid":3})");
+}
+
+TEST(Json, GetOrCreateConvertsNullToObject) {
+  JsonValue v;  // null
+  v["a"]["b"] = 7;
+  EXPECT_TRUE(v.is_object());
+  ASSERT_NE(v.find("a"), nullptr);
+  EXPECT_NE(v.find("a")->find("b"), nullptr);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, ScalarFormatting) {
+  JsonValue v = JsonValue::object();
+  v["b"] = true;
+  v["i"] = -3;
+  v["u"] = std::uint64_t{18446744073709551615ull};
+  v["d"] = 0.25;
+  v["s"] = "str";
+  v["n"] = JsonValue{};
+  EXPECT_EQ(v.dump_string(-1),
+            R"({"b":true,"i":-3,"u":18446744073709551615,"d":0.25,"s":"str","n":null})");
+}
+
+TEST(Json, NonFiniteDoublesSerializeAsNull) {
+  JsonValue v = JsonValue::array();
+  v.push(std::numeric_limits<double>::infinity());
+  v.push(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(v.dump_string(-1), "[null,null]");
+}
+
+TEST(Json, ArrayPushAndSize) {
+  JsonValue v = JsonValue::array();
+  EXPECT_EQ(v.size(), 0u);
+  v.push(1);
+  v.push("two");
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.dump_string(-1), R"([1,"two"])");
+}
+
+TEST(Json, IndentedDumpIsStable) {
+  JsonValue v = JsonValue::object();
+  v["a"] = 1;
+  v["b"] = JsonValue::array();
+  v["b"].push(2);
+  std::ostringstream out;
+  v.dump(out, 2);
+  EXPECT_EQ(out.str(), "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}");
+}
+
+}  // namespace
+}  // namespace mcm::obs

@@ -1,0 +1,122 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace mcm::obs {
+namespace {
+
+const MetricEntry* find_entry(const std::vector<MetricEntry>& s,
+                              const std::string& name) {
+  const auto it = std::find_if(s.begin(), s.end(),
+                               [&](const MetricEntry& e) { return e.name == name; });
+  return it != s.end() ? &*it : nullptr;
+}
+
+TEST(MetricsRegistry, GetOrCreateReturnsSameObject) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("ch0/reads");
+  a.inc(3);
+  Counter& b = reg.counter("ch0/reads");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_TRUE(reg.contains("ch0/reads"));
+  EXPECT_FALSE(reg.contains("ch0/writes"));
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), std::logic_error);
+  EXPECT_THROW(reg.histogram("x", 0.0, 1.0, 4), std::logic_error);
+  reg.gauge("g");
+  EXPECT_THROW(reg.counter("g"), std::logic_error);
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedAndRoundTripsValues) {
+  MetricsRegistry reg;
+  reg.counter("z/count").inc(42);
+  reg.gauge("a/rate").set(0.75);
+  Histogram& h = reg.histogram("m/lat", 0.0, 100.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "a/rate");
+  EXPECT_EQ(snap[1].name, "m/lat");
+  EXPECT_EQ(snap[2].name, "z/count");
+
+  const MetricEntry* c = find_entry(snap, "z/count");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->kind, MetricKind::kCounter);
+  EXPECT_DOUBLE_EQ(c->value, 42.0);
+
+  const MetricEntry* g = find_entry(snap, "a/rate");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->kind, MetricKind::kGauge);
+  EXPECT_DOUBLE_EQ(g->value, 0.75);
+
+  const MetricEntry* e = find_entry(snap, "m/lat");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->kind, MetricKind::kHistogram);
+  EXPECT_EQ(e->count, 100u);
+  EXPECT_DOUBLE_EQ(e->mean, 50.0);
+  EXPECT_DOUBLE_EQ(e->min, 0.5);
+  EXPECT_DOUBLE_EQ(e->max, 99.5);
+  EXPECT_NEAR(e->p50, 50.0, 1.5);
+  EXPECT_NEAR(e->p95, 95.0, 1.5);
+  EXPECT_NEAR(e->p99, 99.0, 1.5);
+}
+
+TEST(MetricsRegistry, CopyRegisteredHistogramIsDecoupled) {
+  MetricsRegistry reg;
+  Histogram h(0.0, 10.0, 10);
+  h.add(5.0);
+  reg.histogram("copied", h);
+  h.add(6.0);  // must not affect the registered copy
+  const auto snap = reg.snapshot();
+  const MetricEntry* e = find_entry(snap, "copied");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->count, 1u);
+}
+
+TEST(MetricsRegistry, JsonExportCarriesKindsAndBuckets) {
+  MetricsRegistry reg;
+  reg.counter("c").inc(7);
+  reg.gauge("g").set(1.5);
+  reg.histogram("h", 0.0, 4.0, 4).add(2.5);
+
+  const std::string compact = reg.to_json(false).dump_string(-1);
+  EXPECT_NE(compact.find(R"("c":{"kind":"counter","value":7})"), std::string::npos);
+  EXPECT_NE(compact.find(R"("kind":"gauge")"), std::string::npos);
+  EXPECT_NE(compact.find(R"("kind":"histogram")"), std::string::npos);
+  EXPECT_EQ(compact.find("bucket_count"), std::string::npos);
+
+  const std::string with_buckets = reg.to_json(true).dump_string(-1);
+  EXPECT_NE(with_buckets.find("\"bucket_lo\""), std::string::npos);
+  EXPECT_NE(with_buckets.find("\"bucket_count\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, CsvExportHasHeaderAndOneRowPerMetric) {
+  MetricsRegistry reg;
+  reg.counter("b").inc(2);
+  reg.gauge("a").set(3.5);
+  std::ostringstream out;
+  reg.write_csv(out);
+  std::istringstream lines(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, "name,kind,value,count,mean,min,max,stddev,p50,p95,p99");
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line.rfind("a,gauge,3.5", 0), 0u) << line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line.rfind("b,counter,2", 0), 0u) << line;
+  EXPECT_FALSE(std::getline(lines, line));
+}
+
+}  // namespace
+}  // namespace mcm::obs

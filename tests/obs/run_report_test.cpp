@@ -1,0 +1,103 @@
+#include "obs/run_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace mcm::obs {
+namespace {
+
+/// Scoped MCM_REPORT_DIR override; restores the prior value on destruction.
+class ReportDirGuard {
+ public:
+  explicit ReportDirGuard(const char* value) {
+    const char* old = std::getenv("MCM_REPORT_DIR");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value != nullptr) {
+      ::setenv("MCM_REPORT_DIR", value, 1);
+    } else {
+      ::unsetenv("MCM_REPORT_DIR");
+    }
+  }
+  ~ReportDirGuard() {
+    if (had_old_) {
+      ::setenv("MCM_REPORT_DIR", old_.c_str(), 1);
+    } else {
+      ::unsetenv("MCM_REPORT_DIR");
+    }
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST(RunReport, StampsSchemaNameConfigAndPoints) {
+  RunReport report("unittest");
+  report.config()["channels"] = 4u;
+  auto& pt = report.add_point("400MHz/4ch");
+  pt["access_ms"] = 12.5;
+  std::ostringstream out;
+  report.write(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find(R"("report": "unittest")"), std::string::npos);
+  EXPECT_NE(s.find(R"("schema": "mcm.run_report/v1")"), std::string::npos);
+  EXPECT_NE(s.find(R"("channels": 4)"), std::string::npos);
+  EXPECT_NE(s.find(R"("label": "400MHz/4ch")"), std::string::npos);
+  EXPECT_NE(s.find(R"("access_ms": 12.5)"), std::string::npos);
+  EXPECT_EQ(s.back(), '\n');
+}
+
+TEST(RunReport, AddMetricsAttachesRegistrySnapshot) {
+  RunReport report("unittest");
+  MetricsRegistry reg;
+  reg.counter("system/reads").inc(9);
+  report.add_metrics(reg);
+  const std::string s = report.root().dump_string(-1);
+  EXPECT_NE(s.find(R"("system/reads":{"kind":"counter","value":9})"),
+            std::string::npos);
+}
+
+TEST(RunReport, DefaultPathFollowsEnvironment) {
+  RunReport report("envtest");
+  {
+    const ReportDirGuard guard("off");
+    EXPECT_TRUE(report.default_path().empty());
+    EXPECT_TRUE(report.write_default().empty());
+  }
+  {
+    const ReportDirGuard guard("/some/dir");
+    EXPECT_EQ(report.default_path(), "/some/dir/envtest.report.json");
+  }
+  {
+    const ReportDirGuard guard(nullptr);
+    EXPECT_EQ(report.default_path(), "./envtest.report.json");
+  }
+}
+
+TEST(RunReport, WriteDefaultProducesParseableFile) {
+  const std::string dir = ::testing::TempDir();
+  RunReport report("roundtrip");
+  report.add_point("only");
+  const ReportDirGuard guard(dir.c_str());
+  const std::string path = report.write_default();
+  ASSERT_FALSE(path.empty());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find(R"("report": "roundtrip")"), std::string::npos);
+  EXPECT_NE(buf.str().find(R"("label": "only")"), std::string::npos);
+}
+
+TEST(RunReport, WriteFileFailsGracefully) {
+  const RunReport report("nowhere");
+  EXPECT_FALSE(report.write_file("/nonexistent-dir-xyz/report.json"));
+}
+
+}  // namespace
+}  // namespace mcm::obs

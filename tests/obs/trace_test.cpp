@@ -1,0 +1,94 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace mcm::obs {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  return out;
+}
+
+TEST(TraceSink, EmitsMetaLineOnConstruction) {
+  std::ostringstream out;
+  { TraceSink sink(out); }
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], R"({"type":"meta","schema":"mcm.trace/v1","version":1})");
+}
+
+TEST(TraceSink, GoldenCommandAndSpanLines) {
+  std::ostringstream out;
+  {
+    TraceSink sink(out);
+    sink.command(0, Time::from_ns(2.5), dram::Command::kActivate, 1, 42);
+    sink.command(3, Time::from_ns(10.0), dram::Command::kRead, 1, 0);
+    sink.command(0, Time::zero(), dram::Command::kPowerDownEnter, 0, 0);
+    sink.span(/*channel=*/0, /*addr=*/4096, /*is_write=*/false,
+              /*arrival=*/Time::zero(), /*first_cmd=*/Time::from_ns(2.5),
+              /*done=*/Time::from_ns(30.0), /*row_hit=*/false);
+    sink.span(1, 128, true, Time::from_ns(1.0), Time::from_ns(2.0),
+              Time::from_ns(8.0), true);
+    EXPECT_EQ(sink.events_recorded(), 5u);
+  }
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 6u);
+  EXPECT_EQ(lines[1],
+            R"({"type":"cmd","ch":0,"t_ps":2500,"cmd":"ACT","bank":1,"row":42})");
+  EXPECT_EQ(lines[2],
+            R"({"type":"cmd","ch":3,"t_ps":10000,"cmd":"RD","bank":1,"row":0})");
+  EXPECT_EQ(lines[3],
+            R"({"type":"cmd","ch":0,"t_ps":0,"cmd":"PDE","bank":0,"row":0})");
+  EXPECT_EQ(lines[4],
+            R"({"type":"req","ch":0,"op":"RD","addr":4096,"arrival_ps":0,)"
+            R"("first_cmd_ps":2500,"done_ps":30000,"latency_ps":30000,"row_hit":0})");
+  EXPECT_EQ(lines[5],
+            R"({"type":"req","ch":1,"op":"WR","addr":128,"arrival_ps":1000,)"
+            R"("first_cmd_ps":2000,"done_ps":8000,"latency_ps":7000,"row_hit":1})");
+}
+
+TEST(TraceSink, BuffersUntilCapacityThenFlushes) {
+  std::ostringstream out;
+  TraceSink sink(out, /*buffer_events=*/2);
+  sink.command(0, Time::zero(), dram::Command::kActivate, 0, 0);
+  // One buffered event: only the meta line is out so far.
+  EXPECT_EQ(lines_of(out.str()).size(), 1u);
+  sink.command(0, Time::zero(), dram::Command::kPrecharge, 0, 0);
+  // Capacity reached: both events flushed.
+  EXPECT_EQ(lines_of(out.str()).size(), 3u);
+  sink.command(0, Time::zero(), dram::Command::kRefresh, 0, 0);
+  EXPECT_EQ(lines_of(out.str()).size(), 3u);
+  sink.flush();
+  EXPECT_EQ(lines_of(out.str()).size(), 4u);
+  EXPECT_EQ(sink.events_recorded(), 3u);
+}
+
+TEST(TraceSink, EveryLineIsAFlatJsonObject) {
+  std::ostringstream out;
+  {
+    TraceSink sink(out, 1);
+    for (int i = 0; i < 16; ++i) {
+      sink.command(static_cast<std::uint32_t>(i % 4), Time::from_ns(i),
+                   i % 2 == 0 ? dram::Command::kRead : dram::Command::kWrite,
+                   static_cast<std::uint32_t>(i % 8), 7);
+    }
+  }
+  for (const auto& line : lines_of(out.str())) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+    EXPECT_NE(line.find("\"type\":"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace mcm::obs
