@@ -9,10 +9,11 @@
 #include "core/result_export.hpp"
 #include "obs/metrics.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mcm;
+  const unsigned threads = benchutil::thread_request(argc, argv);
   const auto cfg = core::ExperimentConfig::paper_defaults();
-  const auto points = core::sweep_frequency(cfg, video::H264Level::k31);
+  const auto points = core::sweep_frequency(cfg, video::H264Level::k31, threads);
 
   std::map<std::uint32_t, std::map<double, const core::SweepPoint*>> grid;
   for (const auto& p : points) grid[p.channels][p.freq_mhz] = &p;
@@ -20,6 +21,7 @@ int main() {
   obs::RunReport report("fig3");
   core::export_config(report.config(), cfg.base, cfg.usecase);
   report.config()["sweep"] = "frequency x channels";
+  benchutil::stamp_threads(report, threads);
   for (const auto& p : points) {
     char label[48];
     std::snprintf(label, sizeof label, "%.0fMHz/%uch", p.freq_mhz, p.channels);

@@ -10,10 +10,11 @@
 #include "core/experiments.hpp"
 #include "core/result_export.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mcm;
+  const unsigned threads = benchutil::thread_request(argc, argv);
   const auto cfg = core::ExperimentConfig::paper_defaults();
-  const auto points = core::sweep_formats(cfg, 400.0);
+  const auto points = core::sweep_formats(cfg, 400.0, threads);
 
   std::map<std::uint32_t, std::map<video::H264Level, const core::SweepPoint*>> grid;
   for (const auto& p : points) grid[p.channels][p.level] = &p;
@@ -22,6 +23,7 @@ int main() {
   core::export_config(report.config(), cfg.base, cfg.usecase);
   report.config()["freq_mhz"] = 400.0;
   report.config()["sweep"] = "format x channels (power)";
+  benchutil::stamp_threads(report, threads);
   for (const auto& p : points) {
     const auto& spec = video::level_spec(p.level);
     char label[64];

@@ -9,14 +9,35 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <memory>
 #include <string>
 
 #include "common/csv.hpp"
+#include "explore/thread_pool.hpp"
 #include "obs/run_report.hpp"
 
 namespace mcm::benchutil {
+
+/// Requested worker-thread count for parallel sweeps: `--threads N` on the
+/// command line wins; 0 means "auto" (the pool then applies MCM_THREADS or
+/// hardware_concurrency).
+[[nodiscard]] inline unsigned thread_request(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      return static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10));
+    }
+  }
+  return 0;
+}
+
+/// Stamp the resolved worker count into the report config so perf
+/// trajectories across runs are attributable to the pool size used.
+inline void stamp_threads(obs::RunReport& report, unsigned requested) {
+  report.config()["threads"] =
+      explore::ThreadPool::resolve_thread_count(requested);
+}
 
 /// Returns a CSV writer bound to $MCM_CSV_DIR/<name>.csv, or nullptr when
 /// the variable is unset or the file cannot be created.

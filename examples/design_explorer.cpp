@@ -1,78 +1,90 @@
-// Design-space explorer: use the closed-form analytic estimator (validated
-// against the simulator within ~20 %) to scan hundreds of memory
-// configurations per second, then print the Pareto frontier (power vs
-// feasibility) for each H.264 level - the screening study a system architect
-// would run before committing to detailed simulation.
+// Design-space explorer: the two-phase screening study a system architect
+// runs before committing to detailed simulation. Phase 1 sweeps a dense
+// grid (11 frequencies x 6 channel counts per H.264 level) with the
+// closed-form analytic estimator (hundreds of points per second); phase 2
+// re-runs only each level's analytic Pareto frontier through the
+// transaction-level simulator on the parallel orchestrator. Results print
+// as per-level frontiers and export as design_explorer.report.json
+// (schema mcm.explore/v1; honors MCM_REPORT_DIR like the benches).
 //
-//   $ ./design_explorer
+//   $ ./design_explorer [--threads N]
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <vector>
 
-#include "core/analytic.hpp"
-#include "core/experiments.hpp"
+#include "explore/explore_export.hpp"
+#include "explore/orchestrator.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_report.hpp"
 
-namespace {
-
-using namespace mcm;
-
-struct Candidate {
-  double freq;
-  std::uint32_t channels;
-  core::AnalyticResult result;
-};
-
-}  // namespace
-
-int main() {
-  const auto base = core::ExperimentConfig::paper_defaults();
-  const std::vector<double> freqs = {200, 233, 266, 300, 333, 366,
-                                     400, 433, 466, 500, 533};
-  const std::vector<std::uint32_t> channel_options = {1, 2, 3, 4, 6, 8};
-
-  std::printf("DESIGN-SPACE EXPLORER (analytic model; %zu points per level)\n",
-              freqs.size() * channel_options.size());
-  std::printf("Cheapest feasible configurations per level (15%% margin):\n\n");
-  std::printf("%-8s %-16s %10s %6s %12s %12s %12s\n", "level", "format", "MHz",
-              "ch", "access[ms]", "power[mW]", "efficiency");
-
-  for (const auto level : video::kAllLevels) {
-    video::UseCaseParams uc = base.usecase;
-    uc.level = level;
-    const auto& spec = video::level_spec(level);
-
-    std::vector<Candidate> feasible;
-    for (const double f : freqs) {
-      for (const std::uint32_t ch : channel_options) {
-        auto sys = base.base;
-        sys.freq = Frequency{f};
-        sys.channels = ch;
-        const auto r = core::analytic_estimate(sys, uc, base.sim.load);
-        if (r.access_time.seconds() <= r.frame_period.seconds() * 0.85) {
-          feasible.push_back(Candidate{f, ch, r});
-        }
-      }
+int main(int argc, char** argv) {
+  using namespace mcm;
+  unsigned threads = 0;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      threads = static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10));
     }
-    std::sort(feasible.begin(), feasible.end(),
-              [](const Candidate& a, const Candidate& b) {
-                return a.result.total_power_mw < b.result.total_power_mw;
-              });
+  }
 
+  explore::ExperimentSpec spec;
+  spec.freq_mhz = {200, 233, 266, 300, 333, 366, 400, 433, 466, 500, 533};
+  spec.channels = {1, 2, 3, 4, 6, 8};
+
+  obs::MetricsRegistry metrics;
+
+  // Phase 1: analytic screen of the full grid.
+  explore::OrchestratorOptions screen_opt;
+  screen_opt.threads = threads;
+  screen_opt.engine = explore::Engine::kAnalytic;
+  screen_opt.metrics = &metrics;
+  const auto screened = explore::Orchestrator(screen_opt).run(spec);
+
+  // Phase 2: each level's analytic frontier, re-simulated in detail.
+  std::vector<explore::ExplorePoint> candidates;
+  for (const auto& lf : explore::frontiers_by_level(screened, 0.15)) {
+    for (const std::size_t idx : lf.frontier) {
+      candidates.push_back(screened.results[idx].point);
+    }
+  }
+  explore::OrchestratorOptions sim_opt;
+  sim_opt.threads = threads;
+  sim_opt.metrics = &metrics;
+  const auto run =
+      explore::Orchestrator(sim_opt).run(spec, std::move(candidates));
+
+  std::printf("DESIGN-SPACE EXPLORER (two-phase: %zu points analytically "
+              "screened, %zu frontier candidates simulated; %u threads)\n",
+              screened.stats.points, run.stats.points, run.stats.threads);
+  std::printf("Cheapest feasible configurations per level (15%% margin, "
+              "simulated):\n\n");
+  std::printf("%-8s %-16s %10s %6s %12s %12s\n", "level", "format", "MHz", "ch",
+              "access[ms]", "power[mW]");
+
+  for (const auto& lf : explore::frontiers_by_level(run, 0.15)) {
+    const auto& spec_l = video::level_spec(lf.level);
     char fmt[48];
-    std::snprintf(fmt, sizeof fmt, "%ux%u@%.0f", spec.resolution.width,
-                  spec.resolution.height, spec.fps);
-    if (feasible.empty()) {
-      std::printf("%-8s %-16s %10s\n", std::string(spec.name).c_str(), fmt,
+    std::snprintf(fmt, sizeof fmt, "%ux%u@%.0f", spec_l.resolution.width,
+                  spec_l.resolution.height, spec_l.fps);
+    if (lf.frontier.empty()) {
+      std::printf("%-8s %-16s %10s\n", std::string(spec_l.name).c_str(), fmt,
                   "none feasible");
       continue;
     }
-    // Print the three cheapest options.
-    for (std::size_t i = 0; i < std::min<std::size_t>(3, feasible.size()); ++i) {
-      const auto& c = feasible[i];
-      std::printf("%-8s %-16s %10.0f %6u %12.2f %12.0f %11.0f%%\n",
-                  i == 0 ? std::string(spec.name).c_str() : "", i == 0 ? fmt : "",
-                  c.freq, c.channels, c.result.access_time.ms(),
-                  c.result.total_power_mw, 100.0 * c.result.efficiency);
+    std::vector<std::size_t> by_power(lf.frontier);
+    std::sort(by_power.begin(), by_power.end(),
+              [&](std::size_t a, std::size_t b) {
+                return run.results[a].total_power_mw() <
+                       run.results[b].total_power_mw();
+              });
+    for (std::size_t i = 0; i < std::min<std::size_t>(3, by_power.size());
+         ++i) {
+      const auto& r = run.results[by_power[i]];
+      std::printf("%-8s %-16s %10.0f %6u %12.2f %12.0f\n",
+                  i == 0 ? std::string(spec_l.name).c_str() : "",
+                  i == 0 ? fmt : "", r.point.freq_mhz, r.point.channels,
+                  r.access_time().ms(), r.total_power_mw());
     }
   }
 
@@ -80,5 +92,13 @@ int main() {
               "8 ch for 2160p30) sit on or near this frontier; odd channel "
               "counts (3, 6) fill the gaps between the paper's power-of-two "
               "options.\n");
+
+  obs::RunReport report("design_explorer");
+  explore::export_run(report, spec, run, 0.15);
+  explore::export_run_stats(report, run.stats);
+  report.root()["runtime"]["screened_points"] = screened.stats.points;
+  report.add_metrics(metrics);
+  const std::string path = report.write_default();
+  if (!path.empty()) std::printf("[run report: %s]\n", path.c_str());
   return 0;
 }

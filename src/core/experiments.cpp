@@ -1,35 +1,9 @@
+// Paper-default configuration and sweep axes. The sweep functions declared
+// in experiments.hpp are implemented by the exploration engine
+// (src/explore/sweeps.cpp) so they parallelize on the shared thread pool.
 #include "core/experiments.hpp"
 
-#include <future>
-#include <thread>
-
 namespace mcm::core {
-namespace {
-
-/// Run one simulation per point concurrently (each point is an independent,
-/// deterministic simulation; results are position-stable).
-std::vector<SweepPoint> run_points(std::vector<SweepPoint> points,
-                                   const ExperimentConfig& cfg) {
-  const FrameSimulator sim(cfg.sim);
-  std::vector<std::future<FrameSimResult>> futures;
-  futures.reserve(points.size());
-  for (const auto& p : points) {
-    futures.push_back(std::async(std::launch::async, [&cfg, &sim, p] {
-      multichannel::SystemConfig sys = cfg.base;
-      sys.freq = Frequency{p.freq_mhz};
-      sys.channels = p.channels;
-      video::UseCaseParams uc = cfg.usecase;
-      uc.level = p.level;
-      return sim.run(sys, uc);
-    }));
-  }
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    points[i].result = futures[i].get();
-  }
-  return points;
-}
-
-}  // namespace
 
 ExperimentConfig ExperimentConfig::paper_defaults() {
   ExperimentConfig cfg;
@@ -50,34 +24,5 @@ std::vector<double> paper_frequencies() {
 }
 
 std::vector<std::uint32_t> paper_channel_counts() { return {1, 2, 4, 8}; }
-
-std::vector<SweepPoint> sweep_frequency(const ExperimentConfig& cfg,
-                                        video::H264Level level) {
-  std::vector<SweepPoint> points;
-  for (const std::uint32_t channels : paper_channel_counts()) {
-    for (const double freq : paper_frequencies()) {
-      SweepPoint p;
-      p.freq_mhz = freq;
-      p.channels = channels;
-      p.level = level;
-      points.push_back(p);
-    }
-  }
-  return run_points(std::move(points), cfg);
-}
-
-std::vector<SweepPoint> sweep_formats(const ExperimentConfig& cfg, double freq_mhz) {
-  std::vector<SweepPoint> points;
-  for (const std::uint32_t channels : paper_channel_counts()) {
-    for (const video::H264Level level : video::kAllLevels) {
-      SweepPoint p;
-      p.freq_mhz = freq_mhz;
-      p.channels = channels;
-      p.level = level;
-      points.push_back(p);
-    }
-  }
-  return run_points(std::move(points), cfg);
-}
 
 }  // namespace mcm::core

@@ -3,6 +3,12 @@
 //  - Figs. 4/5: format sweep (the five H.264 levels) x channel counts at a
 //    fixed clock (400 MHz in the paper); Fig. 4 reads access time from the
 //    points, Fig. 5 reads average power.
+//
+// The sweep functions are implemented by the exploration engine
+// (src/explore): points run on the work-stealing thread pool (`threads` = 0
+// means MCM_THREADS / hardware_concurrency) with per-point deterministic
+// seeding, and the returned vector is identical regardless of thread count.
+// Targets calling them must link mcm_explore.
 #pragma once
 
 #include <cstdint>
@@ -38,10 +44,12 @@ struct SweepPoint {
 /// Fig. 3: access time vs clock frequency for one encoded frame at `level`
 /// (the paper uses level 3.1, 720p30).
 [[nodiscard]] std::vector<SweepPoint> sweep_frequency(
-    const ExperimentConfig& cfg, video::H264Level level = video::H264Level::k31);
+    const ExperimentConfig& cfg, video::H264Level level = video::H264Level::k31,
+    unsigned threads = 0);
 
 /// Figs. 4 and 5: every H.264 level x channel count at a fixed frequency.
 [[nodiscard]] std::vector<SweepPoint> sweep_formats(const ExperimentConfig& cfg,
-                                                    double freq_mhz = 400.0);
+                                                    double freq_mhz = 400.0,
+                                                    unsigned threads = 0);
 
 }  // namespace mcm::core

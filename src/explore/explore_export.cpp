@@ -1,0 +1,165 @@
+#include "explore/explore_export.hpp"
+
+#include <set>
+#include <string>
+
+#include "core/result_export.hpp"
+
+namespace mcm::explore {
+namespace {
+
+obs::JsonValue string_array(const std::vector<std::string>& items) {
+  obs::JsonValue arr = obs::JsonValue::array();
+  for (const auto& s : items) arr.push(s);
+  return arr;
+}
+
+template <typename T, typename Fn>
+obs::JsonValue mapped_array(const std::vector<T>& items, Fn fn) {
+  obs::JsonValue arr = obs::JsonValue::array();
+  for (const auto& v : items) arr.push(fn(v));
+  return arr;
+}
+
+void export_point_params(obs::JsonValue& pt, const ExplorePoint& p) {
+  pt["level"] = video::level_spec(p.level).name;
+  pt["channels"] = p.channels;
+  pt["freq_mhz"] = p.freq_mhz;
+  pt["page_policy"] = to_string(p.page_policy);
+  pt["scheduler"] = to_string(p.scheduler);
+  pt["interleave_bytes"] = p.interleave_bytes;
+  pt["address_mux"] = to_string(p.mux);
+}
+
+void export_analytic(obs::JsonValue& out, const core::AnalyticResult& r) {
+  out["access_ms"] = r.access_time.ms();
+  out["frame_period_ms"] = r.frame_period.ms();
+  out["efficiency"] = r.efficiency;
+  out["total_power_mw"] = r.total_power_mw;
+  out["dram_power_mw"] = r.dram_power_mw;
+  out["interface_power_mw"] = r.interface_power_mw;
+  out["meets_realtime"] = r.meets_realtime;
+}
+
+}  // namespace
+
+void export_run(obs::RunReport& report, const ExperimentSpec& spec,
+                const ExploreRun& run, double margin) {
+  report.root()["schema"] = "mcm.explore/v1";
+
+  obs::JsonValue& cfg = report.config();
+  core::export_config(cfg, spec.base.base, spec.base.usecase);
+  cfg["margin"] = margin;
+  cfg["base_seed"] = spec.base_seed;
+  cfg["grid/freq_mhz"] = mapped_array(spec.freq_mhz, [](double f) {
+    return obs::JsonValue(f);
+  });
+  cfg["grid/channels"] = mapped_array(spec.channels, [](std::uint32_t c) {
+    return obs::JsonValue(c);
+  });
+  cfg["grid/levels"] = mapped_array(spec.levels, [](video::H264Level l) {
+    return obs::JsonValue(video::level_spec(l).name);
+  });
+  std::vector<std::string> names;
+  for (const auto p : spec.page_policies) names.emplace_back(to_string(p));
+  cfg["grid/page_policy"] = string_array(names);
+  names.clear();
+  for (const auto s : spec.schedulers) names.emplace_back(to_string(s));
+  cfg["grid/scheduler"] = string_array(names);
+  cfg["grid/interleave_bytes"] =
+      mapped_array(spec.interleave_bytes,
+                   [](std::uint32_t b) { return obs::JsonValue(b); });
+  names.clear();
+  for (const auto m : spec.address_muxes) names.emplace_back(to_string(m));
+  cfg["grid/address_mux"] = string_array(names);
+
+  const auto frontiers = frontiers_by_level(run, margin);
+  std::set<std::size_t> on_frontier;
+  for (const auto& lf : frontiers) {
+    on_frontier.insert(lf.frontier.begin(), lf.frontier.end());
+  }
+
+  for (std::size_t i = 0; i < run.results.size(); ++i) {
+    const ExploreResult& r = run.results[i];
+    obs::JsonValue& pt = report.add_point(r.point.label());
+    export_point_params(pt, r.point);
+    pt["pruned"] = r.pruned;
+    pt["engine"] = r.simulated ? "simulator" : "analytic";
+    pt["feasible"] = r.feasible(margin);
+    pt["pareto"] = on_frontier.count(i) > 0;
+    if (r.screened) export_analytic(pt["analytic"], r.analytic);
+    if (r.simulated) {
+      core::export_result(pt, r.sim);
+    } else {
+      // Analytic-only points still carry the headline measures at the top
+      // level so consumers can read one place.
+      pt["access_ms"] = r.access_time().ms();
+      pt["frame_period_ms"] = r.frame_period().ms();
+      pt["total_power_mw"] = r.total_power_mw();
+    }
+  }
+
+  report.root()["frontiers"] = mapped_array(frontiers, [&](const LevelFrontier& lf) {
+    obs::JsonValue o = obs::JsonValue::object();
+    o["level"] = video::level_spec(lf.level).name;
+    o["points"] = mapped_array(lf.frontier, [&](std::size_t idx) {
+      return obs::JsonValue(run.results[idx].point.label());
+    });
+    return o;
+  });
+
+  report.root()["min_channels"] = mapped_array(
+      min_channels_per_level(run, 0.0, margin), [](const MinChannelEntry& e) {
+        obs::JsonValue o = obs::JsonValue::object();
+        o["level"] = video::level_spec(e.level).name;
+        o["min_channels"] = e.min_channels
+                                ? obs::JsonValue(*e.min_channels)
+                                : obs::JsonValue();
+        o["min_channels_with_margin"] =
+            e.min_channels_with_margin
+                ? obs::JsonValue(*e.min_channels_with_margin)
+                : obs::JsonValue();
+        return o;
+      });
+}
+
+void export_run_stats(obs::RunReport& report, const RunStats& stats) {
+  obs::JsonValue& rt = report.root()["runtime"];
+  rt["threads"] = stats.threads;
+  rt["wall_seconds"] = stats.wall_seconds;
+  rt["points"] = stats.points;
+  rt["screened"] = stats.screened;
+  rt["pruned"] = stats.pruned;
+  rt["simulated"] = stats.simulated;
+}
+
+void write_csv(CsvWriter& csv, const ExploreRun& run, double margin) {
+  const auto frontiers = frontiers_by_level(run, margin);
+  std::set<std::size_t> on_frontier;
+  for (const auto& lf : frontiers) {
+    on_frontier.insert(lf.frontier.begin(), lf.frontier.end());
+  }
+  csv.row({"level", "channels", "freq_mhz", "page_policy", "scheduler",
+           "interleave_bytes", "address_mux", "engine", "pruned", "access_ms",
+           "frame_period_ms", "power_mw", "feasible", "pareto"});
+  for (std::size_t i = 0; i < run.results.size(); ++i) {
+    const ExploreResult& r = run.results[i];
+    csv.field(video::level_spec(r.point.level).name)
+        .field(static_cast<std::uint64_t>(r.point.channels))
+        .field(r.point.freq_mhz, 4)
+        .field(to_string(r.point.page_policy))
+        .field(to_string(r.point.scheduler))
+        .field(static_cast<std::uint64_t>(r.point.interleave_bytes))
+        .field(to_string(r.point.mux))
+        .field(r.simulated ? "simulator" : "analytic")
+        .field(std::int64_t{r.pruned})
+        .field(r.access_time().ms(), 6)
+        .field(r.frame_period().ms(), 6)
+        .field(r.total_power_mw(), 6)
+        .field(std::int64_t{r.feasible(margin)})
+        .field(std::int64_t{on_frontier.count(i) > 0});
+    csv.endrow();
+  }
+}
+
+}  // namespace mcm::explore

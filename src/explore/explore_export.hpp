@@ -1,0 +1,31 @@
+// Exploration exports: fills an obs::RunReport with the mcm.explore/v1
+// schema (spec axes, per-point measures, per-level Pareto frontiers, the
+// Section V minimum-channel table) and writes the flat per-point CSV.
+//
+// Everything emitted here derives only from the deterministic result vector,
+// so the document is byte-identical for 1-thread and N-thread runs; callers
+// wanting timing/thread facts stamp RunStats separately (export_run_stats)
+// into a side section.
+#pragma once
+
+#include "common/csv.hpp"
+#include "explore/pareto.hpp"
+#include "obs/run_report.hpp"
+
+namespace mcm::explore {
+
+/// Fill `report` with the deterministic run document (schema mcm.explore/v1):
+/// config (spec axes + base), points[], frontiers[], min_channels[].
+void export_run(obs::RunReport& report, const ExperimentSpec& spec,
+                const ExploreRun& run, double margin = 0.15);
+
+/// Stamp the non-deterministic side facts (thread count, wall seconds,
+/// prune counters) as the report's "runtime" member. Kept out of export_run
+/// so determinism tests can cover the full deterministic document.
+void export_run_stats(obs::RunReport& report, const RunStats& stats);
+
+/// One row per point: coordinates, engine flags, measures, feasibility and
+/// frontier membership.
+void write_csv(CsvWriter& csv, const ExploreRun& run, double margin = 0.15);
+
+}  // namespace mcm::explore

@@ -1,0 +1,105 @@
+#include "explore/orchestrator.hpp"
+
+#include <chrono>
+
+#include "common/log.hpp"
+#include "explore/thread_pool.hpp"
+#include "obs/metrics.hpp"
+
+namespace mcm::explore {
+namespace {
+
+/// Per-point simulator options: the spec's base options with the
+/// deterministic point seed applied and every shared sink (metrics, trace)
+/// detached — worker tasks must not share mutable state.
+core::FrameSimOptions point_sim_options(const ExperimentSpec& spec,
+                                        const ExplorePoint& point) {
+  core::FrameSimOptions opt = spec.base.sim;
+  opt.load.seed = point.seed(spec.base_seed);
+  opt.metrics = nullptr;
+  opt.trace_path.clear();
+  return opt;
+}
+
+}  // namespace
+
+ExploreRun Orchestrator::run(const ExperimentSpec& spec) const {
+  return run(spec, spec.expand());
+}
+
+ExploreRun Orchestrator::run(const ExperimentSpec& spec,
+                             std::vector<ExplorePoint> points) const {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  ExploreRun run;
+  run.results.resize(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    run.results[i].point = points[i];
+  }
+  run.stats.points = points.size();
+
+  ThreadPool pool(opt_.threads);
+  run.stats.threads = pool.size();
+
+  // Phase 1 (optional, and implied by the analytic engine): closed-form
+  // estimate for every point. Cheap enough to fan out as one task per point.
+  const bool want_screen = opt_.prescreen || opt_.engine == Engine::kAnalytic;
+  if (want_screen) {
+    std::vector<ThreadPool::Task> tasks;
+    tasks.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      tasks.push_back([&spec, &run, i] {
+        ExploreResult& r = run.results[i];
+        r.analytic = core::analytic_estimate(r.point.system(spec.base),
+                                             r.point.usecase(spec.base),
+                                             spec.base.sim.load);
+        r.screened = true;
+      });
+    }
+    pool.run_batch(std::move(tasks));
+    run.stats.screened = points.size();
+  }
+
+  // Phase 2: transaction-level simulation of the surviving points.
+  if (opt_.engine == Engine::kSimulator) {
+    std::vector<ThreadPool::Task> tasks;
+    tasks.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      ExploreResult& r = run.results[i];
+      if (opt_.prescreen &&
+          r.analytic.access_time.seconds() >
+              r.analytic.frame_period.seconds() * opt_.prescreen_slack) {
+        r.pruned = true;
+        ++run.stats.pruned;
+        continue;
+      }
+      tasks.push_back([&spec, &run, i] {
+        ExploreResult& r = run.results[i];
+        const core::FrameSimulator sim(point_sim_options(spec, r.point));
+        r.sim = sim.run(r.point.system(spec.base), r.point.usecase(spec.base));
+        r.simulated = true;
+      });
+    }
+    run.stats.simulated = tasks.size();
+    pool.run_batch(std::move(tasks));
+  }
+
+  run.stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  if (opt_.metrics != nullptr) {
+    opt_.metrics->counter("explore/points").inc(run.stats.points);
+    opt_.metrics->counter("explore/screened").inc(run.stats.screened);
+    opt_.metrics->counter("explore/pruned").inc(run.stats.pruned);
+    opt_.metrics->counter("explore/simulated").inc(run.stats.simulated);
+  }
+  MCM_LOG_INFO(
+      "explore: %zu points, %zu screened, %zu pruned, %zu simulated "
+      "(%u threads, %.2f s)",
+      run.stats.points, run.stats.screened, run.stats.pruned,
+      run.stats.simulated, run.stats.threads, run.stats.wall_seconds);
+  return run;
+}
+
+}  // namespace mcm::explore

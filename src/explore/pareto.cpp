@@ -1,0 +1,83 @@
+#include "explore/pareto.hpp"
+
+#include <algorithm>
+
+namespace mcm::explore {
+
+std::vector<std::size_t> pareto_frontier(
+    const std::vector<ParetoInput>& candidates) {
+  std::vector<std::size_t> frontier;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const ParetoInput& a = candidates[i];
+    if (!a.feasible) continue;
+    bool dominated = false;
+    for (std::size_t j = 0; j < candidates.size(); ++j) {
+      if (j == i || !candidates[j].feasible) continue;
+      const ParetoInput& b = candidates[j];
+      const bool no_worse =
+          b.access_ms <= a.access_ms && b.power_mw <= a.power_mw;
+      const bool strictly_better =
+          b.access_ms < a.access_ms || b.power_mw < a.power_mw;
+      if (no_worse && strictly_better) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) frontier.push_back(i);
+  }
+  return frontier;
+}
+
+std::vector<LevelFrontier> frontiers_by_level(const ExploreRun& run,
+                                              double margin) {
+  std::vector<LevelFrontier> out;
+  for (const auto level : video::kAllLevels) {
+    // Candidate list for this level, remembering the run index of each.
+    std::vector<ParetoInput> candidates;
+    std::vector<std::size_t> run_index;
+    for (std::size_t i = 0; i < run.results.size(); ++i) {
+      const ExploreResult& r = run.results[i];
+      if (r.point.level != level) continue;
+      candidates.push_back(ParetoInput{.access_ms = r.access_time().ms(),
+                                       .power_mw = r.total_power_mw(),
+                                       .feasible = r.feasible(margin)});
+      run_index.push_back(i);
+    }
+    if (candidates.empty()) continue;
+    LevelFrontier lf;
+    lf.level = level;
+    for (const std::size_t c : pareto_frontier(candidates)) {
+      lf.frontier.push_back(run_index[c]);
+    }
+    out.push_back(std::move(lf));
+  }
+  return out;
+}
+
+std::vector<MinChannelEntry> min_channels_per_level(const ExploreRun& run,
+                                                    double freq_mhz,
+                                                    double margin) {
+  std::vector<MinChannelEntry> out;
+  for (const auto level : video::kAllLevels) {
+    MinChannelEntry entry;
+    entry.level = level;
+    bool seen = false;
+    for (const ExploreResult& r : run.results) {
+      if (r.point.level != level) continue;
+      if (freq_mhz > 0 && r.point.freq_mhz != freq_mhz) continue;
+      seen = true;
+      if (r.feasible(0.0) &&
+          (!entry.min_channels || r.point.channels < *entry.min_channels)) {
+        entry.min_channels = r.point.channels;
+      }
+      if (r.feasible(margin) && (!entry.min_channels_with_margin ||
+                                 r.point.channels < *entry.min_channels_with_margin)) {
+        entry.min_channels_with_margin = r.point.channels;
+      }
+    }
+    if (seen) out.push_back(entry);
+  }
+  return out;
+}
+
+}  // namespace mcm::explore

@@ -1,0 +1,56 @@
+// Aggregation over exploration results: real-time feasibility against the
+// paper's frame deadlines (33.3 ms / 16.7 ms with the 15 % data-processing
+// margin), the power-vs-access-time Pareto frontier per H.264 level, and the
+// Section V minimum-channel table (the paper's headline conclusion: which
+// channel count each recording format requires).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "explore/orchestrator.hpp"
+
+namespace mcm::explore {
+
+/// One candidate for frontier search: minimize both `access_ms` and
+/// `power_mw`; infeasible candidates never enter the frontier.
+struct ParetoInput {
+  double access_ms = 0;
+  double power_mw = 0;
+  bool feasible = true;
+};
+
+/// Indices of the non-dominated feasible candidates. `a` dominates `b` when
+/// a.access_ms <= b.access_ms and a.power_mw <= b.power_mw with at least one
+/// strict; exact ties dominate neither way, so tied optima all stay on the
+/// frontier. The returned indices are sorted ascending (input order), which
+/// keeps exports deterministic.
+[[nodiscard]] std::vector<std::size_t> pareto_frontier(
+    const std::vector<ParetoInput>& candidates);
+
+struct LevelFrontier {
+  video::H264Level level = video::H264Level::k31;
+  std::vector<std::size_t> frontier;  // indices into run.results
+};
+
+/// Per-level frontier over the feasible points of `run` (feasibility at
+/// `margin`). Levels appear in kAllLevels order; levels absent from the run
+/// are omitted.
+[[nodiscard]] std::vector<LevelFrontier> frontiers_by_level(
+    const ExploreRun& run, double margin = 0.15);
+
+/// Section V table: the smallest evaluated channel count meeting the
+/// level's deadline, with and without the processing margin. When
+/// `freq_mhz` > 0 only points at that frequency are considered (the paper
+/// fixes 400 MHz); nullopt = no evaluated count suffices.
+struct MinChannelEntry {
+  video::H264Level level = video::H264Level::k31;
+  std::optional<std::uint32_t> min_channels;              // plain deadline
+  std::optional<std::uint32_t> min_channels_with_margin;  // 15 % margin
+};
+
+[[nodiscard]] std::vector<MinChannelEntry> min_channels_per_level(
+    const ExploreRun& run, double freq_mhz = 400.0, double margin = 0.15);
+
+}  // namespace mcm::explore

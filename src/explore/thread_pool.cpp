@@ -1,0 +1,133 @@
+#include "explore/thread_pool.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace mcm::explore {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned n = resolve_thread_count(threads);
+  queues_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    queues_.push_back(std::make_unique<Worker>());
+  }
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(state_mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(Task task) {
+  unsigned target = 0;
+  {
+    std::lock_guard lock(state_mutex_);
+    target = static_cast<unsigned>(next_queue_++ % queues_.size());
+    ++queued_;
+    ++pending_;
+  }
+  {
+    std::lock_guard lock(queues_[target]->mutex);
+    queues_[target]->queue.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop(unsigned index, Task& out) {
+  // Own queue first, newest task (LIFO keeps the working set warm) ...
+  {
+    Worker& own = *queues_[index];
+    std::lock_guard lock(own.mutex);
+    if (!own.queue.empty()) {
+      out = std::move(own.queue.back());
+      own.queue.pop_back();
+      return true;
+    }
+  }
+  // ... then steal the oldest task from the nearest busy peer.
+  for (std::size_t step = 1; step < queues_.size(); ++step) {
+    Worker& victim = *queues_[(index + step) % queues_.size()];
+    std::lock_guard lock(victim.mutex);
+    if (!victim.queue.empty()) {
+      out = std::move(victim.queue.front());
+      victim.queue.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(unsigned index) {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lock(state_mutex_);
+      work_cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+      if (queued_ == 0) {
+        if (stop_) return;
+        continue;
+      }
+      // Claim a unit of queued work before touching the deques, so a
+      // concurrent waker never over-notifies past the available tasks.
+      --queued_;
+    }
+    if (!try_pop(index, task)) {
+      // Lost the race for the claimed task (another worker drained the
+      // deque between our claim and pop); return the claim.
+      std::lock_guard lock(state_mutex_);
+      ++queued_;
+      continue;
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard lock(state_mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard lock(state_mutex_);
+      if (--pending_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(state_mutex_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::run_batch(std::vector<Task> tasks) {
+  for (auto& t : tasks) submit(std::move(t));
+  wait_idle();
+}
+
+std::optional<unsigned> ThreadPool::threads_from_env() {
+  const char* env = std::getenv("MCM_THREADS");
+  if (env == nullptr || *env == '\0') return std::nullopt;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || v <= 0) return std::nullopt;
+  return static_cast<unsigned>(v);
+}
+
+unsigned ThreadPool::default_thread_count() {
+  if (const auto env = threads_from_env()) return *env;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace mcm::explore

@@ -1,0 +1,165 @@
+#include "explore/orchestrator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "explore/explore_export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_report.hpp"
+
+namespace mcm::explore {
+namespace {
+
+/// Small simulated grid: 720p30 only, two channel counts, two clocks.
+ExperimentSpec small_grid() {
+  ExperimentSpec spec;
+  spec.levels = {video::H264Level::k31};
+  spec.channels = {1, 2};
+  spec.freq_mhz = {400.0, 533.0};
+  return spec;
+}
+
+std::string exported_json(const ExperimentSpec& spec, const ExploreRun& run) {
+  obs::RunReport report("determinism");
+  export_run(report, spec, run);
+  return report.root().dump_string();
+}
+
+TEST(Orchestrator, OneThreadAndManyThreadsAreByteIdentical) {
+  const auto spec = small_grid();
+
+  OrchestratorOptions serial;
+  serial.threads = 1;
+  const auto run1 = Orchestrator(serial).run(spec);
+
+  OrchestratorOptions parallel;
+  parallel.threads = 4;
+  const auto run4 = Orchestrator(parallel).run(spec);
+
+  ASSERT_EQ(run1.results.size(), 4u);
+  ASSERT_EQ(run1.results.size(), run4.results.size());
+  EXPECT_EQ(run1.stats.threads, 1u);
+  EXPECT_EQ(run4.stats.threads, 4u);
+
+  for (std::size_t i = 0; i < run1.results.size(); ++i) {
+    const ExploreResult& a = run1.results[i];
+    const ExploreResult& b = run4.results[i];
+    EXPECT_EQ(a.point, b.point);
+    EXPECT_TRUE(a.simulated);
+    EXPECT_TRUE(b.simulated);
+    // Bit-identical simulation results, not just "close".
+    EXPECT_EQ(a.sim.access_time.ps(), b.sim.access_time.ps());
+    EXPECT_EQ(a.sim.window.ps(), b.sim.window.ps());
+    EXPECT_EQ(a.sim.total_power_mw, b.sim.total_power_mw);
+    EXPECT_EQ(a.sim.dram_power_mw, b.sim.dram_power_mw);
+    EXPECT_EQ(a.sim.stats.reads, b.sim.stats.reads);
+    EXPECT_EQ(a.sim.stats.writes, b.sim.stats.writes);
+    EXPECT_EQ(a.sim.stats.row_hits, b.sim.stats.row_hits);
+    EXPECT_EQ(a.sim.stats.activates, b.sim.stats.activates);
+  }
+
+  // The full deterministic export (points, frontiers, min-channel table)
+  // must serialize byte-for-byte identically.
+  EXPECT_EQ(exported_json(spec, run1), exported_json(spec, run4));
+}
+
+TEST(Orchestrator, SweepWrappersMatchEngineOutput) {
+  // core::sweep_frequency routes through the engine; 1-thread and auto
+  // thread counts must agree element-wise (legacy output order: channels
+  // outer, frequency inner).
+  auto cfg = core::ExperimentConfig::paper_defaults();
+  const auto serial = core::sweep_frequency(cfg, video::H264Level::k31, 1);
+  ASSERT_EQ(serial.size(), 24u);
+  EXPECT_EQ(serial[0].channels, 1u);
+  EXPECT_EQ(serial[0].freq_mhz, 200.0);
+  EXPECT_EQ(serial[1].freq_mhz, 266.0);
+  EXPECT_EQ(serial[6].channels, 2u);
+}
+
+TEST(Orchestrator, AnalyticEngineSkipsSimulation) {
+  OrchestratorOptions opt;
+  opt.engine = Engine::kAnalytic;
+  opt.threads = 2;
+  const auto run = Orchestrator(opt).run(ExperimentSpec::paper_grid());
+  ASSERT_EQ(run.results.size(), 120u);
+  EXPECT_EQ(run.stats.screened, 120u);
+  EXPECT_EQ(run.stats.simulated, 0u);
+  for (const auto& r : run.results) {
+    EXPECT_TRUE(r.screened);
+    EXPECT_FALSE(r.simulated);
+    EXPECT_GT(r.access_time().ps(), 0);
+    EXPECT_GT(r.total_power_mw(), 0.0);
+  }
+  // Higher channel counts are faster at fixed level/frequency.
+  const auto& one_ch = run.results[0];   // L3.1 1ch 200MHz
+  const auto& two_ch = run.results[6];   // L3.1 2ch 200MHz
+  EXPECT_LT(two_ch.access_time(), one_ch.access_time());
+}
+
+TEST(Orchestrator, PrescreenPrunesClearlyInfeasiblePoints) {
+  // 2160p30 on one channel at 200 MHz is hopeless (demand alone exceeds a
+  // single channel's peak bandwidth); 720p30 at 400 MHz x 2ch is healthy.
+  ExperimentSpec spec;
+  spec.levels = {video::H264Level::k31, video::H264Level::k52};
+  spec.channels = {2};
+  spec.freq_mhz = {400.0};
+  // Make the healthy point the only survivor: 2ch @400 MHz cannot carry
+  // 2160p30 either.
+  obs::MetricsRegistry metrics;
+  OrchestratorOptions opt;
+  opt.threads = 2;
+  opt.prescreen = true;
+  opt.prescreen_slack = 1.25;
+  opt.metrics = &metrics;
+  const auto run = Orchestrator(opt).run(spec);
+
+  ASSERT_EQ(run.results.size(), 2u);
+  EXPECT_EQ(run.stats.screened, 2u);
+  EXPECT_EQ(run.stats.pruned, 1u);
+  EXPECT_EQ(run.stats.simulated, 1u);
+
+  const auto& healthy = run.results[0];  // L3.1/2ch
+  EXPECT_TRUE(healthy.simulated);
+  EXPECT_FALSE(healthy.pruned);
+  EXPECT_TRUE(healthy.feasible());
+
+  const auto& pruned = run.results[1];  // L5.2/2ch
+  EXPECT_TRUE(pruned.screened);
+  EXPECT_TRUE(pruned.pruned);
+  EXPECT_FALSE(pruned.simulated);
+  EXPECT_FALSE(pruned.feasible());
+  // Pruned points still report their analytic measures.
+  EXPECT_GT(pruned.access_time().ms(), pruned.frame_period().ms());
+
+  // Counters published to the registry.
+  EXPECT_TRUE(metrics.contains("explore/pruned"));
+  const auto snapshot = metrics.snapshot();
+  for (const auto& m : snapshot) {
+    if (m.name == "explore/pruned") EXPECT_EQ(m.value, 1.0);
+    if (m.name == "explore/simulated") EXPECT_EQ(m.value, 1.0);
+    if (m.name == "explore/points") EXPECT_EQ(m.value, 2.0);
+  }
+}
+
+TEST(Orchestrator, PointListRunEvaluatesGivenPointsInOrder) {
+  ExperimentSpec spec;  // base config only; axes unused by the list run
+  std::vector<ExplorePoint> points;
+  ExplorePoint a;
+  a.level = video::H264Level::k31;
+  a.channels = 2;
+  a.freq_mhz = 533.0;
+  ExplorePoint b = a;
+  b.channels = 1;
+  points = {a, b};
+
+  OrchestratorOptions opt;
+  opt.threads = 2;
+  const auto run = Orchestrator(opt).run(spec, points);
+  ASSERT_EQ(run.results.size(), 2u);
+  EXPECT_EQ(run.results[0].point, a);
+  EXPECT_EQ(run.results[1].point, b);
+  EXPECT_TRUE(run.results[0].simulated);
+  EXPECT_LT(run.results[0].sim.access_time, run.results[1].sim.access_time);
+}
+
+}  // namespace
+}  // namespace mcm::explore

@@ -1,0 +1,138 @@
+#include "explore/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcm::explore {
+namespace {
+
+TEST(ParetoFrontier, KeepsOnlyNonDominatedFeasiblePoints) {
+  const std::vector<ParetoInput> pts = {
+      {.access_ms = 10, .power_mw = 100, .feasible = true},  // 0: frontier
+      {.access_ms = 5, .power_mw = 200, .feasible = true},   // 1: frontier
+      {.access_ms = 12, .power_mw = 150, .feasible = true},  // 2: dominated by 0
+      {.access_ms = 20, .power_mw = 300, .feasible = true},  // 3: dominated
+      {.access_ms = 1, .power_mw = 1, .feasible = false},    // 4: infeasible
+      {.access_ms = 3, .power_mw = 400, .feasible = true},   // 5: frontier
+  };
+  EXPECT_EQ(pareto_frontier(pts), (std::vector<std::size_t>{0, 1, 5}));
+}
+
+TEST(ParetoFrontier, ExactTiesAllStayOnTheFrontier) {
+  const std::vector<ParetoInput> pts = {
+      {.access_ms = 10, .power_mw = 100, .feasible = true},
+      {.access_ms = 10, .power_mw = 100, .feasible = true},  // identical twin
+      {.access_ms = 10, .power_mw = 101, .feasible = true},  // dominated
+  };
+  EXPECT_EQ(pareto_frontier(pts), (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(ParetoFrontier, EqualOnOneAxisDominatesWhenBetterOnTheOther) {
+  const std::vector<ParetoInput> pts = {
+      {.access_ms = 10, .power_mw = 100, .feasible = true},
+      {.access_ms = 10, .power_mw = 90, .feasible = true},
+  };
+  EXPECT_EQ(pareto_frontier(pts), (std::vector<std::size_t>{1}));
+}
+
+TEST(ParetoFrontier, AllInfeasibleGivesEmptyFrontier) {
+  const std::vector<ParetoInput> pts = {
+      {.access_ms = 10, .power_mw = 100, .feasible = false},
+      {.access_ms = 5, .power_mw = 200, .feasible = false},
+  };
+  EXPECT_TRUE(pareto_frontier(pts).empty());
+}
+
+TEST(ParetoFrontier, SinglePointIsItsOwnFrontier) {
+  EXPECT_EQ(pareto_frontier({{.access_ms = 1, .power_mw = 1, .feasible = true}}),
+            (std::vector<std::size_t>{0}));
+  EXPECT_TRUE(pareto_frontier({}).empty());
+}
+
+/// Hand-built ExploreResult (simulator-backed) with the given measures.
+ExploreResult make_result(video::H264Level level, std::uint32_t channels,
+                          double freq_mhz, double access_ms, double period_ms,
+                          double power_mw) {
+  ExploreResult r;
+  r.point.level = level;
+  r.point.channels = channels;
+  r.point.freq_mhz = freq_mhz;
+  r.simulated = true;
+  r.sim.access_time = Time::from_ms(access_ms);
+  r.sim.frame_period = Time::from_ms(period_ms);
+  r.sim.total_power_mw = power_mw;
+  return r;
+}
+
+TEST(Feasibility, MarginBoundaryIsInclusive) {
+  // Exactly representable numbers: period 1 s, margin 0.15 => threshold
+  // 0.85 s. access == threshold is feasible (<=), one ps above is not.
+  ExploreResult at = make_result(video::H264Level::k31, 1, 400, 850.0, 1000.0, 1);
+  EXPECT_TRUE(at.feasible(0.15));
+  ExploreResult above = at;
+  above.sim.access_time = Time{at.sim.access_time.ps() + 1};
+  EXPECT_FALSE(above.feasible(0.15));
+  // Without margin the plain deadline applies.
+  ExploreResult deadline =
+      make_result(video::H264Level::k31, 1, 400, 1000.0, 1000.0, 1);
+  EXPECT_TRUE(deadline.feasible(0.0));
+  deadline.sim.access_time = Time{deadline.sim.access_time.ps() + 1};
+  EXPECT_FALSE(deadline.feasible(0.0));
+}
+
+TEST(FrontiersByLevel, GroupsByLevelAndAppliesFeasibility) {
+  ExploreRun run;
+  // Level 3.1: three points, one dominated, one infeasible.
+  run.results.push_back(
+      make_result(video::H264Level::k31, 1, 400, 20, 33.3, 150));  // frontier
+  run.results.push_back(
+      make_result(video::H264Level::k31, 2, 400, 10, 33.3, 160));  // frontier
+  run.results.push_back(
+      make_result(video::H264Level::k31, 4, 400, 12, 33.3, 170));  // dominated
+  run.results.push_back(
+      make_result(video::H264Level::k31, 8, 400, 40, 33.3, 100));  // infeasible
+  // Level 4: single feasible point.
+  run.results.push_back(
+      make_result(video::H264Level::k40, 4, 400, 14, 33.3, 350));
+
+  const auto frontiers = frontiers_by_level(run, 0.15);
+  ASSERT_EQ(frontiers.size(), 2u);
+  EXPECT_EQ(frontiers[0].level, video::H264Level::k31);
+  EXPECT_EQ(frontiers[0].frontier, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(frontiers[1].level, video::H264Level::k40);
+  EXPECT_EQ(frontiers[1].frontier, (std::vector<std::size_t>{4}));
+}
+
+TEST(MinChannels, FindsSmallestFeasibleCountPerLevel) {
+  ExploreRun run;
+  // 3.1: 1ch meets only without margin, 2ch meets with margin.
+  run.results.push_back(
+      make_result(video::H264Level::k31, 1, 400, 30, 33.3, 150));
+  run.results.push_back(
+      make_result(video::H264Level::k31, 2, 400, 15, 33.3, 160));
+  // 5.2: nothing feasible.
+  run.results.push_back(
+      make_result(video::H264Level::k52, 8, 400, 50, 33.3, 1200));
+  // Off-frequency point must be ignored for the 400 MHz table.
+  run.results.push_back(
+      make_result(video::H264Level::k52, 8, 533, 20, 33.3, 1500));
+
+  const auto table = min_channels_per_level(run, 400.0, 0.15);
+  ASSERT_EQ(table.size(), 2u);
+  EXPECT_EQ(table[0].level, video::H264Level::k31);
+  ASSERT_TRUE(table[0].min_channels.has_value());
+  EXPECT_EQ(*table[0].min_channels, 1u);
+  ASSERT_TRUE(table[0].min_channels_with_margin.has_value());
+  EXPECT_EQ(*table[0].min_channels_with_margin, 2u);
+  EXPECT_EQ(table[1].level, video::H264Level::k52);
+  EXPECT_FALSE(table[1].min_channels.has_value());
+  EXPECT_FALSE(table[1].min_channels_with_margin.has_value());
+
+  // freq 0 considers every frequency: the 533 MHz point rescues 5.2.
+  const auto any_freq = min_channels_per_level(run, 0.0, 0.15);
+  ASSERT_EQ(any_freq.size(), 2u);
+  ASSERT_TRUE(any_freq[1].min_channels_with_margin.has_value());
+  EXPECT_EQ(*any_freq[1].min_channels_with_margin, 8u);
+}
+
+}  // namespace
+}  // namespace mcm::explore
