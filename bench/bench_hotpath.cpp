@@ -1,0 +1,262 @@
+// Hot-path throughput microbenchmark: the repo's perf-trajectory baseline.
+//
+// Runs the full frame simulation for a small grid of (format, channels)
+// cells at the paper's 400 MHz clock and reports, per cell, the simulated
+// requests/second and the frame-sim wall clock (best of N repetitions).
+// Results are written as BENCH_hotpath.json (see --out); the checked-in
+// copy at the repo root is the baseline the CI perf-smoke job compares
+// against:
+//
+//   bench_hotpath                         # measure, write BENCH_hotpath.json
+//   bench_hotpath --out <path>            # measure, write elsewhere
+//   bench_hotpath --check <baseline.json> # measure, fail on a >20 % drop
+//   bench_hotpath --check <b> --tolerance 0.3
+//   bench_hotpath --no-fastpath           # measure with row-hit streaming off
+//
+// The tolerance can also come from MCM_PERF_TOLERANCE. Baseline numbers are
+// machine-dependent: refresh them (docs/performance.md, "Updating the perf
+// baseline") whenever the hardware class running the check changes.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiments.hpp"
+#include "obs/json.hpp"
+#include "video/h264_levels.hpp"
+
+namespace {
+
+using namespace mcm;
+
+struct Cell {
+  video::H264Level level;
+  std::uint32_t channels;
+};
+
+struct CellResult {
+  std::string label;
+  std::string level_name;
+  std::uint32_t channels = 0;
+  std::uint64_t requests = 0;
+  int iters = 0;
+  double wall_ms_best = 0;
+  double wall_ms_mean = 0;
+  double requests_per_s = 0;
+};
+
+double now_ms() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double, std::milli>(clock::now().time_since_epoch())
+      .count();
+}
+
+CellResult run_cell(const core::ExperimentConfig& base, const Cell& cell,
+                    double min_time_ms, int min_iters) {
+  core::ExperimentConfig cfg = base;
+  cfg.base.channels = cell.channels;
+  cfg.base.freq = Frequency{400.0};
+  cfg.usecase.level = cell.level;
+
+  const core::FrameSimulator sim(cfg.sim);
+
+  CellResult r;
+  const auto& spec = video::level_spec(cell.level);
+  r.level_name = spec.name;
+  r.channels = cell.channels;
+  {
+    char label[64];
+    std::snprintf(label, sizeof label, "%ux%u@%.0f/%uch", spec.resolution.width,
+                  spec.resolution.height, spec.fps, cell.channels);
+    r.label = label;
+  }
+
+  // Warm-up run (page cache, allocator) that also yields the request count.
+  {
+    const auto res = sim.run(cfg.base, cfg.usecase);
+    r.requests = res.stats.accesses();
+  }
+
+  double total_ms = 0;
+  double best_ms = 0;
+  int iters = 0;
+  while (iters < min_iters || total_ms < min_time_ms) {
+    const double t0 = now_ms();
+    const auto res = sim.run(cfg.base, cfg.usecase);
+    const double dt = now_ms() - t0;
+    if (res.stats.accesses() != r.requests) {
+      std::fprintf(stderr, "non-deterministic request count in cell %s\n",
+                   r.label.c_str());
+      std::exit(2);
+    }
+    total_ms += dt;
+    best_ms = iters == 0 ? dt : std::min(best_ms, dt);
+    ++iters;
+  }
+  r.iters = iters;
+  r.wall_ms_best = best_ms;
+  r.wall_ms_mean = total_ms / iters;
+  r.requests_per_s = best_ms > 0 ? static_cast<double>(r.requests) / (best_ms / 1e3)
+                                 : 0.0;
+  return r;
+}
+
+/// Minimal scanner for this bench's own JSON output: pairs each "label"
+/// string with the next "requests_per_s" number. Good enough for the
+/// baseline check without a general JSON parser.
+std::vector<std::pair<std::string, double>> read_baseline(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::pair<std::string, double>> cells;
+  if (!in) return cells;
+  std::string line;
+  std::string label;
+  while (std::getline(in, line)) {
+    const auto find_value = [&](const char* key) -> std::string {
+      const auto k = line.find(key);
+      if (k == std::string::npos) return {};
+      const auto colon = line.find(':', k);
+      if (colon == std::string::npos) return {};
+      return line.substr(colon + 1);
+    };
+    if (std::string v = find_value("\"label\""); !v.empty()) {
+      const auto open = v.find('"');
+      const auto close = v.find('"', open + 1);
+      if (open != std::string::npos && close != std::string::npos) {
+        label = v.substr(open + 1, close - open - 1);
+      }
+    } else if (std::string v = find_value("\"requests_per_s\""); !v.empty()) {
+      if (!label.empty()) {
+        cells.emplace_back(label, std::strtod(v.c_str(), nullptr));
+        label.clear();
+      }
+    }
+  }
+  return cells;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_hotpath.json";
+  std::string check_path;
+  double tolerance = 0.20;
+  double min_time_ms = 500.0;
+  int min_iters = 3;
+  bool fastpath = true;
+
+  if (const char* env = std::getenv("MCM_PERF_TOLERANCE")) {
+    tolerance = std::strtod(env, nullptr);
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      check_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
+      tolerance = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--min-time-ms") == 0 && i + 1 < argc) {
+      min_time_ms = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--min-iters") == 0 && i + 1 < argc) {
+      min_iters = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--no-fastpath") == 0) {
+      fastpath = false;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+
+  auto cfg = core::ExperimentConfig::paper_defaults();
+  cfg.base.controller.stream_row_hits = fastpath;
+
+  // The paper's headline cell (720p30, 4 ch) plus a single-channel contrast
+  // point and two heavier formats that stress queue pressure differently.
+  const std::vector<Cell> cells = {
+      {video::H264Level::k31, 1},
+      {video::H264Level::k31, 4},
+      {video::H264Level::k40, 4},
+      {video::H264Level::k42, 4},
+  };
+
+  std::printf("HOT-PATH THROUGHPUT (400 MHz, fast path %s)\n\n",
+              fastpath ? "on" : "off");
+  std::printf("%-18s %10s %6s %12s %12s %14s\n", "cell", "requests", "iters",
+              "best [ms]", "mean [ms]", "requests/s");
+
+  obs::JsonValue root = obs::JsonValue::object();
+  root["schema"] = "mcm.bench_hotpath/v1";
+  root["freq_mhz"] = 400.0;
+  root["fastpath"] = fastpath;
+  auto& arr = root["cells"];
+  arr = obs::JsonValue::array();
+
+  std::vector<CellResult> results;
+  for (const auto& cell : cells) {
+    CellResult r = run_cell(cfg, cell, min_time_ms, min_iters);
+    std::printf("%-18s %10llu %6d %12.2f %12.2f %14.0f\n", r.label.c_str(),
+                static_cast<unsigned long long>(r.requests), r.iters,
+                r.wall_ms_best, r.wall_ms_mean, r.requests_per_s);
+    obs::JsonValue c = obs::JsonValue::object();
+    c["label"] = r.label;
+    c["level"] = r.level_name;
+    c["channels"] = r.channels;
+    c["requests"] = r.requests;
+    c["iters"] = r.iters;
+    c["wall_ms_best"] = r.wall_ms_best;
+    c["wall_ms_mean"] = r.wall_ms_mean;
+    c["requests_per_s"] = r.requests_per_s;
+    arr.push(std::move(c));
+    results.push_back(std::move(r));
+  }
+
+  if (!check_path.empty()) {
+    const auto baseline = read_baseline(check_path);
+    if (baseline.empty()) {
+      std::fprintf(stderr, "cannot read baseline '%s'\n", check_path.c_str());
+      return 2;
+    }
+    bool ok = true;
+    std::printf("\nBaseline check vs %s (tolerance %.0f %%):\n",
+                check_path.c_str(), tolerance * 100.0);
+    for (const auto& [label, base_rps] : baseline) {
+      const CellResult* cur = nullptr;
+      for (const auto& r : results) {
+        if (r.label == label) cur = &r;
+      }
+      if (cur == nullptr) {
+        std::printf("  %-18s MISSING from current run\n", label.c_str());
+        ok = false;
+        continue;
+      }
+      const double ratio = base_rps > 0 ? cur->requests_per_s / base_rps : 1.0;
+      const bool pass = ratio >= 1.0 - tolerance;
+      std::printf("  %-18s %14.0f -> %14.0f  (%+.1f %%) %s\n", label.c_str(),
+                  base_rps, cur->requests_per_s, (ratio - 1.0) * 100.0,
+                  pass ? "ok" : "REGRESSION");
+      ok = ok && pass;
+    }
+    if (!ok) {
+      std::fprintf(stderr,
+                   "\nperf smoke FAILED: requests/s dropped more than %.0f %% "
+                   "below the baseline.\nIf the regression is intended, refresh "
+                   "the baseline (docs/performance.md).\n",
+                   tolerance * 100.0);
+      return 1;
+    }
+    std::printf("perf smoke ok\n");
+  }
+
+  std::ofstream out(out_path);
+  if (out) {
+    root.dump(out, 2);
+    out << "\n";
+    std::printf("\n[baseline: %s]\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+  }
+  return 0;
+}

@@ -14,12 +14,21 @@ MemoryController::MemoryController(const dram::DeviceSpec& spec, Frequency freq,
       mapper_(spec.org, mux),
       cluster_(spec.org),
       cfg_(cfg),
+      queue_(cfg.queue_depth),
+      open_rows_(spec.org.banks, kNoOpenRow),
       next_ref_due_(d_.cycles(d_.trefi)),
-      bank_accesses_(spec.org.banks, 0) {}
+      bank_accesses_(spec.org.banks, 0) {
+  if (cfg_.record_trace && cfg_.trace_reserve > 0) {
+    trace_.reserve(cfg_.trace_reserve);
+  }
+  stream_.reserve(cfg_.queue_depth);
+}
 
 void MemoryController::enqueue(const Request& r) {
   assert(can_accept());
-  queue_.push_back(r);
+  // Decode once here; pick_best and the fast path rank candidates from the
+  // cached {bank, row} without ever touching the mapper again.
+  queue_.push(r, mapper_.decode(r.addr));
   stats_.queue_depth.add(static_cast<double>(queue_.size()));
 }
 
@@ -35,38 +44,44 @@ Time MemoryController::issue_edge(Time t) {
   return at;
 }
 
-std::size_t MemoryController::pick_best() const {
+void MemoryController::close_row(Time tp, std::uint32_t b) {
+  cluster_.precharge(tp, b, d_);
+  open_rows_[b] = kNoOpenRow;
+  ++stats_.precharges;
+  record(tp, dram::Command::kPrecharge, b);
+}
+
+std::uint32_t MemoryController::pick_best() const {
   assert(!queue_.empty());
-  if (cfg_.scheduler == SchedulerPolicy::kFcfs || queue_.size() == 1) return 0;
-  if (head_skips_ >= cfg_.max_skips) return 0;  // starvation guard
+  const std::uint32_t head = queue_.head();
+  if (cfg_.scheduler == SchedulerPolicy::kFcfs || queue_.size() == 1) return head;
+  if (head_skips_ >= cfg_.max_skips) return head;  // starvation guard
 
   // Ready requests (arrival reached) compete FR-FCFS style: row hits first,
   // then matching bus direction, then queue order. When nothing is ready the
   // earliest arrival is served - a future-dated request must never block an
   // earlier one behind it (paced sources depend on this).
-  std::size_t best_ready = queue_.size();
+  std::uint32_t best_ready = RequestQueue::kNil;
   int best_rank = -1;
-  std::size_t earliest = 0;
+  std::uint32_t earliest = head;
   Time earliest_arrival = Time::max();
-  for (std::size_t i = 0; i < queue_.size(); ++i) {
-    const Request& r = queue_[i];
-    if (r.arrival < earliest_arrival) {
-      earliest_arrival = r.arrival;
-      earliest = i;
+  for (std::uint32_t s = head; s != RequestQueue::kNil; s = queue_.next(s)) {
+    const RequestQueue::Entry& e = queue_.entry(s);
+    if (e.req.arrival < earliest_arrival) {
+      earliest_arrival = e.req.arrival;
+      earliest = s;
     }
-    if (r.arrival > horizon_) continue;  // not ready
-    const DecodedAddress da = mapper_.decode(r.addr);
-    const dram::Bank& bank = cluster_.bank(da.bank);
-    const bool hit = bank.row_open() && bank.open_row() == da.row;
-    const bool same_dir = bus_used_ && r.is_write == last_data_write_;
+    if (e.req.arrival > horizon_) continue;  // not ready
+    const bool hit = open_rows_[e.da.bank] == static_cast<std::int64_t>(e.da.row);
+    const bool same_dir = bus_used_ && e.req.is_write == last_data_write_;
     const int rank = (hit ? 2 : 0) + (same_dir ? 1 : 0);
     if (rank > best_rank) {
       best_rank = rank;
-      best_ready = i;
-      if (rank == 3 && i == 0) break;  // front request is already optimal
+      best_ready = s;
+      if (rank == 3 && s == head) break;  // front request is already optimal
     }
   }
-  return best_ready < queue_.size() ? best_ready : earliest;
+  return best_ready != RequestQueue::kNil ? best_ready : earliest;
 }
 
 bool MemoryController::selfrefresh_eligible(Time until) const {
@@ -93,12 +108,10 @@ Time MemoryController::account_idle_until(Time t) {
     // reaching this branch).
     Time last_pre = Time{-1};
     for (std::uint32_t b = 0; b < cluster_.bank_count(); ++b) {
-      if (!cluster_.bank(b).row_open()) continue;
+      if (open_rows_[b] == kNoOpenRow) continue;
       const Time tp = issue_edge(max(clock_.next_edge(horizon_),
                                      cluster_.earliest_precharge(b)));
-      cluster_.precharge(tp, b, d_);
-      ++stats_.precharges;
-      record(tp, dram::Command::kPrecharge, b);
+      close_row(tp, b);
       last_pre = max(last_pre, tp);
     }
     Time sre =
@@ -147,11 +160,9 @@ void MemoryController::perform_refresh(Time not_before) {
   // Close any open rows.
   Time t = clock_.next_edge(max(horizon_, not_before));
   for (std::uint32_t b = 0; b < cluster_.bank_count(); ++b) {
-    if (!cluster_.bank(b).row_open()) continue;
+    if (open_rows_[b] == kNoOpenRow) continue;
     const Time tp = issue_edge(max(t, cluster_.earliest_precharge(b)));
-    cluster_.precharge(tp, b, d_);
-    ++stats_.precharges;
-    record(tp, dram::Command::kPrecharge, b);
+    close_row(tp, b);
   }
   const Time tr = issue_edge(cluster_.earliest_refresh());
   cluster_.refresh(tr, d_);
@@ -194,10 +205,107 @@ void MemoryController::flush_refresh_debt() {
 
 Completion MemoryController::process_one() {
   assert(has_pending());
-  const std::size_t idx = pick_best();
-  head_skips_ = idx == 0 ? 0 : head_skips_ + 1;
-  const Request r = queue_[idx];
-  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+  if (stream_pos_ < stream_.size()) return pop_stream();
+  if (try_stream()) return pop_stream();
+  return process_one_slow();
+}
+
+Completion MemoryController::pop_stream() {
+  const Completion c = stream_[stream_pos_++];
+  queue_.pop(queue_.head());
+  head_skips_ = 0;
+  horizon_ = max(horizon_, c.done);
+  if (stream_pos_ == stream_.size()) {
+    stream_.clear();
+    stream_pos_ = 0;
+  }
+  return c;
+}
+
+bool MemoryController::try_stream() {
+  // The fast path covers exactly the state where the slow path degenerates
+  // to a bare column command: open-page policy, a warm data bus, and a head
+  // request that is a ready row hit travelling in the bus's current
+  // direction. Under FR-FCFS such a head ranks 3 (hit + same direction) and
+  // short-circuits pick_best; under FCFS the head is always picked. With the
+  // arrival at or before the horizon, idle accounting books nothing, and
+  // with the next refresh due beyond the horizon the refresh machinery is a
+  // no-op - so issuing the column command directly is bit-identical.
+  if (!cfg_.stream_row_hits || cfg_.page_policy != PagePolicy::kOpen ||
+      !bus_used_) {
+    return false;
+  }
+  assert(stream_.empty());
+
+  const bool writing = last_data_write_;
+  Time h = horizon_;          // simulated per-request horizon
+  Time busy = Time::zero();   // bulk active-standby residency
+
+  for (std::uint32_t s = queue_.head(); s != RequestQueue::kNil;
+       s = queue_.next(s)) {
+    const RequestQueue::Entry& e = queue_.entry(s);
+    if (e.req.is_write != writing) break;  // direction change ends the run
+    if (open_rows_[e.da.bank] != static_cast<std::int64_t>(e.da.row)) break;
+    const Time arrival_edge = clock_.next_edge(max(e.req.arrival, Time::zero()));
+    if (arrival_edge > h) break;    // idle gap: the slow path books residency
+    if (next_ref_due_ <= h) break;  // a refresh (or postpone) interposes
+
+    // The slow path's column command, verbatim, minus the branches the run
+    // conditions above have already discharged.
+    Time tc = max(arrival_edge, cluster_.earliest_cas(e.da.bank));
+    Time data_end;
+    if (writing) {
+      tc = max(tc, bus_free_ - d_.cycles(d_.cwl));  // same direction: no gap
+      tc = issue_edge(tc);
+      data_end = cluster_.write(tc, e.da.bank, d_);
+      record(tc, dram::Command::kWrite, e.da.bank);
+      last_wr_data_end_ = data_end;
+      ++stats_.writes;
+      ++ledger_.n_wr;
+    } else {
+      tc = max(tc, last_wr_data_end_ + d_.cycles(d_.twtr));  // tWTR
+      tc = max(tc, bus_free_ - d_.cycles(d_.cl));
+      tc = issue_edge(tc);
+      data_end = cluster_.read(tc, e.da.bank, d_);
+      record(tc, dram::Command::kRead, e.da.bank);
+      ++stats_.reads;
+      ++ledger_.n_rd;
+    }
+    bus_free_ = data_end;
+    ++stats_.row_hits;
+    stats_.bytes += spec_.org.bytes_per_burst();
+    stats_.latency_hist_ns.add((data_end - e.req.arrival).ns());
+    ++bank_accesses_[e.da.bank];
+    if (trace_sink_ != nullptr) {
+      trace_sink_->span(trace_channel_, e.req.addr, e.req.is_write,
+                        e.req.arrival, tc, data_end, true);
+    }
+    stream_.push_back(Completion{e.req, tc, data_end, true});
+    if (data_end > h) {
+      busy += data_end - h;
+      h = data_end;
+    }
+  }
+  if (stream_.empty()) return false;
+  // Residency telescopes over the run: each request's (data_end - horizon)
+  // increment sums to the run's total busy extension.
+  ledger_.add_residency(dram::PowerState::kActiveStandby, busy);
+  return true;
+}
+
+Completion MemoryController::process_one_slow() {
+  const std::uint32_t idx = pick_best();
+  if (idx == queue_.head()) {
+    head_skips_ = 0;
+  } else if (queue_.front().req.arrival <= horizon_) {
+    // Only a genuine bypass of a *ready* head counts toward starvation; a
+    // future-dated head served via the earliest-arrival fallback is not
+    // being starved.
+    ++head_skips_;
+  }
+  const RequestQueue::Entry entry = queue_.pop(idx);
+  const Request& r = entry.req;
+  const DecodedAddress& da = entry.da;
 
   // Serve (or postpone) any due refreshes first - unless the idle gap up to
   // the arrival will be spent in self refresh, which keeps the cells alive
@@ -218,8 +326,6 @@ Completion MemoryController::process_one() {
   account_idle_until(arrival_edge);
   const Time t = arrival_edge;
 
-  const DecodedAddress da = mapper_.decode(r.addr);
-  const dram::Bank& bank = cluster_.bank(da.bank);
   const Time busy_from = horizon_;
 
   bool row_hit = false;
@@ -229,19 +335,20 @@ Completion MemoryController::process_one() {
   // Timeout page policy: a row that has idled past the threshold counts as
   // closed (a real controller would have precharged it; we issue the PRE
   // now, which is timing-conservative).
+  const bool row_open = open_rows_[da.bank] != kNoOpenRow;
   const bool stale =
-      cfg_.page_policy == PagePolicy::kTimeout && bank.row_open() &&
-      t > bank.last_use() + d_.cycles(static_cast<int>(cfg_.page_timeout_cycles));
+      cfg_.page_policy == PagePolicy::kTimeout && row_open &&
+      t > cluster_.bank(da.bank).last_use() +
+              d_.cycles(static_cast<int>(cfg_.page_timeout_cycles));
 
-  if (bank.row_open() && bank.open_row() == da.row && !stale) {
+  if (row_open && open_rows_[da.bank] == static_cast<std::int64_t>(da.row) &&
+      !stale) {
     row_hit = true;
     ++stats_.row_hits;
   } else {
-    if (bank.row_open()) {
+    if (row_open) {
       const Time tp = issue_edge(max(t, cluster_.earliest_precharge(da.bank)));
-      cluster_.precharge(tp, da.bank, d_);
-      ++stats_.precharges;
-      record(tp, dram::Command::kPrecharge, da.bank);
+      close_row(tp, da.bank);
       first_cmd = tp;
       have_first_cmd = true;
       ++stats_.row_conflicts;
@@ -250,6 +357,7 @@ Completion MemoryController::process_one() {
     }
     const Time ta = issue_edge(max(t, cluster_.earliest_activate(da.bank)));
     cluster_.activate(ta, da.bank, da.row, d_);
+    open_rows_[da.bank] = da.row;
     ++stats_.activates;
     ++ledger_.n_act;
     record(ta, dram::Command::kActivate, da.bank, da.row);
@@ -305,9 +413,7 @@ Completion MemoryController::process_one() {
   // Closed-page policy: precharge immediately after the access.
   if (cfg_.page_policy == PagePolicy::kClosed) {
     const Time tp = issue_edge(cluster_.earliest_precharge(da.bank));
-    cluster_.precharge(tp, da.bank, d_);
-    ++stats_.precharges;
-    record(tp, dram::Command::kPrecharge, da.bank);
+    close_row(tp, da.bank);
     if (tp + d_.cycles(1) > horizon_) {
       ledger_.add_residency(dram::PowerState::kActiveStandby,
                             tp + d_.cycles(1) - horizon_);
@@ -322,11 +428,9 @@ void MemoryController::finalize(Time end) {
   assert(queue_.empty());
   // Precharge open rows so the idle tail sits in (deep) precharge power-down.
   for (std::uint32_t b = 0; b < cluster_.bank_count(); ++b) {
-    if (!cluster_.bank(b).row_open()) continue;
+    if (open_rows_[b] == kNoOpenRow) continue;
     const Time tp = issue_edge(cluster_.earliest_precharge(b));
-    cluster_.precharge(tp, b, d_);
-    ++stats_.precharges;
-    record(tp, dram::Command::kPrecharge, b);
+    close_row(tp, b);
     if (tp + d_.cycles(1) > horizon_) {
       ledger_.add_residency(dram::PowerState::kActiveStandby,
                             tp + d_.cycles(1) - horizon_);

@@ -6,7 +6,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -14,6 +13,7 @@
 #include "controller/address_mapping.hpp"
 #include "controller/policies.hpp"
 #include "controller/request.hpp"
+#include "controller/request_queue.hpp"
 #include "dram/bank_cluster.hpp"
 #include "dram/command.hpp"
 #include "dram/energy.hpp"
@@ -102,7 +102,27 @@ class MemoryController {
   }
 
  private:
-  [[nodiscard]] std::size_t pick_best() const;
+  /// FR-FCFS candidate selection; returns a queue slot index.
+  [[nodiscard]] std::uint32_t pick_best() const;
+
+  /// Full per-request service: refresh handling, idle accounting, PRE/ACT as
+  /// needed, then the column command.
+  Completion process_one_slow();
+
+  /// Row-hit streaming fast path: when the head of the queue starts a run of
+  /// ready, same-direction row hits with no refresh due inside it, issue the
+  /// whole run analytically in one step (bulk stats/energy/trace booking)
+  /// into stream_. Returns false when the head does not qualify; the
+  /// completions are then handed out one per process_one() call with the
+  /// public horizon advancing per request, so the engine-visible behavior is
+  /// bit-identical to the slow path. See docs/performance.md.
+  bool try_stream();
+
+  /// Hand out the next buffered fast-path completion.
+  Completion pop_stream();
+
+  /// Precharge bank `b` at `tp`: DRAM state, open-row cache, stats, trace.
+  void close_row(Time tp, std::uint32_t b);
 
   /// Book idle residency from horizon_ up to `t` (entering power-down or
   /// self refresh when the gap allows) and return the earliest legal command
@@ -135,8 +155,18 @@ class MemoryController {
   dram::BankCluster cluster_;
   ControllerConfig cfg_;
 
-  std::deque<Request> queue_;
+  RequestQueue queue_;
   std::uint32_t head_skips_ = 0;
+
+  /// Per-bank open row (kNoOpenRow = precharged), mirrored from the bank
+  /// cluster so FR-FCFS ranking and hit detection stay out of Bank getters
+  /// in the inner scan.
+  static constexpr std::int64_t kNoOpenRow = -1;
+  std::vector<std::int64_t> open_rows_;
+
+  /// Buffered fast-path completions (stream_pos_ = next to hand out).
+  std::vector<Completion> stream_;
+  std::size_t stream_pos_ = 0;
 
   Time cmd_free_ = Time::zero();       // earliest edge for the next command
   Time bus_free_ = Time::zero();       // end of last data transfer

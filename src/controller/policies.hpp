@@ -54,8 +54,18 @@ struct ControllerConfig {
   /// Skip limit before the oldest request is forced (starvation guard).
   std::uint32_t max_skips = 128;
 
+  /// Row-hit streaming fast path: serve head-of-queue runs of ready,
+  /// same-direction row hits analytically in one step instead of walking the
+  /// full per-request machinery. Bit-identical to the slow path (see
+  /// docs/performance.md for the invariants); off = always slow path.
+  bool stream_row_hits = true;
+
   /// Record the full DRAM command trace (tests / debugging; costs memory).
   bool record_trace = false;
+
+  /// Reserve hint for the recorded command trace (entries). Only used when
+  /// record_trace is set; avoids repeated growth reallocation on long runs.
+  std::size_t trace_reserve = 4096;
 };
 
 }  // namespace mcm::ctrl

@@ -1,0 +1,108 @@
+// Fixed-capacity request queue for the controller hot path: an indexed ring
+// of stable slots (one contiguous allocation, no per-request heap traffic)
+// threaded by an intrusive FIFO list, with a free list for O(1) slot reuse.
+//
+// Why not a vector/deque: FR-FCFS dequeues from the middle, which costs O(n)
+// element moves per request in a contiguous container and invalidates
+// references. Here a middle dequeue is an O(1) unlink, slots never move, and
+// the FR-FCFS scan walks a small fixed array in FIFO order via the links.
+// Each entry carries the request's decoded {bank, row, column} so the
+// scheduler never re-touches the address mapper after enqueue.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "controller/address_mapping.hpp"
+#include "controller/request.hpp"
+
+namespace mcm::ctrl {
+
+class RequestQueue {
+ public:
+  /// Sentinel slot index terminating the FIFO links.
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  struct Entry {
+    Request req;
+    DecodedAddress da;  // decoded once at enqueue
+    std::uint32_t next = kNil;
+    std::uint32_t prev = kNil;
+  };
+
+  explicit RequestQueue(std::size_t capacity) : slots_(capacity) {
+    free_.reserve(capacity);
+    // Free slots popped back-to-front so the first pushes take slots 0, 1, ...
+    for (std::size_t i = capacity; i > 0; --i) {
+      free_.push_back(static_cast<std::uint32_t>(i - 1));
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool full() const { return free_.empty(); }
+
+  /// Oldest entry's slot (kNil when empty).
+  [[nodiscard]] std::uint32_t head() const { return head_; }
+  /// FIFO successor of `slot` (kNil at the tail).
+  [[nodiscard]] std::uint32_t next(std::uint32_t slot) const {
+    return slots_[slot].next;
+  }
+  [[nodiscard]] const Entry& entry(std::uint32_t slot) const {
+    return slots_[slot];
+  }
+  [[nodiscard]] const Entry& front() const {
+    assert(!empty());
+    return slots_[head_];
+  }
+
+  /// Append at the FIFO tail; returns the slot taken.
+  std::uint32_t push(const Request& r, const DecodedAddress& da) {
+    assert(!full());
+    const std::uint32_t s = free_.back();
+    free_.pop_back();
+    Entry& e = slots_[s];
+    e.req = r;
+    e.da = da;
+    e.next = kNil;
+    e.prev = tail_;
+    if (tail_ != kNil) {
+      slots_[tail_].next = s;
+    } else {
+      head_ = s;
+    }
+    tail_ = s;
+    ++size_;
+    return s;
+  }
+
+  /// Unlink any live slot (head or middle) in O(1); returns its entry.
+  Entry pop(std::uint32_t slot) {
+    assert(size_ > 0);
+    const Entry e = slots_[slot];
+    if (e.prev != kNil) {
+      slots_[e.prev].next = e.next;
+    } else {
+      head_ = e.next;
+    }
+    if (e.next != kNil) {
+      slots_[e.next].prev = e.prev;
+    } else {
+      tail_ = e.prev;
+    }
+    free_.push_back(slot);
+    --size_;
+    return e;
+  }
+
+ private:
+  std::vector<Entry> slots_;
+  std::vector<std::uint32_t> free_;  // reusable slot indices (LIFO)
+  std::uint32_t head_ = kNil;
+  std::uint32_t tail_ = kNil;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mcm::ctrl

@@ -126,8 +126,7 @@ FrameSimResult FrameSimulator::run(const multichannel::SystemConfig& system,
     const auto feed_paced = [&](Time up_to) {
       while (load::TrafficSource* p = next_paced()) {
         if (p->head().arrival > up_to) break;
-        if (sys.can_accept(p->head().addr)) {
-          sys.submit(p->head());
+        if (sys.try_submit(p->head())) {
           p->advance();
           if (frame == 0) bytes_first_frame += burst;
         } else if (auto c = sys.process_next()) {
@@ -154,9 +153,7 @@ FrameSimResult FrameSimulator::run(const multichannel::SystemConfig& system,
       current_stage_id = src->done() ? 0xffff : src->head().source;
       while (!src->done()) {
         feed_paced(sys.max_horizon());
-        const ctrl::Request r = src->head();
-        if (sys.can_accept(r.addr)) {
-          sys.submit(r);
+        if (sys.try_submit(src->head())) {
           src->advance();
           stage_bytes += burst;
         } else if (auto c = sys.process_next()) {
@@ -182,8 +179,7 @@ FrameSimResult FrameSimulator::run(const multichannel::SystemConfig& system,
     if (!paced.empty()) {
       current_stage_id = 0xffff;  // every completion from here on is paced
       while (load::TrafficSource* p = next_paced()) {
-        if (sys.can_accept(p->head().addr)) {
-          sys.submit(p->head());
+        if (sys.try_submit(p->head())) {
           p->advance();
           if (frame == 0) bytes_first_frame += burst;
         } else if (auto c = sys.process_next()) {

@@ -22,6 +22,35 @@ MemorySystem::MemorySystem(const SystemConfig& cfg)
     channels_.emplace_back(cfg.device, cfg.freq, cfg.mux, cfg.controller,
                            cfg.interconnect, cfg.interface);
   }
+  ready_heap_.reserve(cfg.channels);
+}
+
+void MemorySystem::heap_push(std::uint32_t ch) {
+  ready_heap_.push_back(ReadySlot{channels_[ch].horizon(), ch});
+  std::size_t i = ready_heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!ready_before(ready_heap_[i], ready_heap_[parent])) break;
+    std::swap(ready_heap_[i], ready_heap_[parent]);
+    i = parent;
+  }
+}
+
+void MemorySystem::heap_sift_down(std::size_t i) {
+  const std::size_t n = ready_heap_.size();
+  const ReadySlot moving = ready_heap_[i];
+  while (true) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n &&
+        ready_before(ready_heap_[child + 1], ready_heap_[child])) {
+      ++child;
+    }
+    if (!ready_before(ready_heap_[child], moving)) break;
+    ready_heap_[i] = ready_heap_[child];
+    i = child;
+  }
+  ready_heap_[i] = moving;
 }
 
 std::uint64_t MemorySystem::capacity_bytes() const {
@@ -40,7 +69,22 @@ void MemorySystem::submit(const ctrl::Request& r) {
   ctrl::Request local = r;
   local.addr = routed.local;
   ++route_counts_[routed.channel];
+  const bool was_pending = channels_[routed.channel].has_pending();
   channels_[routed.channel].enqueue(local);
+  if (!was_pending) heap_push(routed.channel);
+}
+
+bool MemorySystem::try_submit(const ctrl::Request& r) {
+  const RoutedAddress routed = interleaver_.route(r.addr);
+  channel::Channel& c = channels_[routed.channel];
+  if (!c.can_accept()) return false;
+  ctrl::Request local = r;
+  local.addr = routed.local;
+  ++route_counts_[routed.channel];
+  const bool was_pending = c.has_pending();
+  c.enqueue(local);
+  if (!was_pending) heap_push(routed.channel);
+  return true;
 }
 
 bool MemorySystem::any_pending() const {
@@ -51,13 +95,20 @@ bool MemorySystem::any_pending() const {
 }
 
 std::optional<ctrl::Completion> MemorySystem::process_next() {
-  channel::Channel* best = nullptr;
-  for (auto& c : channels_) {
-    if (!c.has_pending()) continue;
-    if (best == nullptr || c.horizon() < best->horizon()) best = &c;
+  if (ready_heap_.empty()) return std::nullopt;
+  channel::Channel& c = channels_[ready_heap_.front().channel];
+  assert(c.has_pending());
+  const ctrl::Completion done = c.process_one();
+  const Time h = c.horizon();
+  if (h > max_horizon_) max_horizon_ = h;
+  if (c.has_pending()) {
+    ready_heap_.front().horizon = h;  // re-key in place
+  } else {
+    ready_heap_.front() = ready_heap_.back();  // drained: swap-remove
+    ready_heap_.pop_back();
   }
-  if (best == nullptr) return std::nullopt;
-  return best->process_one();
+  if (!ready_heap_.empty()) heap_sift_down(0);
+  return done;
 }
 
 Time MemorySystem::drain() {
@@ -68,7 +119,10 @@ Time MemorySystem::drain() {
 
 void MemorySystem::finalize(Time end) {
   assert(!any_pending());
-  for (auto& c : channels_) c.finalize(end);
+  for (auto& c : channels_) {
+    c.finalize(end);
+    if (c.horizon() > max_horizon_) max_horizon_ = c.horizon();
+  }
 }
 
 SystemStats MemorySystem::stats() const {
@@ -171,10 +225,5 @@ SystemPowerReport MemorySystem::power(Time window) const {
   return r;
 }
 
-Time MemorySystem::max_horizon() const {
-  Time t = Time::zero();
-  for (const auto& c : channels_) t = max(t, c.horizon());
-  return t;
-}
 
 }  // namespace mcm::multichannel

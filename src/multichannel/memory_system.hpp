@@ -100,6 +100,10 @@ class MemorySystem {
   /// Route and enqueue. Precondition: can_accept(r.addr).
   void submit(const ctrl::Request& r);
 
+  /// Route once and enqueue if the target channel has room. Equivalent to
+  /// `can_accept(r.addr) && (submit(r), true)` with a single address route.
+  bool try_submit(const ctrl::Request& r);
+
   [[nodiscard]] bool any_pending() const;
 
   /// Serve one request on the most-behind pending channel (keeps the
@@ -115,8 +119,9 @@ class MemorySystem {
   [[nodiscard]] SystemStats stats() const;
   [[nodiscard]] SystemPowerReport power(Time window) const;
 
-  /// Latest horizon across channels (time committed so far).
-  [[nodiscard]] Time max_horizon() const;
+  /// Latest horizon across channels (time committed so far). Horizons only
+  /// advance, so this is tracked incrementally instead of scanned.
+  [[nodiscard]] Time max_horizon() const { return max_horizon_; }
 
   /// Requests routed to each channel by the interleaver (index = channel).
   [[nodiscard]] const std::vector<std::uint64_t>& route_counts() const {
@@ -134,10 +139,36 @@ class MemorySystem {
                        const std::string& prefix = "") const;
 
  private:
+  /// Min-heap of pending channels keyed by (horizon, channel index) so
+  /// process_next is O(log M) instead of a linear scan over every channel.
+  /// Each pending channel appears exactly once; a channel's key only moves
+  /// while it is at the top (process_one), so an in-place re-key of the
+  /// root plus one sift-down keeps the heap valid (update-on-pop).
+  struct ReadySlot {
+    Time horizon;
+    std::uint32_t channel;
+  };
+
+  /// Strict order: smaller horizon first, ties to the lowest channel index -
+  /// the same channel a linear scan would pick, so the multi-channel
+  /// interleaving is unchanged.
+  static bool ready_before(const ReadySlot& a, const ReadySlot& b) {
+    if (a.horizon != b.horizon) return a.horizon < b.horizon;
+    return a.channel < b.channel;
+  }
+
+  /// Add newly-pending channel `ch` to the ready heap (sift-up).
+  void heap_push(std::uint32_t ch);
+
+  /// Restore the heap property downward from slot `i` after a re-key.
+  void heap_sift_down(std::size_t i);
+
   SystemConfig cfg_;
   Interleaver interleaver_;
   std::vector<channel::Channel> channels_;
   std::vector<std::uint64_t> route_counts_;
+  std::vector<ReadySlot> ready_heap_;
+  Time max_horizon_ = Time::zero();
 };
 
 }  // namespace mcm::multichannel

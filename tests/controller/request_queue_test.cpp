@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "controller/request_queue.hpp"
+
+namespace mcm::ctrl {
+namespace {
+
+Request req(std::uint64_t addr) { return Request{addr, false, Time::zero(), 0}; }
+
+DecodedAddress da(std::uint32_t bank, std::uint32_t row) {
+  DecodedAddress d;
+  d.bank = bank;
+  d.row = row;
+  return d;
+}
+
+std::vector<std::uint64_t> fifo_addrs(const RequestQueue& q) {
+  std::vector<std::uint64_t> out;
+  for (std::uint32_t s = q.head(); s != RequestQueue::kNil; s = q.next(s)) {
+    out.push_back(q.entry(s).req.addr);
+  }
+  return out;
+}
+
+TEST(RequestQueue, PushPopKeepsFifoOrder) {
+  RequestQueue q(4);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.capacity(), 4u);
+  q.push(req(10), da(0, 0));
+  q.push(req(20), da(1, 0));
+  q.push(req(30), da(2, 0));
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(fifo_addrs(q), (std::vector<std::uint64_t>{10, 20, 30}));
+  EXPECT_EQ(q.pop(q.head()).req.addr, 10u);
+  EXPECT_EQ(q.pop(q.head()).req.addr, 20u);
+  EXPECT_EQ(q.pop(q.head()).req.addr, 30u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(RequestQueue, MiddleUnlinkPreservesOrderOfRest) {
+  RequestQueue q(4);
+  q.push(req(1), da(0, 0));
+  const std::uint32_t mid = q.push(req(2), da(0, 1));
+  q.push(req(3), da(0, 2));
+  EXPECT_EQ(q.pop(mid).req.addr, 2u);
+  EXPECT_EQ(fifo_addrs(q), (std::vector<std::uint64_t>{1, 3}));
+}
+
+TEST(RequestQueue, TailUnlinkThenPushAppendsAtEnd) {
+  RequestQueue q(4);
+  q.push(req(1), da(0, 0));
+  const std::uint32_t tail = q.push(req(2), da(0, 1));
+  q.pop(tail);
+  q.push(req(3), da(0, 2));
+  EXPECT_EQ(fifo_addrs(q), (std::vector<std::uint64_t>{1, 3}));
+}
+
+TEST(RequestQueue, SlotsAreReusedWithoutGrowth) {
+  RequestQueue q(2);
+  for (int i = 0; i < 100; ++i) {
+    q.push(req(static_cast<std::uint64_t>(i)), da(0, 0));
+    q.push(req(static_cast<std::uint64_t>(i) + 1000), da(0, 1));
+    EXPECT_TRUE(q.full());
+    EXPECT_EQ(q.pop(q.head()).req.addr, static_cast<std::uint64_t>(i));
+    EXPECT_EQ(q.pop(q.head()).req.addr, static_cast<std::uint64_t>(i) + 1000);
+    EXPECT_TRUE(q.empty());
+  }
+}
+
+TEST(RequestQueue, CarriesDecodedAddress) {
+  RequestQueue q(2);
+  const std::uint32_t s = q.push(req(42), da(3, 17));
+  EXPECT_EQ(q.entry(s).da.bank, 3u);
+  EXPECT_EQ(q.entry(s).da.row, 17u);
+  EXPECT_EQ(q.front().da.bank, 3u);
+}
+
+}  // namespace
+}  // namespace mcm::ctrl
