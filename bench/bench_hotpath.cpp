@@ -11,6 +11,8 @@
 //   bench_hotpath --out <path>            # measure, write elsewhere
 //   bench_hotpath --check <baseline.json> # measure, fail on a >20 % drop
 //   bench_hotpath --check <b> --tolerance 0.3
+//   bench_hotpath --update [<baseline>]   # refresh the baseline in place,
+//                                         # printing the per-cell deltas
 //   bench_hotpath --no-fastpath           # measure with row-hit streaming off
 //
 // The tolerance can also come from MCM_PERF_TOLERANCE. Baseline numbers are
@@ -36,6 +38,7 @@ using namespace mcm;
 struct Cell {
   video::H264Level level;
   std::uint32_t channels;
+  unsigned sim_threads = 1;  // channel-sharded workers (pinned per cell)
 };
 
 struct CellResult {
@@ -61,6 +64,7 @@ CellResult run_cell(const core::ExperimentConfig& base, const Cell& cell,
   cfg.base.channels = cell.channels;
   cfg.base.freq = Frequency{400.0};
   cfg.usecase.level = cell.level;
+  cfg.sim.sim_threads = cell.sim_threads;
 
   const core::FrameSimulator sim(cfg.sim);
 
@@ -70,8 +74,15 @@ CellResult run_cell(const core::ExperimentConfig& base, const Cell& cell,
   r.channels = cell.channels;
   {
     char label[64];
-    std::snprintf(label, sizeof label, "%ux%u@%.0f/%uch", spec.resolution.width,
-                  spec.resolution.height, spec.fps, cell.channels);
+    if (cell.sim_threads > 1) {
+      std::snprintf(label, sizeof label, "%ux%u@%.0f/%uch/simt%u",
+                    spec.resolution.width, spec.resolution.height, spec.fps,
+                    cell.channels, cell.sim_threads);
+    } else {
+      std::snprintf(label, sizeof label, "%ux%u@%.0f/%uch",
+                    spec.resolution.width, spec.resolution.height, spec.fps,
+                    cell.channels);
+    }
     r.label = label;
   }
 
@@ -143,6 +154,7 @@ std::vector<std::pair<std::string, double>> read_baseline(const std::string& pat
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_hotpath.json";
   std::string check_path;
+  bool update = false;
   double tolerance = 0.20;
   double min_time_ms = 500.0;
   int min_iters = 3;
@@ -162,6 +174,9 @@ int main(int argc, char** argv) {
       min_time_ms = std::strtod(argv[++i], nullptr);
     } else if (std::strcmp(argv[i], "--min-iters") == 0 && i + 1 < argc) {
       min_iters = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--update") == 0) {
+      update = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--no-fastpath") == 0) {
       fastpath = false;
     } else {
@@ -175,11 +190,17 @@ int main(int argc, char** argv) {
 
   // The paper's headline cell (720p30, 4 ch) plus a single-channel contrast
   // point and two heavier formats that stress queue pressure differently.
+  // The simt cells track the channel-sharded parallel path: the same
+  // workload at 1 and 4 sim workers (on few-core runners the simt4 cells
+  // mostly measure handoff overhead; on wide machines, real speedup).
   const std::vector<Cell> cells = {
       {video::H264Level::k31, 1},
       {video::H264Level::k31, 4},
       {video::H264Level::k40, 4},
       {video::H264Level::k42, 4},
+      {video::H264Level::k31, 8},
+      {video::H264Level::k31, 4, 4},
+      {video::H264Level::k31, 8, 4},
   };
 
   std::printf("HOT-PATH THROUGHPUT (400 MHz, fast path %s)\n\n",
@@ -211,6 +232,32 @@ int main(int argc, char** argv) {
     c["requests_per_s"] = r.requests_per_s;
     arr.push(std::move(c));
     results.push_back(std::move(r));
+  }
+
+  if (update) {
+    const auto old = read_baseline(out_path);
+    if (old.empty()) {
+      std::fprintf(stderr,
+                   "--update: cannot read existing baseline '%s' "
+                   "(use --out to create one)\n",
+                   out_path.c_str());
+      return 2;
+    }
+    std::printf("\nRefreshing baseline %s:\n", out_path.c_str());
+    for (const auto& r : results) {
+      double old_rps = 0;
+      for (const auto& [label, rps] : old) {
+        if (label == r.label) old_rps = rps;
+      }
+      if (old_rps > 0) {
+        std::printf("  %-24s %14.0f -> %14.0f  (%+.1f %%)\n", r.label.c_str(),
+                    old_rps, r.requests_per_s,
+                    (r.requests_per_s / old_rps - 1.0) * 100.0);
+      } else {
+        std::printf("  %-24s %14s -> %14.0f  (new cell)\n", r.label.c_str(),
+                    "-", r.requests_per_s);
+      }
+    }
   }
 
   if (!check_path.empty()) {

@@ -65,7 +65,7 @@ class Channel {
   void finalize(Time end) { controller_.finalize(end); }
 
   /// Forward observability tracing into the controller (nullptr detaches).
-  void set_trace_sink(obs::TraceSink* sink, std::uint32_t channel_id) {
+  void set_trace_sink(obs::TraceWriter* sink, std::uint32_t channel_id) {
     controller_.set_trace_sink(sink, channel_id);
   }
 

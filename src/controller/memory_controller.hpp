@@ -21,7 +21,7 @@
 #include "sim/clock.hpp"
 
 namespace mcm::obs {
-class TraceSink;
+class TraceWriter;
 }  // namespace mcm::obs
 
 namespace mcm::ctrl {
@@ -96,7 +96,7 @@ class MemoryController {
 
   /// Attach (or detach with nullptr) a structured trace sink; every issued
   /// command and request span is forwarded tagged with `channel_id`.
-  void set_trace_sink(obs::TraceSink* sink, std::uint32_t channel_id) {
+  void set_trace_sink(obs::TraceWriter* sink, std::uint32_t channel_id) {
     trace_sink_ = sink;
     trace_channel_ = channel_id;
   }
@@ -181,7 +181,7 @@ class MemoryController {
   dram::EnergyLedger ledger_;
   std::vector<dram::CommandRecord> trace_;
   std::vector<std::uint64_t> bank_accesses_;
-  obs::TraceSink* trace_sink_ = nullptr;  // not owned; nullptr = disabled
+  obs::TraceWriter* trace_sink_ = nullptr;  // not owned; nullptr = disabled
   std::uint32_t trace_channel_ = 0;
 };
 

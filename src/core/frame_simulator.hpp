@@ -46,6 +46,15 @@ struct FrameSimOptions {
   /// traffic). 0 or 1 = every frame predicted (the paper's steady state).
   int gop_length = 0;
 
+  /// Worker threads for channel-sharded execution of kStateMachine runs
+  /// (0 = MCM_SIM_THREADS, default 1; clamped to the channel count).
+  /// Results are byte-identical at every setting.
+  unsigned sim_threads = 0;
+
+  /// Force the historical sequential feed loop instead of the sharded
+  /// engine (equivalence tests; kConcurrent always uses it).
+  bool legacy_feed = false;
+
   /// When non-empty, stream the full DRAM command + request-span trace of
   /// the run to this file as JSONL (schema mcm.trace/v1). Empty = no
   /// tracing; the only per-command cost is a null-pointer check.

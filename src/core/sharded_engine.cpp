@@ -1,0 +1,350 @@
+#include "core/sharded_engine.hpp"
+
+#include <atomic>
+#include <cassert>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "exec/thread_pool.hpp"
+
+namespace mcm::core {
+namespace {
+
+// Threshold ring capacity. Thresholds addressed to a channel are folded
+// into a running max by the owning worker every time it polls the cursor,
+// so the ring only holds the few entries published while the owner is busy
+// serving its own channels; 256 is orders of magnitude above that.
+constexpr std::uint32_t kRingCap = 256;
+
+/// Strict (horizon, channel) order — the sequential engine's channel-select
+/// key. `a` pops while its key is lexicographically below the threshold.
+bool key_less(std::int64_t ha, std::uint32_t ia, std::int64_t hb,
+              std::uint32_t ib) {
+  return ha < hb || (ha == hb && ia < ib);
+}
+
+struct alignas(64) ChanState {
+  struct Entry {
+    std::int64_t h_ps = 0;
+    std::uint32_t idx = 0;
+  };
+  // SPSC by construction: producers are serialized by cursor ownership
+  // (publishing happens strictly before the cursor bump, so the next
+  // producer's cursor acquire sees all prior ring writes); the single
+  // consumer is the worker that owns this channel.
+  Entry ring[kRingCap];
+  std::atomic<std::uint64_t> published{0};
+  std::atomic<std::uint64_t> consumed{0};
+
+  // Consumer-local state (also reset by the barrier's serial step, which
+  // is synchronized against every worker).
+  std::int64_t tmax_ps = 0;
+  std::uint32_t tmax_idx = 0;
+  bool tmax_valid = false;
+  std::uint64_t routed = 0;
+};
+
+struct Segment {
+  const load::CachedStage* stage = nullptr;
+  std::uint32_t burst = 0;
+  int frame = 0;
+  bool first_of_frame = false;
+  bool last_of_frame = false;
+};
+
+struct Shared {
+  multichannel::MemorySystem& sys;
+  const multichannel::Interleaver& il;
+  std::vector<Segment> segments;
+  Time period = Time::zero();
+  unsigned workers = 1;
+
+  std::atomic<std::uint64_t> cursor{0};
+  std::atomic<unsigned> arrived{0};
+  std::atomic<std::uint64_t> generation{0};
+  std::atomic<bool> failed{false};
+  bool oversubscribed = false;
+
+  // Written by the serial barrier step, read by workers after the next
+  // generation acquire.
+  Time arrival = Time::zero();
+
+  std::vector<ChanState> chans;
+  std::vector<Time> slot_last_done;  // per worker
+
+  // Serial-step frame bookkeeping (mirrors the sequential loop).
+  Time t = Time::zero();
+  Time frame_start = Time::zero();
+  Time stage_start = Time::zero();
+  ShardedRunOutput out;
+
+  explicit Shared(multichannel::MemorySystem& s)
+      : sys(s), il(s.interleaver()) {}
+};
+
+/// Wait briefly for another worker. With more workers than hardware
+/// threads, the awaited worker cannot be running — hand the core over
+/// immediately instead of burning a scheduling quantum.
+void spin_pause(unsigned& spins, bool oversubscribed) {
+  if (oversubscribed) {
+    std::this_thread::yield();
+    return;
+  }
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#endif
+  if ((++spins & 63u) == 0) std::this_thread::yield();
+}
+
+/// Max-merge one threshold into the channel's pending bound (only the
+/// channel's owning worker may call this - tmax is consumer-private).
+void fold_threshold(ChanState& st, std::int64_t h_ps, std::uint32_t idx) {
+  if (!st.tmax_valid || key_less(st.tmax_ps, st.tmax_idx, h_ps, idx)) {
+    st.tmax_ps = h_ps;
+    st.tmax_idx = idx;
+    st.tmax_valid = true;
+  }
+}
+
+/// Fold every published-but-unconsumed threshold into the channel's max.
+void drain_ring(ChanState& st) {
+  const std::uint64_t pub = st.published.load(std::memory_order_acquire);
+  std::uint64_t con = st.consumed.load(std::memory_order_relaxed);
+  if (con == pub) return;
+  do {
+    const ChanState::Entry& e = st.ring[con % kRingCap];
+    fold_threshold(st, e.h_ps, e.idx);
+  } while (++con < pub);
+  st.consumed.store(con, std::memory_order_release);
+}
+
+void publish(Shared& sh, ChanState& dst, std::int64_t h_ps,
+             std::uint32_t idx) {
+  const std::uint64_t pub = dst.published.load(std::memory_order_relaxed);
+  unsigned spins = 0;
+  while (pub - dst.consumed.load(std::memory_order_acquire) >= kRingCap) {
+    if (sh.failed.load(std::memory_order_relaxed)) return;
+    spin_pause(spins, sh.oversubscribed);  // the consumer drains on every cursor poll
+  }
+  dst.ring[pub % kRingCap] = ChanState::Entry{h_ps, idx};
+  dst.published.store(pub + 1, std::memory_order_release);
+}
+
+/// The serial step the last barrier arriver runs after segment `i`: merge
+/// per-worker completion maxima, advance the frame clock exactly like the
+/// sequential loop, and stage the next segment.
+void serial_step(Shared& sh, std::size_t i) {
+  const Segment& s = sh.segments[i];
+  Time last = sh.arrival;
+  for (unsigned w = 0; w < sh.workers; ++w) {
+    last = max(last, sh.slot_last_done[w]);
+  }
+  sh.stage_start = max(sh.stage_start, last);
+  if (s.frame == 0) {
+    const std::uint64_t bytes = s.stage->reqs.size() * s.burst;
+    sh.out.first_frame_stages.emplace_back(s.stage->name, bytes);
+    sh.out.first_frame_completed.push_back(sh.stage_start);
+    sh.out.bytes_first_frame += bytes;
+  }
+  if (s.last_of_frame) {
+    const Time busy = sh.stage_start - sh.frame_start;
+    sh.out.access_accum += busy;
+    sh.out.per_frame_access.push_back(busy);
+    sh.t = max(sh.frame_start + sh.period, sh.stage_start);
+  }
+  if (i + 1 < sh.segments.size()) {
+    if (sh.segments[i + 1].first_of_frame) {
+      sh.frame_start = sh.t;
+      sh.stage_start = sh.t;
+    }
+    sh.arrival = sh.stage_start;
+    sh.cursor.store(0, std::memory_order_relaxed);
+    for (ChanState& st : sh.chans) {
+      st.published.store(0, std::memory_order_relaxed);
+      st.consumed.store(0, std::memory_order_relaxed);
+      st.tmax_valid = false;
+    }
+  } else {
+    sh.out.end_time = sh.t;
+  }
+}
+
+/// Sense-reversing barrier; the last arriver runs the serial step for
+/// segment `i`. Returns false when the run was aborted by a failure.
+bool barrier(Shared& sh, std::size_t i) {
+  const std::uint64_t gen = sh.generation.load(std::memory_order_acquire);
+  if (sh.arrived.fetch_add(1, std::memory_order_acq_rel) + 1 == sh.workers) {
+    serial_step(sh, i);
+    sh.arrived.store(0, std::memory_order_relaxed);
+    sh.generation.store(gen + 1, std::memory_order_release);
+    return !sh.failed.load(std::memory_order_relaxed);
+  }
+  unsigned spins = 0;
+  while (sh.generation.load(std::memory_order_acquire) == gen) {
+    if (sh.failed.load(std::memory_order_relaxed)) return false;
+    spin_pause(spins, sh.oversubscribed);
+  }
+  return !sh.failed.load(std::memory_order_relaxed);
+}
+
+void run_segment(Shared& sh, const Segment& s, unsigned w) {
+  const std::uint64_t n = s.stage->reqs.size();
+  const std::uint64_t* reqs = s.stage->reqs.data();
+  const std::uint32_t channels = sh.sys.channel_count();
+  const unsigned T = sh.workers;
+  const Time arr = sh.arrival;
+  const std::uint16_t sid = s.stage->source_id;
+  Time local_done = arr;
+
+  const auto pop = [&](channel::Channel& ch) {
+    const auto c = ch.process_one();
+    local_done = max(local_done, c.done);
+  };
+
+  unsigned spins = 0;
+  while (!sh.failed.load(std::memory_order_relaxed)) {
+    const std::uint64_t p = sh.cursor.load(std::memory_order_acquire);
+    if (p >= n) break;
+    const std::uint64_t packed = reqs[p];
+    const auto routed = sh.il.route(load::CachedStage::addr_of(packed));
+    const std::uint32_t c = routed.channel;
+    if (c % T != w) {
+      // Not ours: keep our channels' thresholds folded and wait.
+      for (std::uint32_t k = w; k < channels; k += T) drain_ring(sh.chans[k]);
+      spin_pause(spins, sh.oversubscribed);
+      continue;
+    }
+    channel::Channel& ch = sh.sys.channel(c);
+    ChanState& st = sh.chans[c];
+    drain_ring(st);
+    if (st.tmax_valid) {
+      while (ch.has_pending() &&
+             key_less(ch.horizon().ps(), c, st.tmax_ps, st.tmax_idx)) {
+        pop(ch);
+      }
+      st.tmax_valid = false;
+    }
+    const bool was_full = !ch.can_accept();
+    if (was_full) {
+      // Threshold = pre-pop horizon: the sequential stall serves other
+      // channels up to (h_j, j) *before* serving j itself.
+      const std::int64_t hj = ch.horizon().ps();
+      for (std::uint32_t k = 0; k < channels; ++k) {
+        if (k == c) continue;
+        if (k % T == w) {
+          // Our own channel: we are its only consumer, and we would never
+          // poll its ring while we hold the cursor - fold directly (after
+          // the ring, to keep thresholds max-merged with any cross-worker
+          // ones already queued).
+          drain_ring(sh.chans[k]);
+          fold_threshold(sh.chans[k], hj, c);
+        } else {
+          publish(sh, sh.chans[k], hj, c);
+        }
+      }
+    }
+    // Release the position: everything below only touches channel c.
+    sh.cursor.store(p + 1, std::memory_order_release);
+    if (was_full) pop(ch);
+    ctrl::Request r;
+    r.addr = routed.local;
+    r.is_write = load::CachedStage::is_write_of(packed);
+    r.arrival = arr;
+    r.source = sid;
+    ch.enqueue(r);
+    ++st.routed;
+  }
+
+  // Stage barrier: drain owned channels to empty. All enqueues into our
+  // channels happened on this worker, and trailing thresholds are subsumed
+  // by the full drain.
+  for (std::uint32_t c = w; c < channels; c += T) {
+    sh.chans[c].tmax_valid = false;
+    channel::Channel& ch = sh.sys.channel(c);
+    while (ch.has_pending()) pop(ch);
+  }
+  sh.slot_last_done[w] = local_done;
+}
+
+void run_worker(Shared& sh, unsigned w) {
+  try {
+    for (std::size_t i = 0; i < sh.segments.size(); ++i) {
+      run_segment(sh, sh.segments[i], w);
+      if (!barrier(sh, i)) return;
+    }
+  } catch (...) {
+    sh.failed.store(true, std::memory_order_relaxed);
+    throw;
+  }
+}
+
+}  // namespace
+
+unsigned sim_threads_from_env() {
+  const char* env = std::getenv("MCM_SIM_THREADS");
+  if (env == nullptr || *env == '\0') return 1;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || v <= 0) return 1;
+  return static_cast<unsigned>(v);
+}
+
+unsigned resolve_sim_threads(unsigned requested, std::uint32_t channels) {
+  const unsigned want = requested > 0 ? requested : sim_threads_from_env();
+  return std::max(1u, std::min(want, channels));
+}
+
+ShardedRunOutput run_sharded_frames(
+    multichannel::MemorySystem& sys,
+    const std::vector<const load::CachedWorkload*>& frame_workloads,
+    Time period, unsigned sim_threads) {
+  Shared sh(sys);
+  sh.period = period;
+  sh.workers = resolve_sim_threads(sim_threads, sys.channel_count());
+  const unsigned hw = std::thread::hardware_concurrency();
+  sh.oversubscribed = hw > 0 && sh.workers > hw;
+  for (std::size_t f = 0; f < frame_workloads.size(); ++f) {
+    const load::CachedWorkload* wl = frame_workloads[f];
+    assert(!wl->stages.empty());
+    for (std::size_t si = 0; si < wl->stages.size(); ++si) {
+      Segment s;
+      s.stage = &wl->stages[si];
+      s.burst = wl->burst_bytes;
+      s.frame = static_cast<int>(f);
+      s.first_of_frame = si == 0;
+      s.last_of_frame = si + 1 == wl->stages.size();
+      sh.segments.push_back(s);
+    }
+  }
+  sh.chans = std::vector<ChanState>(sys.channel_count());
+  sh.slot_last_done.assign(sh.workers, Time::zero());
+
+  if (sh.workers == 1) {
+    run_worker(sh, 0);
+  } else {
+    exec::ThreadPool pool(sh.workers - 1);
+    for (unsigned w = 1; w < sh.workers; ++w) {
+      pool.submit([&sh, w] { run_worker(sh, w); });
+    }
+    try {
+      run_worker(sh, 0);
+    } catch (...) {
+      // Workers observe `failed` and unwind; surface the first error.
+      try {
+        pool.wait_idle();
+      } catch (...) {
+      }
+      throw;
+    }
+    pool.wait_idle();
+  }
+
+  for (std::uint32_t c = 0; c < sys.channel_count(); ++c) {
+    sys.add_route_count(c, sh.chans[c].routed);
+  }
+  return sh.out;
+}
+
+}  // namespace mcm::core

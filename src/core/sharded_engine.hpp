@@ -1,0 +1,79 @@
+// Channel-sharded execution of the paper's state-machine load model.
+//
+// The sequential feed loop (core::FrameSimulator) interleaves channels
+// through one heap; this engine runs each channel as an independent logical
+// process and keeps the results bit-identical via the *threshold protocol*:
+//
+//   for request r -> channel j, in stream order (position p):
+//     1. j applies the max of thresholds published since its previous
+//        position: pop while (horizon_j, j) <lex Tmax, then clear Tmax.
+//     2. if j's queue is full: publish T = (horizon_j, j) to every other
+//        channel (max-merged into their pending Tmax), then pop j once.
+//     3. enqueue r into j.
+//   stage end: every channel drains to empty (pending thresholds are
+//   subsumed by the full drain).
+//
+// This is exactly what the sequential loop does: a full-queue stall there
+// serves globally min-(horizon, channel) channels until j's key is the
+// minimum again, i.e. it pops every channel k with (h_k, k) < (h_j, j) up
+// to that bound — and between two of k's own enqueues only the *largest*
+// such bound matters, so the bounds can be applied lazily at k's next
+// position. Cross-channel pop order is output-invariant (stats are merged
+// per channel, stage completion is a max), which is what makes the lazy
+// application legal.
+//
+// Parallel execution: requests are consumed from the memoized stream in
+// strict position order through one atomic cursor. The owner of position
+// p's channel performs the tiny serialized step (apply + full-check +
+// publish) and bumps the cursor; the expensive work — the service pop, the
+// enqueue, and the stage-end drain — runs after the bump, overlapped with
+// other channels' positions. Thresholds travel through per-channel SPSC
+// rings whose producers are serialized by cursor ownership. Channels are
+// assigned to workers round-robin (channel c -> worker c % T) so
+// consecutive positions of the 16 B-interleaved rotation land on different
+// workers and the deferred work overlaps.
+//
+// Every ordering decision is a pure function of per-channel state, so the
+// results are byte-identical at any worker count, including 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "load/stream_cache.hpp"
+#include "multichannel/memory_system.hpp"
+
+namespace mcm::core {
+
+struct StageResult;  // frame_simulator.hpp
+
+/// Bookkeeping the frame loop produces (mirrors the sequential path).
+struct ShardedRunOutput {
+  Time end_time = Time::zero();      // t after the last frame
+  Time access_accum = Time::zero();  // sum of per-frame busy times
+  std::vector<Time> per_frame_access;
+  std::uint64_t bytes_first_frame = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> first_frame_stages;
+  std::vector<Time> first_frame_completed;  // parallel to first_frame_stages
+};
+
+/// Run `frame_workloads.size()` frames (entry f = frame f's memoized
+/// stream) against `sys` with `sim_threads` workers. The caller routes
+/// nothing: requests carry global addresses and are routed here. Updates
+/// sys's per-channel route counters; channel stats/energy/trace accumulate
+/// in the channels as usual.
+ShardedRunOutput run_sharded_frames(
+    multichannel::MemorySystem& sys,
+    const std::vector<const load::CachedWorkload*>& frame_workloads,
+    Time period, unsigned sim_threads);
+
+/// MCM_SIM_THREADS when set to a positive integer, else 1. Intra-point
+/// parallelism is opt-in: exploration already parallelizes across points.
+[[nodiscard]] unsigned sim_threads_from_env();
+
+/// Worker count actually used for `requested` threads on `channels`
+/// channels (0 = environment default; clamped to the channel count).
+[[nodiscard]] unsigned resolve_sim_threads(unsigned requested,
+                                           std::uint32_t channels);
+
+}  // namespace mcm::core

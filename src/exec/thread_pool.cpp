@@ -1,9 +1,9 @@
-#include "explore/thread_pool.hpp"
+#include "exec/thread_pool.hpp"
 
 #include <cstdlib>
 #include <string>
 
-namespace mcm::explore {
+namespace mcm::exec {
 
 ThreadPool::ThreadPool(unsigned threads) {
   const unsigned n = resolve_thread_count(threads);
@@ -130,4 +130,4 @@ unsigned ThreadPool::default_thread_count() {
   return hw > 0 ? hw : 1;
 }
 
-}  // namespace mcm::explore
+}  // namespace mcm::exec

@@ -1,81 +1,12 @@
-// Work-stealing thread pool for design-space exploration: each worker owns a
-// deque and pops from its back (LIFO, cache-warm); idle workers steal from
-// the front of their peers' deques (FIFO, oldest first) so large batches
-// spread even when submission is bursty. Sized from
-// std::thread::hardware_concurrency() with an MCM_THREADS environment
-// override; a pool of size 1 still runs every task (on its single worker),
-// which is what makes orchestrated runs reproducible across machines.
+// The work-stealing thread pool moved to src/exec/ so the core simulator can
+// share it (channel-sharded execution) without linking the exploration
+// engine. This header keeps the historical explore::ThreadPool name alive.
 #pragma once
 
-#include <condition_variable>
-#include <cstdint>
-#include <deque>
-#include <functional>
-#include <mutex>
-#include <optional>
-#include <thread>
-#include <vector>
+#include "exec/thread_pool.hpp"
 
 namespace mcm::explore {
 
-class ThreadPool {
- public:
-  using Task = std::function<void()>;
-
-  /// `threads` = 0 picks default_thread_count(). At least one worker is
-  /// always started.
-  explicit ThreadPool(unsigned threads = 0);
-  ~ThreadPool();
-
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
-
-  [[nodiscard]] unsigned size() const {
-    return static_cast<unsigned>(workers_.size());
-  }
-
-  /// Enqueue one task (round-robin across worker deques). Thread-safe.
-  void submit(Task task);
-
-  /// Block until every submitted task has finished. If any task threw, the
-  /// first captured exception is rethrown here (remaining tasks still ran).
-  void wait_idle();
-
-  /// Submit a batch and wait for all of it; convenience over submit+wait.
-  void run_batch(std::vector<Task> tasks);
-
-  /// MCM_THREADS when set to a positive integer, otherwise
-  /// hardware_concurrency() (minimum 1).
-  [[nodiscard]] static unsigned default_thread_count();
-
-  /// Parsed MCM_THREADS value; nullopt when unset or not a positive integer.
-  [[nodiscard]] static std::optional<unsigned> threads_from_env();
-
-  /// The worker count a pool built with `requested` would use (0 = default).
-  [[nodiscard]] static unsigned resolve_thread_count(unsigned requested) {
-    return requested > 0 ? requested : default_thread_count();
-  }
-
- private:
-  struct Worker {
-    std::deque<Task> queue;
-    std::mutex mutex;
-  };
-
-  void worker_loop(unsigned index);
-  [[nodiscard]] bool try_pop(unsigned index, Task& out);
-
-  std::vector<std::unique_ptr<Worker>> queues_;
-  std::vector<std::thread> workers_;
-
-  std::mutex state_mutex_;
-  std::condition_variable work_cv_;   // workers sleep here when queues drain
-  std::condition_variable idle_cv_;   // wait_idle sleeps here
-  std::uint64_t queued_ = 0;          // tasks enqueued, not yet started
-  std::uint64_t pending_ = 0;         // tasks enqueued or running
-  std::uint64_t next_queue_ = 0;      // round-robin submission cursor
-  std::exception_ptr first_error_;
-  bool stop_ = false;
-};
+using exec::ThreadPool;
 
 }  // namespace mcm::explore

@@ -1,0 +1,105 @@
+#include "load/stream_cache.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mcm::load {
+namespace {
+
+// Soft cap on resident cached streams: one 2160p30 format is ~10^7 requests
+// (~80 MB); the cap fits every paper figure with slack while bounding a
+// pathological sweep over many distinct formats. New workloads beyond the
+// cap are generated but not retained.
+constexpr std::uint64_t kMaxCachedBytes = std::uint64_t{2} << 30;
+
+std::string make_key(const video::UseCaseParams& p, std::uint64_t alignment,
+                     const LoadOptions& opt) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "l%d z%.17g b%.17g a%.17g e%.17g rp%d d%ux%u@%.17g al%llu "
+                "c%u bu%u mw%d s%llu",
+                static_cast<int>(p.level), p.digizoom, p.stabilization_border,
+                p.audio_mbps, p.encoder_ref_factor,
+                static_cast<int>(p.ref_policy), p.display.width,
+                p.display.height, p.display_refresh_hz,
+                static_cast<unsigned long long>(alignment), opt.chunk_bytes,
+                opt.burst_bytes, opt.motion_window_encoder ? 1 : 0,
+                static_cast<unsigned long long>(opt.seed));
+  return buf;
+}
+
+}  // namespace
+
+StreamCache& StreamCache::instance() {
+  static StreamCache cache;
+  return cache;
+}
+
+bool StreamCache::enabled() {
+  const char* env = std::getenv("MCM_STREAM_CACHE");
+  if (env == nullptr) return true;
+  const std::string v(env);
+  return !(v == "off" || v == "OFF" || v == "0");
+}
+
+std::shared_ptr<const CachedWorkload> StreamCache::generate(
+    const video::UseCaseModel& model, const video::SurfaceLayout& layout,
+    const LoadOptions& opt) {
+  auto wl = std::make_shared<CachedWorkload>();
+  wl->burst_bytes = opt.burst_bytes;
+  auto sources = build_stage_sources(model, layout, opt);
+  wl->stages.reserve(sources.size());
+  for (auto& src : sources) {
+    CachedStage stage;
+    stage.name = std::string(src->name());
+    src->set_start(Time::zero());
+    // One request per device burst, so the request count is known up front.
+    stage.reqs.reserve(src->total_bytes() / std::max(1u, opt.burst_bytes));
+    while (!src->done()) {
+      const ctrl::Request r = src->head();
+      src->advance();
+      if (stage.reqs.empty()) stage.source_id = r.source;
+      stage.reqs.push_back(CachedStage::pack(r.addr, r.is_write));
+    }
+    wl->total_requests += stage.reqs.size();
+    wl->stages.push_back(std::move(stage));
+  }
+  return wl;
+}
+
+std::shared_ptr<const CachedWorkload> StreamCache::get(
+    const video::UseCaseModel& model, const video::SurfaceLayout& layout,
+    std::uint64_t alignment, const LoadOptions& opt) {
+  if (!enabled()) return generate(model, layout, opt);
+  const std::string key = make_key(model.params(), alignment, opt);
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = map_.find(key);
+    if (it != map_.end()) return it->second;
+  }
+  // Generate outside the lock: two threads may race to build the same
+  // format, in which case the first insert wins and the loser's copy is
+  // dropped (both are identical by construction).
+  auto wl = generate(model, layout, opt);
+  std::lock_guard lock(mutex_);
+  const auto it = map_.find(key);
+  if (it != map_.end()) return it->second;
+  if (bytes_ + wl->footprint_bytes() <= kMaxCachedBytes) {
+    bytes_ += wl->footprint_bytes();
+    map_.emplace(key, wl);
+  }
+  return wl;
+}
+
+void StreamCache::clear() {
+  std::lock_guard lock(mutex_);
+  map_.clear();
+  bytes_ = 0;
+}
+
+std::uint64_t StreamCache::cached_bytes() {
+  std::lock_guard lock(mutex_);
+  return bytes_;
+}
+
+}  // namespace mcm::load

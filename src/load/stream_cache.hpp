@@ -1,0 +1,91 @@
+// Workload stream cache: the per-frame request stream of a use-case format
+// is a pure function of (UseCaseParams, surface alignment, LoadOptions) —
+// addresses and ordering are channel-count and frequency invariant because
+// surfaces are aligned to a whole interleave stripe and requests in the
+// paper's state-machine mode all arrive at the stage start. Generating it
+// through the load models costs a large share of a grid point's wall clock,
+// so the cache enumerates each format once and replays the flat arrays into
+// every grid point that shares it (all Fig. 3 frequency points, every
+// channel count of a Fig. 4 row).
+//
+// A cached request packs (global byte address | is_write) into one word;
+// stage name / source id / ordering are preserved so the frame simulator
+// can reproduce its bookkeeping exactly. Disable with MCM_STREAM_CACHE=off
+// (every run then enumerates the load models directly, same results).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "load/usecase_sources.hpp"
+#include "video/surfaces.hpp"
+#include "video/usecase.hpp"
+
+namespace mcm::load {
+
+struct CachedStage {
+  std::string name;
+  std::uint16_t source_id = 0xffff;  // 0xffff = stage emitted no requests
+  std::vector<std::uint64_t> reqs;   // addr | (is_write << 63), stream order
+
+  static constexpr std::uint64_t kWriteBit = std::uint64_t{1} << 63;
+  [[nodiscard]] static std::uint64_t pack(std::uint64_t addr, bool is_write) {
+    return addr | (is_write ? kWriteBit : 0);
+  }
+  [[nodiscard]] static std::uint64_t addr_of(std::uint64_t packed) {
+    return packed & (kWriteBit - 1);
+  }
+  [[nodiscard]] static bool is_write_of(std::uint64_t packed) {
+    return (packed & kWriteBit) != 0;
+  }
+};
+
+struct CachedWorkload {
+  std::vector<CachedStage> stages;  // Fig. 1 processing order
+  std::uint32_t burst_bytes = 0;
+  std::uint64_t total_requests = 0;
+
+  [[nodiscard]] std::uint64_t footprint_bytes() const {
+    return total_requests * sizeof(std::uint64_t);
+  }
+};
+
+class StreamCache {
+ public:
+  /// The process-wide cache (shared across exploration grid points).
+  static StreamCache& instance();
+
+  /// Cached enumeration of one frame's stage streams. `alignment` must be
+  /// the value the SurfaceLayout was built with (it is part of the key).
+  /// Honors MCM_STREAM_CACHE=off by generating without memoizing.
+  std::shared_ptr<const CachedWorkload> get(const video::UseCaseModel& model,
+                                            const video::SurfaceLayout& layout,
+                                            std::uint64_t alignment,
+                                            const LoadOptions& opt);
+
+  /// Uncached enumeration through the real load models.
+  [[nodiscard]] static std::shared_ptr<const CachedWorkload> generate(
+      const video::UseCaseModel& model, const video::SurfaceLayout& layout,
+      const LoadOptions& opt);
+
+  /// False when MCM_STREAM_CACHE is "off" or "0" (checked per call so tests
+  /// can toggle it).
+  [[nodiscard]] static bool enabled();
+
+  /// Drop every cached workload (tests).
+  void clear();
+
+  [[nodiscard]] std::uint64_t cached_bytes();
+
+ private:
+  // Workloads are immutable once built; the mutex only guards the map.
+  std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const CachedWorkload>> map_;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace mcm::load

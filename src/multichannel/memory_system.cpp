@@ -148,7 +148,7 @@ SystemStats MemorySystem::stats() const {
   return s;
 }
 
-void MemorySystem::attach_trace(obs::TraceSink* sink) {
+void MemorySystem::attach_trace(obs::TraceWriter* sink) {
   for (std::uint32_t i = 0; i < channels_.size(); ++i) {
     channels_[i].set_trace_sink(sink, i);
   }

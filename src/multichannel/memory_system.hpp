@@ -17,7 +17,7 @@
 
 namespace mcm::obs {
 class MetricsRegistry;
-class TraceSink;
+class TraceWriter;
 }  // namespace mcm::obs
 
 namespace mcm::multichannel {
@@ -79,6 +79,11 @@ class MemorySystem {
   [[nodiscard]] const channel::Channel& channel(std::uint32_t i) const {
     return channels_[i];
   }
+  /// Mutable channel access for the sharded simulator, which drives each
+  /// channel directly instead of going through try_submit/process_next.
+  [[nodiscard]] channel::Channel& channel(std::uint32_t i) {
+    return channels_[i];
+  }
   [[nodiscard]] const Interleaver& interleaver() const { return interleaver_; }
 
   /// Total byte capacity across channels.
@@ -128,9 +133,21 @@ class MemorySystem {
     return route_counts_;
   }
 
-  /// Attach (or detach with nullptr) a structured trace sink to every
+  /// Attach (or detach with nullptr) a structured trace writer to every
   /// channel's controller; events are tagged with the channel index.
-  void attach_trace(obs::TraceSink* sink);
+  void attach_trace(obs::TraceWriter* sink);
+
+  /// Attach a trace writer to a single channel (sharded simulation gives
+  /// each channel its own spool so writers are never shared across threads).
+  void attach_trace(obs::TraceWriter* sink, std::uint32_t ch) {
+    channels_[ch].set_trace_sink(sink, ch);
+  }
+
+  /// Bulk-account `n` requests routed to channel `ch` (the sharded feed
+  /// routes outside the MemorySystem but keeps the routing counters alive).
+  void add_route_count(std::uint32_t ch, std::uint64_t n) {
+    route_counts_[ch] += n;
+  }
 
   /// Publish the full metric catalogue (system aggregates, per-channel
   /// counters and latency/queue histograms, per-bank access counts,

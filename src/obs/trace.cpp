@@ -2,50 +2,17 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 
 namespace mcm::obs {
 
-TraceSink::TraceSink(std::ostream& out, std::size_t buffer_events)
-    : out_(out), capacity_(std::max<std::size_t>(1, buffer_events)) {
-  buf_.reserve(capacity_);
-  out_ << R"({"type":"meta","schema":"mcm.trace/v1","version":1})" << '\n';
+void write_trace_meta(std::ostream& out) {
+  out << R"({"type":"meta","schema":"mcm.trace/v1","version":1})" << '\n';
 }
 
-TraceSink::~TraceSink() { flush(); }
-
-void TraceSink::command(std::uint32_t channel, Time at, dram::Command cmd,
-                        std::uint32_t bank, std::uint32_t row) {
-  Event e;
-  e.kind = Event::Kind::kCommand;
-  e.channel = channel;
-  e.at = at;
-  e.cmd = cmd;
-  e.bank = bank;
-  e.row = row;
-  buf_.push_back(e);
-  ++events_;
-  if (buf_.size() >= capacity_) flush();
-}
-
-void TraceSink::span(std::uint32_t channel, std::uint64_t addr, bool is_write,
-                     Time arrival, Time first_cmd, Time done, bool row_hit) {
-  Event e;
-  e.kind = Event::Kind::kSpan;
-  e.channel = channel;
-  e.addr = addr;
-  e.is_write = is_write;
-  e.arrival = arrival;
-  e.first_cmd = first_cmd;
-  e.done = done;
-  e.row_hit = row_hit;
-  buf_.push_back(e);
-  ++events_;
-  if (buf_.size() >= capacity_) flush();
-}
-
-void TraceSink::write_event(const Event& e) {
+void write_trace_event(std::ostream& out, const TraceEvent& e) {
   char line[256];
-  if (e.kind == Event::Kind::kCommand) {
+  if (e.kind == TraceEvent::Kind::kCommand) {
     std::snprintf(line, sizeof line,
                   R"({"type":"cmd","ch":%u,"t_ps":%lld,"cmd":"%s","bank":%u,"row":%u})",
                   e.channel, static_cast<long long>(e.at.ps()),
@@ -61,13 +28,112 @@ void TraceSink::write_event(const Event& e) {
                   static_cast<long long>(e.done.ps()),
                   static_cast<long long>((e.done - e.arrival).ps()), e.row_hit ? 1 : 0);
   }
-  out_ << line << '\n';
+  out << line << '\n';
+}
+
+TraceSink::TraceSink(std::ostream& out, std::size_t buffer_events)
+    : out_(out), capacity_(std::max<std::size_t>(1, buffer_events)) {
+  buf_.reserve(capacity_);
+  write_trace_meta(out_);
+}
+
+TraceSink::~TraceSink() { flush(); }
+
+void TraceSink::command(std::uint32_t channel, Time at, dram::Command cmd,
+                        std::uint32_t bank, std::uint32_t row) {
+  TraceEvent e;
+  e.kind = TraceEvent::Kind::kCommand;
+  e.channel = channel;
+  e.at = at;
+  e.cmd = cmd;
+  e.bank = bank;
+  e.row = row;
+  buf_.push_back(e);
+  ++events_;
+  if (buf_.size() >= capacity_) flush();
+}
+
+void TraceSink::span(std::uint32_t channel, std::uint64_t addr, bool is_write,
+                     Time arrival, Time first_cmd, Time done, bool row_hit) {
+  TraceEvent e;
+  e.kind = TraceEvent::Kind::kSpan;
+  e.channel = channel;
+  e.addr = addr;
+  e.is_write = is_write;
+  e.arrival = arrival;
+  e.first_cmd = first_cmd;
+  e.done = done;
+  e.row_hit = row_hit;
+  buf_.push_back(e);
+  ++events_;
+  if (buf_.size() >= capacity_) flush();
 }
 
 void TraceSink::flush() {
-  for (const Event& e : buf_) write_event(e);
+  for (const TraceEvent& e : buf_) write_trace_event(out_, e);
   buf_.clear();
   out_.flush();
+}
+
+void TraceSpool::command(std::uint32_t channel, Time at, dram::Command cmd,
+                         std::uint32_t bank, std::uint32_t row) {
+  TraceEvent e;
+  e.kind = TraceEvent::Kind::kCommand;
+  e.channel = channel;
+  e.at = at;
+  e.cmd = cmd;
+  e.bank = bank;
+  e.row = row;
+  events_.push_back(e);
+}
+
+void TraceSpool::span(std::uint32_t channel, std::uint64_t addr, bool is_write,
+                      Time arrival, Time first_cmd, Time done, bool row_hit) {
+  TraceEvent e;
+  e.kind = TraceEvent::Kind::kSpan;
+  e.channel = channel;
+  e.addr = addr;
+  e.is_write = is_write;
+  e.arrival = arrival;
+  e.first_cmd = first_cmd;
+  e.done = done;
+  e.row_hit = row_hit;
+  events_.push_back(e);
+}
+
+void merge_trace_spools(const std::vector<const TraceSpool*>& spools,
+                        std::ostream& out) {
+  // A channel's own stream is not monotone in order_time (a span's data-end
+  // can postdate the next request's first command), so a streaming k-way
+  // merge of the spools would not produce a sorted file. Sort indices into
+  // the spools instead; per-channel memory is already proportional to the
+  // event count, so this does not change the cost class.
+  struct Ref {
+    std::uint32_t spool = 0;
+    std::uint32_t seq = 0;
+  };
+  std::size_t total = 0;
+  for (const TraceSpool* s : spools) total += s->events().size();
+  std::vector<Ref> order;
+  order.reserve(total);
+  for (std::uint32_t i = 0; i < spools.size(); ++i) {
+    const std::size_t n = spools[i]->events().size();
+    for (std::uint32_t k = 0; k < n; ++k) order.push_back(Ref{i, k});
+  }
+  std::sort(order.begin(), order.end(), [&](const Ref& a, const Ref& b) {
+    const TraceEvent& ea = spools[a.spool]->events()[a.seq];
+    const TraceEvent& eb = spools[b.spool]->events()[b.seq];
+    if (ea.order_time() != eb.order_time()) {
+      return ea.order_time() < eb.order_time();
+    }
+    if (a.spool != b.spool) return a.spool < b.spool;
+    return a.seq < b.seq;
+  });
+  write_trace_meta(out);
+  for (const Ref& r : order) {
+    write_trace_event(out, spools[r.spool]->events()[r.seq]);
+  }
+  out.flush();
 }
 
 }  // namespace mcm::obs

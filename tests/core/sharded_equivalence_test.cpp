@@ -1,0 +1,73 @@
+// The channel-sharded engine is the default kStateMachine path; the
+// historical sequential feed loop is kept behind FrameSimOptions::legacy_feed
+// as the executable specification. Both must produce byte-identical exported
+// run reports across schedulers, page policies, channel counts, and seeds —
+// this is the contract that makes the sharded engine a pure performance
+// change.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/experiments.hpp"
+#include "core/frame_simulator.hpp"
+#include "core/result_export.hpp"
+#include "obs/json.hpp"
+
+namespace mcm::core {
+namespace {
+
+struct Combo {
+  const char* tag;
+  ctrl::SchedulerPolicy scheduler;
+  ctrl::PagePolicy page_policy;
+  std::uint32_t channels;
+  std::uint64_t seed;
+};
+
+std::string run_exported(const Combo& combo, bool legacy_feed) {
+  ExperimentConfig cfg = ExperimentConfig::paper_defaults();
+  cfg.base.channels = combo.channels;
+  cfg.base.controller.scheduler = combo.scheduler;
+  cfg.base.controller.page_policy = combo.page_policy;
+  cfg.usecase.level = video::H264Level::k31;
+  cfg.sim.load.seed = combo.seed;
+  cfg.sim.legacy_feed = legacy_feed;
+  cfg.sim.sim_threads = 1;
+
+  const FrameSimResult result = FrameSimulator(cfg.sim).run(cfg.base, cfg.usecase);
+  obs::JsonValue root = obs::JsonValue::object();
+  export_config(root["config"], cfg.base, cfg.usecase);
+  export_result(root["point"], result);
+  return root.dump_string();
+}
+
+class ShardedEquivalence : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(ShardedEquivalence, ReportBytesMatchLegacyFeed) {
+  const Combo& combo = GetParam();
+  const std::string sharded = run_exported(combo, /*legacy_feed=*/false);
+  const std::string legacy = run_exported(combo, /*legacy_feed=*/true);
+  EXPECT_EQ(sharded, legacy) << combo.tag;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, ShardedEquivalence,
+    ::testing::Values(
+        Combo{"frfcfs_open_4ch", ctrl::SchedulerPolicy::kFrFcfs,
+              ctrl::PagePolicy::kOpen, 4, 1},
+        Combo{"fcfs_open_4ch", ctrl::SchedulerPolicy::kFcfs,
+              ctrl::PagePolicy::kOpen, 4, 1},
+        Combo{"frfcfs_closed_2ch", ctrl::SchedulerPolicy::kFrFcfs,
+              ctrl::PagePolicy::kClosed, 2, 1},
+        Combo{"frfcfs_timeout_8ch", ctrl::SchedulerPolicy::kFrFcfs,
+              ctrl::PagePolicy::kTimeout, 8, 1},
+        Combo{"fcfs_closed_1ch", ctrl::SchedulerPolicy::kFcfs,
+              ctrl::PagePolicy::kClosed, 1, 1},
+        Combo{"frfcfs_open_8ch_seed7", ctrl::SchedulerPolicy::kFrFcfs,
+              ctrl::PagePolicy::kOpen, 8, 7}),
+    [](const ::testing::TestParamInfo<Combo>& info) {
+      return info.param.tag;
+    });
+
+}  // namespace
+}  // namespace mcm::core

@@ -1,0 +1,118 @@
+// The workload stream cache must be a transparent memoization layer: the
+// cached enumeration replays exactly what the live load models emit, keys
+// distinguish every parameter that changes the stream, and the
+// MCM_STREAM_CACHE=off escape hatch bypasses retention without changing
+// content.
+#include "load/stream_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "video/surfaces.hpp"
+#include "video/usecase.hpp"
+
+namespace mcm::load {
+namespace {
+
+constexpr std::uint64_t kAlign = 64 * 1024;
+
+video::UseCaseParams params(video::H264Level level = video::H264Level::k31) {
+  video::UseCaseParams p;
+  p.level = level;
+  return p;
+}
+
+struct Format {
+  video::UseCaseModel model;
+  video::SurfaceLayout layout;
+
+  explicit Format(const video::UseCaseParams& p)
+      : model(p), layout(model, kAlign) {}
+};
+
+TEST(StreamCache, CachedMatchesLiveEnumeration) {
+  const Format f(params());
+  LoadOptions opt;
+  const auto cached = StreamCache::generate(f.model, f.layout, opt);
+
+  auto sources = build_stage_sources(f.model, f.layout, opt);
+  ASSERT_EQ(cached->stages.size(), sources.size());
+
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < sources.size(); ++s) {
+    const CachedStage& stage = cached->stages[s];
+    TrafficSource& src = *sources[s];
+    EXPECT_EQ(stage.name, src.name());
+    src.set_start(Time::zero());
+    std::size_t i = 0;
+    while (!src.done()) {
+      const ctrl::Request r = src.head();
+      src.advance();
+      ASSERT_LT(i, stage.reqs.size()) << stage.name;
+      EXPECT_EQ(CachedStage::addr_of(stage.reqs[i]), r.addr);
+      EXPECT_EQ(CachedStage::is_write_of(stage.reqs[i]), r.is_write);
+      if (i == 0) {
+        EXPECT_EQ(stage.source_id, r.source);
+      }
+      ++i;
+    }
+    EXPECT_EQ(i, stage.reqs.size()) << stage.name;
+    total += i;
+  }
+  EXPECT_EQ(cached->total_requests, total);
+  EXPECT_EQ(cached->burst_bytes, opt.burst_bytes);
+}
+
+TEST(StreamCache, GetMemoizesPerKey) {
+  auto& cache = StreamCache::instance();
+  cache.clear();
+  const Format f(params());
+  LoadOptions opt;
+
+  const auto a = cache.get(f.model, f.layout, kAlign, opt);
+  const auto b = cache.get(f.model, f.layout, kAlign, opt);
+  EXPECT_EQ(a.get(), b.get()) << "same key must hit";
+  EXPECT_EQ(cache.cached_bytes(), a->footprint_bytes());
+
+  // Any stream-shaping parameter forms a new key.
+  LoadOptions seeded = opt;
+  seeded.seed = 42;
+  const auto c = cache.get(f.model, f.layout, kAlign, seeded);
+  EXPECT_NE(a.get(), c.get());
+
+  const Format heavier(params(video::H264Level::k40));
+  const auto d = cache.get(heavier.model, heavier.layout, kAlign, opt);
+  EXPECT_NE(a.get(), d.get());
+  EXPECT_GT(d->total_requests, a->total_requests);
+
+  cache.clear();
+  EXPECT_EQ(cache.cached_bytes(), 0u);
+}
+
+TEST(StreamCache, EnvOffBypassesRetention) {
+  auto& cache = StreamCache::instance();
+  cache.clear();
+  const Format f(params());
+  LoadOptions opt;
+
+  setenv("MCM_STREAM_CACHE", "off", 1);
+  EXPECT_FALSE(StreamCache::enabled());
+  const auto a = cache.get(f.model, f.layout, kAlign, opt);
+  const auto b = cache.get(f.model, f.layout, kAlign, opt);
+  EXPECT_NE(a.get(), b.get()) << "off = no retention";
+  EXPECT_EQ(cache.cached_bytes(), 0u);
+  unsetenv("MCM_STREAM_CACHE");
+  EXPECT_TRUE(StreamCache::enabled());
+
+  // Same content either way.
+  const auto c = cache.get(f.model, f.layout, kAlign, opt);
+  ASSERT_EQ(a->stages.size(), c->stages.size());
+  for (std::size_t s = 0; s < a->stages.size(); ++s) {
+    EXPECT_EQ(a->stages[s].reqs, c->stages[s].reqs);
+  }
+  cache.clear();
+}
+
+}  // namespace
+}  // namespace mcm::load
