@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_addrmap.dir/bench_ablation_addrmap.cpp.o"
+  "CMakeFiles/bench_ablation_addrmap.dir/bench_ablation_addrmap.cpp.o.d"
+  "bench_ablation_addrmap"
+  "bench_ablation_addrmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_addrmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

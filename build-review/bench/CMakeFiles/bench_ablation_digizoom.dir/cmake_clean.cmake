@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_digizoom.dir/bench_ablation_digizoom.cpp.o"
+  "CMakeFiles/bench_ablation_digizoom.dir/bench_ablation_digizoom.cpp.o.d"
+  "bench_ablation_digizoom"
+  "bench_ablation_digizoom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_digizoom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_encoder_pattern.cpp" "bench/CMakeFiles/bench_ablation_encoder_pattern.dir/bench_ablation_encoder_pattern.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_encoder_pattern.dir/bench_ablation_encoder_pattern.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/explore/CMakeFiles/mcm_explore.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/mcm_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/multichannel/CMakeFiles/mcm_multichannel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/load/CMakeFiles/mcm_load.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/controller/CMakeFiles/mcm_controller.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/mcm_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dram/CMakeFiles/mcm_dram.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/video/CMakeFiles/mcm_video.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/pixel/CMakeFiles/mcm_pixel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/cache/CMakeFiles/mcm_cache.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/mcm_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/exec/CMakeFiles/mcm_exec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_encoder_pattern.dir/bench_ablation_encoder_pattern.cpp.o"
+  "CMakeFiles/bench_ablation_encoder_pattern.dir/bench_ablation_encoder_pattern.cpp.o.d"
+  "bench_ablation_encoder_pattern"
+  "bench_ablation_encoder_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_encoder_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_execmode.dir/bench_ablation_execmode.cpp.o"
+  "CMakeFiles/bench_ablation_execmode.dir/bench_ablation_execmode.cpp.o.d"
+  "bench_ablation_execmode"
+  "bench_ablation_execmode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_execmode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_interconnect.dir/bench_ablation_interconnect.cpp.o"
+  "CMakeFiles/bench_ablation_interconnect.dir/bench_ablation_interconnect.cpp.o.d"
+  "bench_ablation_interconnect"
+  "bench_ablation_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_interleave.dir/bench_ablation_interleave.cpp.o"
+  "CMakeFiles/bench_ablation_interleave.dir/bench_ablation_interleave.cpp.o.d"
+  "bench_ablation_interleave"
+  "bench_ablation_interleave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_interleave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pagepolicy.dir/bench_ablation_pagepolicy.cpp.o"
+  "CMakeFiles/bench_ablation_pagepolicy.dir/bench_ablation_pagepolicy.cpp.o.d"
+  "bench_ablation_pagepolicy"
+  "bench_ablation_pagepolicy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pagepolicy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

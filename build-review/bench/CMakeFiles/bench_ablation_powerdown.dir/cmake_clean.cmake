@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_powerdown.dir/bench_ablation_powerdown.cpp.o"
+  "CMakeFiles/bench_ablation_powerdown.dir/bench_ablation_powerdown.cpp.o.d"
+  "bench_ablation_powerdown"
+  "bench_ablation_powerdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_powerdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

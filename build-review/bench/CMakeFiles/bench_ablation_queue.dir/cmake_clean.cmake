@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_queue.dir/bench_ablation_queue.cpp.o"
+  "CMakeFiles/bench_ablation_queue.dir/bench_ablation_queue.cpp.o.d"
+  "bench_ablation_queue"
+  "bench_ablation_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cache_filter.dir/bench_cache_filter.cpp.o"
+  "CMakeFiles/bench_cache_filter.dir/bench_cache_filter.cpp.o.d"
+  "bench_cache_filter"
+  "bench_cache_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cache_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_cache_filter.
+# This may be replaced when dependencies are built.

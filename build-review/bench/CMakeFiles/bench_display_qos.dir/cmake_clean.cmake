@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_display_qos.dir/bench_display_qos.cpp.o"
+  "CMakeFiles/bench_display_qos.dir/bench_display_qos.cpp.o.d"
+  "bench_display_qos"
+  "bench_display_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_display_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

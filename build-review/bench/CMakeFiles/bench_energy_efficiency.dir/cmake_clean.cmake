@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_energy_efficiency.dir/bench_energy_efficiency.cpp.o"
+  "CMakeFiles/bench_energy_efficiency.dir/bench_energy_efficiency.cpp.o.d"
+  "bench_energy_efficiency"
+  "bench_energy_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_energy_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_energy_efficiency.
+# This may be replaced when dependencies are built.

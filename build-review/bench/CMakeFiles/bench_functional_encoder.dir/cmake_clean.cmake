@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_functional_encoder.dir/bench_functional_encoder.cpp.o"
+  "CMakeFiles/bench_functional_encoder.dir/bench_functional_encoder.cpp.o.d"
+  "bench_functional_encoder"
+  "bench_functional_encoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_functional_encoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

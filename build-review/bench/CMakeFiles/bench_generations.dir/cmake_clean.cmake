@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_generations.dir/bench_generations.cpp.o"
+  "CMakeFiles/bench_generations.dir/bench_generations.cpp.o.d"
+  "bench_generations"
+  "bench_generations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_generations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

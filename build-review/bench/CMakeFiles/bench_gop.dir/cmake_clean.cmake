@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gop.dir/bench_gop.cpp.o"
+  "CMakeFiles/bench_gop.dir/bench_gop.cpp.o.d"
+  "bench_gop"
+  "bench_gop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hotpath.dir/bench_hotpath.cpp.o"
+  "CMakeFiles/bench_hotpath.dir/bench_hotpath.cpp.o.d"
+  "bench_hotpath"
+  "bench_hotpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hotpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_level_requirements.dir/bench_level_requirements.cpp.o"
+  "CMakeFiles/bench_level_requirements.dir/bench_level_requirements.cpp.o.d"
+  "bench_level_requirements"
+  "bench_level_requirements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_level_requirements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

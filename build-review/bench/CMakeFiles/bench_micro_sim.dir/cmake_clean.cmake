@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_sim.dir/bench_micro_sim.cpp.o"
+  "CMakeFiles/bench_micro_sim.dir/bench_micro_sim.cpp.o.d"
+  "bench_micro_sim"
+  "bench_micro_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

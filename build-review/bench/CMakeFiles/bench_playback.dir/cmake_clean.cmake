@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_playback.dir/bench_playback.cpp.o"
+  "CMakeFiles/bench_playback.dir/bench_playback.cpp.o.d"
+  "bench_playback"
+  "bench_playback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_playback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

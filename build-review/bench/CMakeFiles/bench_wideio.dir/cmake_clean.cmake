@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wideio.dir/bench_wideio.cpp.o"
+  "CMakeFiles/bench_wideio.dir/bench_wideio.cpp.o.d"
+  "bench_wideio"
+  "bench_wideio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wideio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_xdr.dir/bench_xdr.cpp.o"
+  "CMakeFiles/bench_xdr.dir/bench_xdr.cpp.o.d"
+  "bench_xdr"
+  "bench_xdr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_clusters.dir/channel_clusters.cpp.o"
+  "CMakeFiles/channel_clusters.dir/channel_clusters.cpp.o.d"
+  "channel_clusters"
+  "channel_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for channel_clusters.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for channel_clusters.
+# This may be replaced when dependencies are built.

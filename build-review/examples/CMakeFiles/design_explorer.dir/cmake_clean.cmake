@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_explorer.dir/design_explorer.cpp.o"
+  "CMakeFiles/design_explorer.dir/design_explorer.cpp.o.d"
+  "design_explorer"
+  "design_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/functional_pipeline.dir/functional_pipeline.cpp.o"
+  "CMakeFiles/functional_pipeline.dir/functional_pipeline.cpp.o.d"
+  "functional_pipeline"
+  "functional_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/functional_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

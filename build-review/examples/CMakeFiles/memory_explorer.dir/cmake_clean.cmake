@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_explorer.dir/memory_explorer.cpp.o"
+  "CMakeFiles/memory_explorer.dir/memory_explorer.cpp.o.d"
+  "memory_explorer"
+  "memory_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_report.dir/paper_report.cpp.o"
+  "CMakeFiles/paper_report.dir/paper_report.cpp.o.d"
+  "paper_report"
+  "paper_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for paper_report.
+# This may be replaced when dependencies are built.

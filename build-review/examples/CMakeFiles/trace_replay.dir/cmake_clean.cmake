@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_replay.dir/trace_replay.cpp.o"
+  "CMakeFiles/trace_replay.dir/trace_replay.cpp.o.d"
+  "trace_replay"
+  "trace_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_recording_1080p.dir/video_recording_1080p.cpp.o"
+  "CMakeFiles/video_recording_1080p.dir/video_recording_1080p.cpp.o.d"
+  "video_recording_1080p"
+  "video_recording_1080p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_recording_1080p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

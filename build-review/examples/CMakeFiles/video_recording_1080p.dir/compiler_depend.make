@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for video_recording_1080p.
+# This may be replaced when dependencies are built.

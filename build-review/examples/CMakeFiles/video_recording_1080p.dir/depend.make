@@ -1,0 +1,2 @@
+# Empty dependencies file for video_recording_1080p.
+# This may be replaced when dependencies are built.

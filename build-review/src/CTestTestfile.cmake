@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("exec")
+subdirs("sim")
+subdirs("obs")
+subdirs("dram")
+subdirs("controller")
+subdirs("channel")
+subdirs("multichannel")
+subdirs("video")
+subdirs("pixel")
+subdirs("load")
+subdirs("cache")
+subdirs("xdr")
+subdirs("core")
+subdirs("explore")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_cache.dir/cache_model.cpp.o"
+  "CMakeFiles/mcm_cache.dir/cache_model.cpp.o.d"
+  "libmcm_cache.a"
+  "libmcm_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/config.cpp" "src/common/CMakeFiles/mcm_common.dir/config.cpp.o" "gcc" "src/common/CMakeFiles/mcm_common.dir/config.cpp.o.d"
+  "/root/repo/src/common/csv.cpp" "src/common/CMakeFiles/mcm_common.dir/csv.cpp.o" "gcc" "src/common/CMakeFiles/mcm_common.dir/csv.cpp.o.d"
+  "/root/repo/src/common/units.cpp" "src/common/CMakeFiles/mcm_common.dir/units.cpp.o" "gcc" "src/common/CMakeFiles/mcm_common.dir/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_common.dir/config.cpp.o"
+  "CMakeFiles/mcm_common.dir/config.cpp.o.d"
+  "CMakeFiles/mcm_common.dir/csv.cpp.o"
+  "CMakeFiles/mcm_common.dir/csv.cpp.o.d"
+  "CMakeFiles/mcm_common.dir/units.cpp.o"
+  "CMakeFiles/mcm_common.dir/units.cpp.o.d"
+  "libmcm_common.a"
+  "libmcm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/controller/address_mapping.cpp" "src/controller/CMakeFiles/mcm_controller.dir/address_mapping.cpp.o" "gcc" "src/controller/CMakeFiles/mcm_controller.dir/address_mapping.cpp.o.d"
+  "/root/repo/src/controller/memory_controller.cpp" "src/controller/CMakeFiles/mcm_controller.dir/memory_controller.cpp.o" "gcc" "src/controller/CMakeFiles/mcm_controller.dir/memory_controller.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/dram/CMakeFiles/mcm_dram.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/mcm_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/mcm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_controller.dir/address_mapping.cpp.o"
+  "CMakeFiles/mcm_controller.dir/address_mapping.cpp.o.d"
+  "CMakeFiles/mcm_controller.dir/memory_controller.cpp.o"
+  "CMakeFiles/mcm_controller.dir/memory_controller.cpp.o.d"
+  "libmcm_controller.a"
+  "libmcm_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analytic.cpp" "src/core/CMakeFiles/mcm_core.dir/analytic.cpp.o" "gcc" "src/core/CMakeFiles/mcm_core.dir/analytic.cpp.o.d"
+  "/root/repo/src/core/experiments.cpp" "src/core/CMakeFiles/mcm_core.dir/experiments.cpp.o" "gcc" "src/core/CMakeFiles/mcm_core.dir/experiments.cpp.o.d"
+  "/root/repo/src/core/frame_simulator.cpp" "src/core/CMakeFiles/mcm_core.dir/frame_simulator.cpp.o" "gcc" "src/core/CMakeFiles/mcm_core.dir/frame_simulator.cpp.o.d"
+  "/root/repo/src/core/result_export.cpp" "src/core/CMakeFiles/mcm_core.dir/result_export.cpp.o" "gcc" "src/core/CMakeFiles/mcm_core.dir/result_export.cpp.o.d"
+  "/root/repo/src/core/sharded_engine.cpp" "src/core/CMakeFiles/mcm_core.dir/sharded_engine.cpp.o" "gcc" "src/core/CMakeFiles/mcm_core.dir/sharded_engine.cpp.o.d"
+  "/root/repo/src/core/source_runner.cpp" "src/core/CMakeFiles/mcm_core.dir/source_runner.cpp.o" "gcc" "src/core/CMakeFiles/mcm_core.dir/source_runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/exec/CMakeFiles/mcm_exec.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/multichannel/CMakeFiles/mcm_multichannel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/load/CMakeFiles/mcm_load.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/video/CMakeFiles/mcm_video.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/pixel/CMakeFiles/mcm_pixel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/cache/CMakeFiles/mcm_cache.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/controller/CMakeFiles/mcm_controller.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/mcm_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dram/CMakeFiles/mcm_dram.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/mcm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

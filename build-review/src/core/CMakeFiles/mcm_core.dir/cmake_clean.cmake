@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_core.dir/analytic.cpp.o"
+  "CMakeFiles/mcm_core.dir/analytic.cpp.o.d"
+  "CMakeFiles/mcm_core.dir/experiments.cpp.o"
+  "CMakeFiles/mcm_core.dir/experiments.cpp.o.d"
+  "CMakeFiles/mcm_core.dir/frame_simulator.cpp.o"
+  "CMakeFiles/mcm_core.dir/frame_simulator.cpp.o.d"
+  "CMakeFiles/mcm_core.dir/result_export.cpp.o"
+  "CMakeFiles/mcm_core.dir/result_export.cpp.o.d"
+  "CMakeFiles/mcm_core.dir/sharded_engine.cpp.o"
+  "CMakeFiles/mcm_core.dir/sharded_engine.cpp.o.d"
+  "CMakeFiles/mcm_core.dir/source_runner.cpp.o"
+  "CMakeFiles/mcm_core.dir/source_runner.cpp.o.d"
+  "libmcm_core.a"
+  "libmcm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

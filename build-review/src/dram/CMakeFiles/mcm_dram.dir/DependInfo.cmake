@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/energy.cpp" "src/dram/CMakeFiles/mcm_dram.dir/energy.cpp.o" "gcc" "src/dram/CMakeFiles/mcm_dram.dir/energy.cpp.o.d"
+  "/root/repo/src/dram/spec.cpp" "src/dram/CMakeFiles/mcm_dram.dir/spec.cpp.o" "gcc" "src/dram/CMakeFiles/mcm_dram.dir/spec.cpp.o.d"
+  "/root/repo/src/dram/timing_checker.cpp" "src/dram/CMakeFiles/mcm_dram.dir/timing_checker.cpp.o" "gcc" "src/dram/CMakeFiles/mcm_dram.dir/timing_checker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/mcm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

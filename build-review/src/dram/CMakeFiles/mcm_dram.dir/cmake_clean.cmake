@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_dram.dir/energy.cpp.o"
+  "CMakeFiles/mcm_dram.dir/energy.cpp.o.d"
+  "CMakeFiles/mcm_dram.dir/spec.cpp.o"
+  "CMakeFiles/mcm_dram.dir/spec.cpp.o.d"
+  "CMakeFiles/mcm_dram.dir/timing_checker.cpp.o"
+  "CMakeFiles/mcm_dram.dir/timing_checker.cpp.o.d"
+  "libmcm_dram.a"
+  "libmcm_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

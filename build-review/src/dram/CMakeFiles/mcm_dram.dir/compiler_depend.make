@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mcm_dram.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_exec.dir/thread_pool.cpp.o"
+  "CMakeFiles/mcm_exec.dir/thread_pool.cpp.o.d"
+  "libmcm_exec.a"
+  "libmcm_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

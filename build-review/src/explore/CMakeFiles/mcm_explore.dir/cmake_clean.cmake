@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_explore.dir/explore_export.cpp.o"
+  "CMakeFiles/mcm_explore.dir/explore_export.cpp.o.d"
+  "CMakeFiles/mcm_explore.dir/orchestrator.cpp.o"
+  "CMakeFiles/mcm_explore.dir/orchestrator.cpp.o.d"
+  "CMakeFiles/mcm_explore.dir/pareto.cpp.o"
+  "CMakeFiles/mcm_explore.dir/pareto.cpp.o.d"
+  "CMakeFiles/mcm_explore.dir/spec.cpp.o"
+  "CMakeFiles/mcm_explore.dir/spec.cpp.o.d"
+  "CMakeFiles/mcm_explore.dir/sweeps.cpp.o"
+  "CMakeFiles/mcm_explore.dir/sweeps.cpp.o.d"
+  "libmcm_explore.a"
+  "libmcm_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

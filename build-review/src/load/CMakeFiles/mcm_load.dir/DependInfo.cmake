@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/load/cached_source.cpp" "src/load/CMakeFiles/mcm_load.dir/cached_source.cpp.o" "gcc" "src/load/CMakeFiles/mcm_load.dir/cached_source.cpp.o.d"
+  "/root/repo/src/load/encoder_pattern_source.cpp" "src/load/CMakeFiles/mcm_load.dir/encoder_pattern_source.cpp.o" "gcc" "src/load/CMakeFiles/mcm_load.dir/encoder_pattern_source.cpp.o.d"
+  "/root/repo/src/load/multi_stream_source.cpp" "src/load/CMakeFiles/mcm_load.dir/multi_stream_source.cpp.o" "gcc" "src/load/CMakeFiles/mcm_load.dir/multi_stream_source.cpp.o.d"
+  "/root/repo/src/load/playback_sources.cpp" "src/load/CMakeFiles/mcm_load.dir/playback_sources.cpp.o" "gcc" "src/load/CMakeFiles/mcm_load.dir/playback_sources.cpp.o.d"
+  "/root/repo/src/load/stream_cache.cpp" "src/load/CMakeFiles/mcm_load.dir/stream_cache.cpp.o" "gcc" "src/load/CMakeFiles/mcm_load.dir/stream_cache.cpp.o.d"
+  "/root/repo/src/load/trace.cpp" "src/load/CMakeFiles/mcm_load.dir/trace.cpp.o" "gcc" "src/load/CMakeFiles/mcm_load.dir/trace.cpp.o.d"
+  "/root/repo/src/load/usecase_sources.cpp" "src/load/CMakeFiles/mcm_load.dir/usecase_sources.cpp.o" "gcc" "src/load/CMakeFiles/mcm_load.dir/usecase_sources.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/mcm_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/controller/CMakeFiles/mcm_controller.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/video/CMakeFiles/mcm_video.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/cache/CMakeFiles/mcm_cache.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dram/CMakeFiles/mcm_dram.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/mcm_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_load.dir/cached_source.cpp.o"
+  "CMakeFiles/mcm_load.dir/cached_source.cpp.o.d"
+  "CMakeFiles/mcm_load.dir/encoder_pattern_source.cpp.o"
+  "CMakeFiles/mcm_load.dir/encoder_pattern_source.cpp.o.d"
+  "CMakeFiles/mcm_load.dir/multi_stream_source.cpp.o"
+  "CMakeFiles/mcm_load.dir/multi_stream_source.cpp.o.d"
+  "CMakeFiles/mcm_load.dir/playback_sources.cpp.o"
+  "CMakeFiles/mcm_load.dir/playback_sources.cpp.o.d"
+  "CMakeFiles/mcm_load.dir/stream_cache.cpp.o"
+  "CMakeFiles/mcm_load.dir/stream_cache.cpp.o.d"
+  "CMakeFiles/mcm_load.dir/trace.cpp.o"
+  "CMakeFiles/mcm_load.dir/trace.cpp.o.d"
+  "CMakeFiles/mcm_load.dir/usecase_sources.cpp.o"
+  "CMakeFiles/mcm_load.dir/usecase_sources.cpp.o.d"
+  "libmcm_load.a"
+  "libmcm_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mcm_load.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/multichannel/channel_clusters.cpp" "src/multichannel/CMakeFiles/mcm_multichannel.dir/channel_clusters.cpp.o" "gcc" "src/multichannel/CMakeFiles/mcm_multichannel.dir/channel_clusters.cpp.o.d"
+  "/root/repo/src/multichannel/memory_system.cpp" "src/multichannel/CMakeFiles/mcm_multichannel.dir/memory_system.cpp.o" "gcc" "src/multichannel/CMakeFiles/mcm_multichannel.dir/memory_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/controller/CMakeFiles/mcm_controller.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/mcm_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dram/CMakeFiles/mcm_dram.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/mcm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

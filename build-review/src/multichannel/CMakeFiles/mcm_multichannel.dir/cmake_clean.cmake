@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_multichannel.dir/channel_clusters.cpp.o"
+  "CMakeFiles/mcm_multichannel.dir/channel_clusters.cpp.o.d"
+  "CMakeFiles/mcm_multichannel.dir/memory_system.cpp.o"
+  "CMakeFiles/mcm_multichannel.dir/memory_system.cpp.o.d"
+  "libmcm_multichannel.a"
+  "libmcm_multichannel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_multichannel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mcm_multichannel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/json.cpp" "src/obs/CMakeFiles/mcm_obs.dir/json.cpp.o" "gcc" "src/obs/CMakeFiles/mcm_obs.dir/json.cpp.o.d"
+  "/root/repo/src/obs/metrics.cpp" "src/obs/CMakeFiles/mcm_obs.dir/metrics.cpp.o" "gcc" "src/obs/CMakeFiles/mcm_obs.dir/metrics.cpp.o.d"
+  "/root/repo/src/obs/run_report.cpp" "src/obs/CMakeFiles/mcm_obs.dir/run_report.cpp.o" "gcc" "src/obs/CMakeFiles/mcm_obs.dir/run_report.cpp.o.d"
+  "/root/repo/src/obs/trace.cpp" "src/obs/CMakeFiles/mcm_obs.dir/trace.cpp.o" "gcc" "src/obs/CMakeFiles/mcm_obs.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/mcm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_obs.dir/json.cpp.o"
+  "CMakeFiles/mcm_obs.dir/json.cpp.o.d"
+  "CMakeFiles/mcm_obs.dir/metrics.cpp.o"
+  "CMakeFiles/mcm_obs.dir/metrics.cpp.o.d"
+  "CMakeFiles/mcm_obs.dir/run_report.cpp.o"
+  "CMakeFiles/mcm_obs.dir/run_report.cpp.o.d"
+  "CMakeFiles/mcm_obs.dir/trace.cpp.o"
+  "CMakeFiles/mcm_obs.dir/trace.cpp.o.d"
+  "libmcm_obs.a"
+  "libmcm_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pixel/encoder.cpp" "src/pixel/CMakeFiles/mcm_pixel.dir/encoder.cpp.o" "gcc" "src/pixel/CMakeFiles/mcm_pixel.dir/encoder.cpp.o.d"
+  "/root/repo/src/pixel/image.cpp" "src/pixel/CMakeFiles/mcm_pixel.dir/image.cpp.o" "gcc" "src/pixel/CMakeFiles/mcm_pixel.dir/image.cpp.o.d"
+  "/root/repo/src/pixel/stages.cpp" "src/pixel/CMakeFiles/mcm_pixel.dir/stages.cpp.o" "gcc" "src/pixel/CMakeFiles/mcm_pixel.dir/stages.cpp.o.d"
+  "/root/repo/src/pixel/synthetic.cpp" "src/pixel/CMakeFiles/mcm_pixel.dir/synthetic.cpp.o" "gcc" "src/pixel/CMakeFiles/mcm_pixel.dir/synthetic.cpp.o.d"
+  "/root/repo/src/pixel/transform.cpp" "src/pixel/CMakeFiles/mcm_pixel.dir/transform.cpp.o" "gcc" "src/pixel/CMakeFiles/mcm_pixel.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/mcm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

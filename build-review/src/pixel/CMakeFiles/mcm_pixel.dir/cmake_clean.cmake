@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_pixel.dir/encoder.cpp.o"
+  "CMakeFiles/mcm_pixel.dir/encoder.cpp.o.d"
+  "CMakeFiles/mcm_pixel.dir/image.cpp.o"
+  "CMakeFiles/mcm_pixel.dir/image.cpp.o.d"
+  "CMakeFiles/mcm_pixel.dir/stages.cpp.o"
+  "CMakeFiles/mcm_pixel.dir/stages.cpp.o.d"
+  "CMakeFiles/mcm_pixel.dir/synthetic.cpp.o"
+  "CMakeFiles/mcm_pixel.dir/synthetic.cpp.o.d"
+  "CMakeFiles/mcm_pixel.dir/transform.cpp.o"
+  "CMakeFiles/mcm_pixel.dir/transform.cpp.o.d"
+  "libmcm_pixel.a"
+  "libmcm_pixel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_pixel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mcm_pixel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/video/encoder_access.cpp" "src/video/CMakeFiles/mcm_video.dir/encoder_access.cpp.o" "gcc" "src/video/CMakeFiles/mcm_video.dir/encoder_access.cpp.o.d"
+  "/root/repo/src/video/h264_levels.cpp" "src/video/CMakeFiles/mcm_video.dir/h264_levels.cpp.o" "gcc" "src/video/CMakeFiles/mcm_video.dir/h264_levels.cpp.o.d"
+  "/root/repo/src/video/playback.cpp" "src/video/CMakeFiles/mcm_video.dir/playback.cpp.o" "gcc" "src/video/CMakeFiles/mcm_video.dir/playback.cpp.o.d"
+  "/root/repo/src/video/surfaces.cpp" "src/video/CMakeFiles/mcm_video.dir/surfaces.cpp.o" "gcc" "src/video/CMakeFiles/mcm_video.dir/surfaces.cpp.o.d"
+  "/root/repo/src/video/usecase.cpp" "src/video/CMakeFiles/mcm_video.dir/usecase.cpp.o" "gcc" "src/video/CMakeFiles/mcm_video.dir/usecase.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/mcm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

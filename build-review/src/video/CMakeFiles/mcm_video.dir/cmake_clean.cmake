@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_video.dir/encoder_access.cpp.o"
+  "CMakeFiles/mcm_video.dir/encoder_access.cpp.o.d"
+  "CMakeFiles/mcm_video.dir/h264_levels.cpp.o"
+  "CMakeFiles/mcm_video.dir/h264_levels.cpp.o.d"
+  "CMakeFiles/mcm_video.dir/playback.cpp.o"
+  "CMakeFiles/mcm_video.dir/playback.cpp.o.d"
+  "CMakeFiles/mcm_video.dir/surfaces.cpp.o"
+  "CMakeFiles/mcm_video.dir/surfaces.cpp.o.d"
+  "CMakeFiles/mcm_video.dir/usecase.cpp.o"
+  "CMakeFiles/mcm_video.dir/usecase.cpp.o.d"
+  "libmcm_video.a"
+  "libmcm_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

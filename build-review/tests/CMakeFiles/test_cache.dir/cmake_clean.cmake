@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache.dir/cache/cache_fuzz_test.cpp.o"
+  "CMakeFiles/test_cache.dir/cache/cache_fuzz_test.cpp.o.d"
+  "CMakeFiles/test_cache.dir/cache/cache_model_test.cpp.o"
+  "CMakeFiles/test_cache.dir/cache/cache_model_test.cpp.o.d"
+  "test_cache"
+  "test_cache.pdb"
+  "test_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/config_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/config_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/csv_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/csv_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/rng_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/rng_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/stats_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/stats_test.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/units_test.cpp.o"
+  "CMakeFiles/test_common.dir/common/units_test.cpp.o.d"
+  "test_common"
+  "test_common.pdb"
+  "test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_controller.dir/controller/address_mapping_test.cpp.o"
+  "CMakeFiles/test_controller.dir/controller/address_mapping_test.cpp.o.d"
+  "CMakeFiles/test_controller.dir/controller/fastpath_equivalence_test.cpp.o"
+  "CMakeFiles/test_controller.dir/controller/fastpath_equivalence_test.cpp.o.d"
+  "CMakeFiles/test_controller.dir/controller/invariant_fuzz_test.cpp.o"
+  "CMakeFiles/test_controller.dir/controller/invariant_fuzz_test.cpp.o.d"
+  "CMakeFiles/test_controller.dir/controller/memory_controller_test.cpp.o"
+  "CMakeFiles/test_controller.dir/controller/memory_controller_test.cpp.o.d"
+  "CMakeFiles/test_controller.dir/controller/page_policy_test.cpp.o"
+  "CMakeFiles/test_controller.dir/controller/page_policy_test.cpp.o.d"
+  "CMakeFiles/test_controller.dir/controller/refresh_postpone_test.cpp.o"
+  "CMakeFiles/test_controller.dir/controller/refresh_postpone_test.cpp.o.d"
+  "CMakeFiles/test_controller.dir/controller/refresh_powerdown_test.cpp.o"
+  "CMakeFiles/test_controller.dir/controller/refresh_powerdown_test.cpp.o.d"
+  "CMakeFiles/test_controller.dir/controller/request_queue_test.cpp.o"
+  "CMakeFiles/test_controller.dir/controller/request_queue_test.cpp.o.d"
+  "CMakeFiles/test_controller.dir/controller/scheduler_test.cpp.o"
+  "CMakeFiles/test_controller.dir/controller/scheduler_test.cpp.o.d"
+  "CMakeFiles/test_controller.dir/controller/selfrefresh_test.cpp.o"
+  "CMakeFiles/test_controller.dir/controller/selfrefresh_test.cpp.o.d"
+  "test_controller"
+  "test_controller.pdb"
+  "test_controller[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/analytic_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/analytic_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/concurrent_mode_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/concurrent_mode_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/experiments_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/experiments_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/fastpath_golden_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/fastpath_golden_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/frame_simulator_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/frame_simulator_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/integration_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/integration_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/paper_results_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/paper_results_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/sharded_equivalence_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/sharded_equivalence_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/sim_threads_determinism_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/sim_threads_determinism_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/source_runner_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/source_runner_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

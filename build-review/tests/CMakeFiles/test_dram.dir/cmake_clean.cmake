@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dram.dir/dram/bank_cluster_test.cpp.o"
+  "CMakeFiles/test_dram.dir/dram/bank_cluster_test.cpp.o.d"
+  "CMakeFiles/test_dram.dir/dram/bank_test.cpp.o"
+  "CMakeFiles/test_dram.dir/dram/bank_test.cpp.o.d"
+  "CMakeFiles/test_dram.dir/dram/checker_mutation_test.cpp.o"
+  "CMakeFiles/test_dram.dir/dram/checker_mutation_test.cpp.o.d"
+  "CMakeFiles/test_dram.dir/dram/energy_test.cpp.o"
+  "CMakeFiles/test_dram.dir/dram/energy_test.cpp.o.d"
+  "CMakeFiles/test_dram.dir/dram/spec_test.cpp.o"
+  "CMakeFiles/test_dram.dir/dram/spec_test.cpp.o.d"
+  "CMakeFiles/test_dram.dir/dram/tfaw_test.cpp.o"
+  "CMakeFiles/test_dram.dir/dram/tfaw_test.cpp.o.d"
+  "CMakeFiles/test_dram.dir/dram/timing_checker_test.cpp.o"
+  "CMakeFiles/test_dram.dir/dram/timing_checker_test.cpp.o.d"
+  "test_dram"
+  "test_dram.pdb"
+  "test_dram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

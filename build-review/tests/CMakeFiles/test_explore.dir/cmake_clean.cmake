@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_explore.dir/explore/orchestrator_test.cpp.o"
+  "CMakeFiles/test_explore.dir/explore/orchestrator_test.cpp.o.d"
+  "CMakeFiles/test_explore.dir/explore/pareto_test.cpp.o"
+  "CMakeFiles/test_explore.dir/explore/pareto_test.cpp.o.d"
+  "CMakeFiles/test_explore.dir/explore/spec_test.cpp.o"
+  "CMakeFiles/test_explore.dir/explore/spec_test.cpp.o.d"
+  "CMakeFiles/test_explore.dir/explore/thread_pool_test.cpp.o"
+  "CMakeFiles/test_explore.dir/explore/thread_pool_test.cpp.o.d"
+  "test_explore"
+  "test_explore.pdb"
+  "test_explore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_load.dir/load/cached_source_test.cpp.o"
+  "CMakeFiles/test_load.dir/load/cached_source_test.cpp.o.d"
+  "CMakeFiles/test_load.dir/load/encoder_pattern_source_test.cpp.o"
+  "CMakeFiles/test_load.dir/load/encoder_pattern_source_test.cpp.o.d"
+  "CMakeFiles/test_load.dir/load/multi_stream_source_test.cpp.o"
+  "CMakeFiles/test_load.dir/load/multi_stream_source_test.cpp.o.d"
+  "CMakeFiles/test_load.dir/load/source_fuzz_test.cpp.o"
+  "CMakeFiles/test_load.dir/load/source_fuzz_test.cpp.o.d"
+  "CMakeFiles/test_load.dir/load/stream_cache_test.cpp.o"
+  "CMakeFiles/test_load.dir/load/stream_cache_test.cpp.o.d"
+  "CMakeFiles/test_load.dir/load/trace_test.cpp.o"
+  "CMakeFiles/test_load.dir/load/trace_test.cpp.o.d"
+  "CMakeFiles/test_load.dir/load/usecase_sources_test.cpp.o"
+  "CMakeFiles/test_load.dir/load/usecase_sources_test.cpp.o.d"
+  "test_load"
+  "test_load.pdb"
+  "test_load[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_misc.dir/misc/misc_test.cpp.o"
+  "CMakeFiles/test_misc.dir/misc/misc_test.cpp.o.d"
+  "test_misc"
+  "test_misc.pdb"
+  "test_misc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

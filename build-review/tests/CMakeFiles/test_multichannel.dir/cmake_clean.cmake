@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multichannel.dir/multichannel/channel_clusters_test.cpp.o"
+  "CMakeFiles/test_multichannel.dir/multichannel/channel_clusters_test.cpp.o.d"
+  "CMakeFiles/test_multichannel.dir/multichannel/interleaver_test.cpp.o"
+  "CMakeFiles/test_multichannel.dir/multichannel/interleaver_test.cpp.o.d"
+  "CMakeFiles/test_multichannel.dir/multichannel/memory_system_test.cpp.o"
+  "CMakeFiles/test_multichannel.dir/multichannel/memory_system_test.cpp.o.d"
+  "test_multichannel"
+  "test_multichannel.pdb"
+  "test_multichannel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multichannel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_obs.dir/obs/json_test.cpp.o"
+  "CMakeFiles/test_obs.dir/obs/json_test.cpp.o.d"
+  "CMakeFiles/test_obs.dir/obs/metrics_test.cpp.o"
+  "CMakeFiles/test_obs.dir/obs/metrics_test.cpp.o.d"
+  "CMakeFiles/test_obs.dir/obs/obs_integration_test.cpp.o"
+  "CMakeFiles/test_obs.dir/obs/obs_integration_test.cpp.o.d"
+  "CMakeFiles/test_obs.dir/obs/run_report_test.cpp.o"
+  "CMakeFiles/test_obs.dir/obs/run_report_test.cpp.o.d"
+  "CMakeFiles/test_obs.dir/obs/trace_test.cpp.o"
+  "CMakeFiles/test_obs.dir/obs/trace_test.cpp.o.d"
+  "test_obs"
+  "test_obs.pdb"
+  "test_obs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pixel.dir/pixel/encoder_test.cpp.o"
+  "CMakeFiles/test_pixel.dir/pixel/encoder_test.cpp.o.d"
+  "CMakeFiles/test_pixel.dir/pixel/image_test.cpp.o"
+  "CMakeFiles/test_pixel.dir/pixel/image_test.cpp.o.d"
+  "CMakeFiles/test_pixel.dir/pixel/stages_test.cpp.o"
+  "CMakeFiles/test_pixel.dir/pixel/stages_test.cpp.o.d"
+  "CMakeFiles/test_pixel.dir/pixel/synthetic_test.cpp.o"
+  "CMakeFiles/test_pixel.dir/pixel/synthetic_test.cpp.o.d"
+  "CMakeFiles/test_pixel.dir/pixel/transform_test.cpp.o"
+  "CMakeFiles/test_pixel.dir/pixel/transform_test.cpp.o.d"
+  "test_pixel"
+  "test_pixel.pdb"
+  "test_pixel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pixel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

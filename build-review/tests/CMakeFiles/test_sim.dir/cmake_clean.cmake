@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/clock_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/clock_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/event_queue_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/event_queue_test.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

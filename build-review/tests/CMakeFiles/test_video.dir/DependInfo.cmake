@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/video/encoder_access_test.cpp" "tests/CMakeFiles/test_video.dir/video/encoder_access_test.cpp.o" "gcc" "tests/CMakeFiles/test_video.dir/video/encoder_access_test.cpp.o.d"
+  "/root/repo/tests/video/formats_test.cpp" "tests/CMakeFiles/test_video.dir/video/formats_test.cpp.o" "gcc" "tests/CMakeFiles/test_video.dir/video/formats_test.cpp.o.d"
+  "/root/repo/tests/video/h264_levels_test.cpp" "tests/CMakeFiles/test_video.dir/video/h264_levels_test.cpp.o" "gcc" "tests/CMakeFiles/test_video.dir/video/h264_levels_test.cpp.o.d"
+  "/root/repo/tests/video/playback_test.cpp" "tests/CMakeFiles/test_video.dir/video/playback_test.cpp.o" "gcc" "tests/CMakeFiles/test_video.dir/video/playback_test.cpp.o.d"
+  "/root/repo/tests/video/surfaces_test.cpp" "tests/CMakeFiles/test_video.dir/video/surfaces_test.cpp.o" "gcc" "tests/CMakeFiles/test_video.dir/video/surfaces_test.cpp.o.d"
+  "/root/repo/tests/video/usecase_property_test.cpp" "tests/CMakeFiles/test_video.dir/video/usecase_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_video.dir/video/usecase_property_test.cpp.o.d"
+  "/root/repo/tests/video/usecase_test.cpp" "tests/CMakeFiles/test_video.dir/video/usecase_test.cpp.o" "gcc" "tests/CMakeFiles/test_video.dir/video/usecase_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/explore/CMakeFiles/mcm_explore.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/mcm_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/multichannel/CMakeFiles/mcm_multichannel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/load/CMakeFiles/mcm_load.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/controller/CMakeFiles/mcm_controller.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/mcm_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dram/CMakeFiles/mcm_dram.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/video/CMakeFiles/mcm_video.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/pixel/CMakeFiles/mcm_pixel.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/cache/CMakeFiles/mcm_cache.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/mcm_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/exec/CMakeFiles/mcm_exec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

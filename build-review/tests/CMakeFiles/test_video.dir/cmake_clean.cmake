@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_video.dir/video/encoder_access_test.cpp.o"
+  "CMakeFiles/test_video.dir/video/encoder_access_test.cpp.o.d"
+  "CMakeFiles/test_video.dir/video/formats_test.cpp.o"
+  "CMakeFiles/test_video.dir/video/formats_test.cpp.o.d"
+  "CMakeFiles/test_video.dir/video/h264_levels_test.cpp.o"
+  "CMakeFiles/test_video.dir/video/h264_levels_test.cpp.o.d"
+  "CMakeFiles/test_video.dir/video/playback_test.cpp.o"
+  "CMakeFiles/test_video.dir/video/playback_test.cpp.o.d"
+  "CMakeFiles/test_video.dir/video/surfaces_test.cpp.o"
+  "CMakeFiles/test_video.dir/video/surfaces_test.cpp.o.d"
+  "CMakeFiles/test_video.dir/video/usecase_property_test.cpp.o"
+  "CMakeFiles/test_video.dir/video/usecase_property_test.cpp.o.d"
+  "CMakeFiles/test_video.dir/video/usecase_test.cpp.o"
+  "CMakeFiles/test_video.dir/video/usecase_test.cpp.o.d"
+  "test_video"
+  "test_video.pdb"
+  "test_video[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

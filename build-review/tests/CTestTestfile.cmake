@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/test_common[1]_include.cmake")
+include("/root/repo/build-review/tests/test_sim[1]_include.cmake")
+include("/root/repo/build-review/tests/test_dram[1]_include.cmake")
+include("/root/repo/build-review/tests/test_controller[1]_include.cmake")
+include("/root/repo/build-review/tests/test_obs[1]_include.cmake")
+include("/root/repo/build-review/tests/test_multichannel[1]_include.cmake")
+include("/root/repo/build-review/tests/test_video[1]_include.cmake")
+include("/root/repo/build-review/tests/test_load[1]_include.cmake")
+include("/root/repo/build-review/tests/test_cache[1]_include.cmake")
+include("/root/repo/build-review/tests/test_pixel[1]_include.cmake")
+include("/root/repo/build-review/tests/test_core[1]_include.cmake")
+include("/root/repo/build-review/tests/test_misc[1]_include.cmake")
+include("/root/repo/build-review/tests/test_explore[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcm_explore_cli.dir/mcm_explore.cpp.o"
+  "CMakeFiles/mcm_explore_cli.dir/mcm_explore.cpp.o.d"
+  "mcm_explore"
+  "mcm_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcm_explore_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mcm_explore_cli.
+# This may be replaced when dependencies are built.
