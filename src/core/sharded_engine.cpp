@@ -347,4 +347,48 @@ ShardedRunOutput run_sharded_frames(
   return sh.out;
 }
 
+ShardedRunOutput run_sequential_frames(
+    multichannel::MemorySystem& sys,
+    const std::vector<const load::CachedWorkload*>& frame_workloads,
+    Time period) {
+  ShardedRunOutput out;
+  Time t = Time::zero();
+  for (std::size_t f = 0; f < frame_workloads.size(); ++f) {
+    const load::CachedWorkload* wl = frame_workloads[f];
+    assert(!wl->stages.empty());
+    const Time frame_start = t;
+    Time stage_start = frame_start;
+    for (const load::CachedStage& stage : wl->stages) {
+      Time last_done = stage_start;
+      for (const std::uint64_t packed : stage.reqs) {
+        ctrl::Request r;
+        r.addr = load::CachedStage::addr_of(packed);  // global; submit routes
+        r.is_write = load::CachedStage::is_write_of(packed);
+        r.arrival = stage_start;
+        r.source = stage.source_id;
+        while (!sys.try_submit(r)) {
+          const auto c = sys.process_next();
+          assert(c.has_value());  // a full queue implies pending work
+          last_done = max(last_done, c->done);
+        }
+      }
+      // Stage barrier: the next stage consumes this stage's output frame.
+      while (const auto c = sys.process_next()) last_done = max(last_done, c->done);
+      stage_start = max(stage_start, last_done);
+      if (f == 0) {
+        const std::uint64_t bytes = stage.reqs.size() * wl->burst_bytes;
+        out.first_frame_stages.emplace_back(stage.name, bytes);
+        out.first_frame_completed.push_back(stage_start);
+        out.bytes_first_frame += bytes;
+      }
+    }
+    const Time busy = stage_start - frame_start;
+    out.access_accum += busy;
+    out.per_frame_access.push_back(busy);
+    t = max(frame_start + period, stage_start);
+  }
+  out.end_time = t;
+  return out;
+}
+
 }  // namespace mcm::core

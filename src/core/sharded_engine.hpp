@@ -67,6 +67,16 @@ ShardedRunOutput run_sharded_frames(
     const std::vector<const load::CachedWorkload*>& frame_workloads,
     Time period, unsigned sim_threads);
 
+/// The sequential feed loop (one heap, `while (!try_submit) process_next`)
+/// over the same memoized streams: the legacy-equivalent semantics the
+/// threshold protocol above reproduces. Kept as a first-class entry point so
+/// the differential verifier can pit the two feeds against each other and
+/// against the golden reference model.
+ShardedRunOutput run_sequential_frames(
+    multichannel::MemorySystem& sys,
+    const std::vector<const load::CachedWorkload*>& frame_workloads,
+    Time period);
+
 /// MCM_SIM_THREADS when set to a positive integer, else 1. Intra-point
 /// parallelism is opt-in: exploration already parallelizes across points.
 [[nodiscard]] unsigned sim_threads_from_env();

@@ -60,6 +60,49 @@ std::size_t JsonValue::size() const {
   return 0;
 }
 
+const JsonValue* JsonValue::at(std::size_t i) const {
+  if (type() != Type::kArray) return nullptr;
+  const auto& arr = std::get<Array>(v_);
+  return i < arr.size() ? &arr[i] : nullptr;
+}
+
+bool JsonValue::as_bool(bool fallback) const {
+  if (type() == Type::kBool) return std::get<bool>(v_);
+  return fallback;
+}
+
+std::int64_t JsonValue::as_int(std::int64_t fallback) const {
+  switch (type()) {
+    case Type::kInt: return std::get<std::int64_t>(v_);
+    case Type::kUint: return static_cast<std::int64_t>(std::get<std::uint64_t>(v_));
+    case Type::kDouble: return static_cast<std::int64_t>(std::get<double>(v_));
+    default: return fallback;
+  }
+}
+
+std::uint64_t JsonValue::as_uint(std::uint64_t fallback) const {
+  switch (type()) {
+    case Type::kInt: return static_cast<std::uint64_t>(std::get<std::int64_t>(v_));
+    case Type::kUint: return std::get<std::uint64_t>(v_);
+    case Type::kDouble: return static_cast<std::uint64_t>(std::get<double>(v_));
+    default: return fallback;
+  }
+}
+
+double JsonValue::as_double(double fallback) const {
+  switch (type()) {
+    case Type::kInt: return static_cast<double>(std::get<std::int64_t>(v_));
+    case Type::kUint: return static_cast<double>(std::get<std::uint64_t>(v_));
+    case Type::kDouble: return std::get<double>(v_);
+    default: return fallback;
+  }
+}
+
+std::string JsonValue::as_string(std::string fallback) const {
+  if (type() == Type::kString) return std::get<std::string>(v_);
+  return fallback;
+}
+
 namespace {
 
 void write_double(std::ostream& out, double d) {
@@ -124,6 +167,212 @@ void JsonValue::dump_impl(std::ostream& out, int indent, int depth) const {
       break;
     }
   }
+}
+
+namespace {
+
+/// Recursive-descent parser over the writer's output subset. Depth-limited
+/// so adversarial input cannot overflow the stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  std::optional<JsonValue> parse(std::string* error) {
+    JsonValue v;
+    if (!parse_value(v, 0)) {
+      if (error != nullptr) *error = err_ + " at offset " + std::to_string(pos_);
+      return std::nullopt;
+    }
+    skip_ws();
+    if (pos_ != s_.size()) {
+      if (error != nullptr) {
+        *error = "trailing characters at offset " + std::to_string(pos_);
+      }
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void skip_ws() {
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool fail(const char* what) {
+    err_ = what;
+    return false;
+  }
+
+  bool consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (s_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return fail("expected string");
+    out.clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) break;
+      const char esc = s_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return fail("bad \\u escape");
+            }
+          }
+          // The writer only emits \u00xx control escapes; decode the
+          // low byte and pass anything else through as '?'.
+          out += code < 0x100 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default: return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    bool is_double = false;
+    if (consume('-')) {
+    }
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return fail("expected number");
+    const std::string tok(s_.substr(start, pos_ - start));
+    errno = 0;
+    if (!is_double) {
+      char* end = nullptr;
+      if (tok[0] == '-') {
+        const long long v = std::strtoll(tok.c_str(), &end, 10);
+        if (end == tok.c_str() + tok.size() && errno == 0) {
+          out = JsonValue{static_cast<std::int64_t>(v)};
+          return true;
+        }
+      } else {
+        const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+        if (end == tok.c_str() + tok.size() && errno == 0) {
+          out = JsonValue{static_cast<std::uint64_t>(v)};
+          return true;
+        }
+      }
+      errno = 0;  // integer overflow: fall through to double
+    }
+    char* end = nullptr;
+    const double d = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) return fail("malformed number");
+    out = JsonValue{d};
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= s_.size()) return fail("unexpected end of input");
+    const char c = s_[pos_];
+    if (c == 'n') return literal("null") ? (out = JsonValue{}, true) : fail("bad literal");
+    if (c == 't') return literal("true") ? (out = JsonValue{true}, true) : fail("bad literal");
+    if (c == 'f') return literal("false") ? (out = JsonValue{false}, true) : fail("bad literal");
+    if (c == '"') {
+      std::string s;
+      if (!parse_string(s)) return false;
+      out = JsonValue{std::move(s)};
+      return true;
+    }
+    if (c == '[') {
+      ++pos_;
+      out = JsonValue::array();
+      skip_ws();
+      if (consume(']')) return true;
+      while (true) {
+        JsonValue elem;
+        if (!parse_value(elem, depth + 1)) return false;
+        out.push(std::move(elem));
+        skip_ws();
+        if (consume(']')) return true;
+        if (!consume(',')) return fail("expected ',' or ']'");
+      }
+    }
+    if (c == '{') {
+      ++pos_;
+      out = JsonValue::object();
+      skip_ws();
+      if (consume('}')) return true;
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(key)) return false;
+        skip_ws();
+        if (!consume(':')) return fail("expected ':'");
+        JsonValue elem;
+        if (!parse_value(elem, depth + 1)) return false;
+        out[key] = std::move(elem);
+        skip_ws();
+        if (consume('}')) return true;
+        if (!consume(',')) return fail("expected ',' or '}'");
+      }
+    }
+    return parse_number(out);
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  std::string err_ = "parse error";
+};
+
+}  // namespace
+
+std::optional<JsonValue> json_parse(std::string_view text, std::string* error) {
+  return Parser(text).parse(error);
 }
 
 void JsonValue::dump(std::ostream& out, int indent) const {

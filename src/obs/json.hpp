@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -16,6 +17,15 @@ namespace mcm::obs {
 
 /// Escape `s` as the body of a JSON string (no surrounding quotes).
 [[nodiscard]] std::string json_escape(std::string_view s);
+
+class JsonValue;
+
+/// Parse one JSON document (the subset this writer emits: null, bool,
+/// integer, double, string with the escapes json_escape produces, array,
+/// object). Returns nullopt and fills `error` (when given) on malformed
+/// input or trailing garbage.
+[[nodiscard]] std::optional<JsonValue> json_parse(std::string_view text,
+                                                  std::string* error = nullptr);
 
 class JsonValue {
  public:
@@ -58,6 +68,17 @@ class JsonValue {
   JsonValue& push(JsonValue v);
 
   [[nodiscard]] std::size_t size() const;
+
+  /// Array element access; nullptr when out of range or not an array.
+  [[nodiscard]] const JsonValue* at(std::size_t i) const;
+
+  // Value accessors for parsed documents; numeric kinds convert freely,
+  // anything else returns the fallback.
+  [[nodiscard]] bool as_bool(bool fallback = false) const;
+  [[nodiscard]] std::int64_t as_int(std::int64_t fallback = 0) const;
+  [[nodiscard]] std::uint64_t as_uint(std::uint64_t fallback = 0) const;
+  [[nodiscard]] double as_double(double fallback = 0.0) const;
+  [[nodiscard]] std::string as_string(std::string fallback = {}) const;
 
   /// Serialize. indent <= 0 emits the compact single-line form.
   void dump(std::ostream& out, int indent = 2) const;

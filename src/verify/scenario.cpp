@@ -1,0 +1,422 @@
+#include "verify/scenario.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "load/stream_cache.hpp"
+
+namespace mcm::verify {
+
+namespace {
+
+dram::DeviceSpec device_by_name(const std::string& name) {
+  if (name == "next_gen_mobile_ddr") return dram::DeviceSpec::next_gen_mobile_ddr();
+  if (name == "mobile_ddr_2008") return dram::DeviceSpec::mobile_ddr_2008();
+  if (name == "eight_bank_future") return dram::DeviceSpec::eight_bank_future();
+  if (name == "wide_io_like") return dram::DeviceSpec::wide_io_like();
+  throw std::invalid_argument("unknown device spec: " + name);
+}
+
+ctrl::AddressMux mux_by_name(const std::string& name) {
+  if (name == "RBC") return ctrl::AddressMux::kRBC;
+  if (name == "BRC") return ctrl::AddressMux::kBRC;
+  if (name == "RCB") return ctrl::AddressMux::kRCB;
+  if (name == "RBC-XOR") return ctrl::AddressMux::kRBCXor;
+  throw std::invalid_argument("unknown address mux: " + name);
+}
+
+ctrl::PagePolicy page_policy_by_name(const std::string& name) {
+  if (name == "open") return ctrl::PagePolicy::kOpen;
+  if (name == "closed") return ctrl::PagePolicy::kClosed;
+  if (name == "timeout") return ctrl::PagePolicy::kTimeout;
+  throw std::invalid_argument("unknown page policy: " + name);
+}
+
+ctrl::SchedulerPolicy scheduler_by_name(const std::string& name) {
+  if (name == "FCFS") return ctrl::SchedulerPolicy::kFcfs;
+  if (name == "FR-FCFS") return ctrl::SchedulerPolicy::kFrFcfs;
+  throw std::invalid_argument("unknown scheduler: " + name);
+}
+
+}  // namespace
+
+std::string_view to_string(InjectedBug b) {
+  switch (b) {
+    case InjectedBug::kNone: return "none";
+    case InjectedBug::kIgnoreTwtr: return "ignore-twtr";
+    case InjectedBug::kIgnoreTras: return "ignore-tras";
+    case InjectedBug::kFreePowerdownExit: return "free-powerdown-exit";
+  }
+  return "?";
+}
+
+std::optional<InjectedBug> parse_injected_bug(std::string_view name) {
+  for (const auto b : {InjectedBug::kNone, InjectedBug::kIgnoreTwtr,
+                       InjectedBug::kIgnoreTras, InjectedBug::kFreePowerdownExit}) {
+    if (name == to_string(b)) return b;
+  }
+  return std::nullopt;
+}
+
+multichannel::SystemConfig Scenario::system_config() const {
+  multichannel::SystemConfig cfg;
+  cfg.device = device_by_name(device);
+  cfg.freq = Frequency(static_cast<double>(freq_mhz));
+  cfg.channels = channels;
+  cfg.interleave_bytes = interleave_bytes;
+  cfg.mux = mux_by_name(mux);
+  cfg.controller.page_policy = page_policy_by_name(page_policy);
+  cfg.controller.page_timeout_cycles = page_timeout_cycles;
+  cfg.controller.scheduler = scheduler_by_name(scheduler);
+  cfg.controller.queue_depth = queue_depth;
+  cfg.controller.powerdown_idle_cycles = powerdown_idle_cycles;
+  cfg.controller.selfrefresh_idle_cycles = selfrefresh_idle_cycles;
+  cfg.controller.refresh_postpone_max = refresh_postpone_max;
+  cfg.controller.max_skips = max_skips;
+  cfg.controller.stream_row_hits = stream_row_hits;
+  cfg.interconnect.latency = Time{interconnect_latency_ps};
+  cfg.interconnect.request_interval_cycles = request_interval_cycles;
+  return cfg;
+}
+
+std::uint64_t Scenario::total_requests() const {
+  std::uint64_t n = 0;
+  for (const auto& f : frames) {
+    for (const auto& st : f.stages) n += st.reqs.size();
+  }
+  return n;
+}
+
+namespace {
+
+/// One stage's request stream. Patterns are chosen to stress specific
+/// controller machinery: sequential runs (row-hit streaming), row ping-pong
+/// (conflicts + tRC), bank sweeps (tRRD/tFAW), random scatter (mixed), and
+/// hot-row column hammering (long same-row runs with direction changes).
+std::vector<std::uint64_t> random_stream(Rng& rng, std::uint64_t span_bytes,
+                                         std::uint32_t burst_bytes,
+                                         std::uint64_t row_stride,
+                                         std::size_t count) {
+  const std::uint64_t bursts = std::max<std::uint64_t>(span_bytes / burst_bytes, 1);
+  const auto pick_base = [&] { return rng.next_below(bursts) * burst_bytes; };
+
+  // Direction mode for the whole stage.
+  const int dir_mode = static_cast<int>(rng.next_below(5));
+  std::uint64_t run = 1 + rng.next_below(8);
+  const auto is_write_at = [&](std::size_t i) {
+    switch (dir_mode) {
+      case 0: return false;                          // all reads
+      case 1: return true;                           // all writes
+      case 2: return i % 2 == 1;                     // strict alternation
+      case 3: return (i / run) % 2 == 1;             // runs of one direction
+      default: return rng.next_below(10) < 3;        // 30 % writes
+    }
+  };
+
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  const int pattern = static_cast<int>(rng.next_below(5));
+  switch (pattern) {
+    case 0: {  // sequential run
+      std::uint64_t a = pick_base();
+      for (std::size_t i = 0; i < count; ++i) {
+        out.push_back(load::CachedStage::pack(a % span_bytes, is_write_at(i)));
+        a += burst_bytes;
+      }
+      break;
+    }
+    case 1: {  // ping-pong between two rows (same bank under RBC)
+      const std::uint64_t a = pick_base();
+      const std::uint64_t b = a + row_stride * (1 + rng.next_below(4));
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::uint64_t base = (i % 2 == 0) ? a : b;
+        out.push_back(load::CachedStage::pack(
+            (base + (i / 2) * burst_bytes) % span_bytes, is_write_at(i)));
+      }
+      break;
+    }
+    case 2: {  // bank sweep: consecutive rows rotate banks under RBC
+      const std::uint64_t a = pick_base();
+      for (std::size_t i = 0; i < count; ++i) {
+        out.push_back(load::CachedStage::pack(
+            (a + i * row_stride) % span_bytes, is_write_at(i)));
+      }
+      break;
+    }
+    case 3: {  // random scatter across the span
+      for (std::size_t i = 0; i < count; ++i) {
+        out.push_back(load::CachedStage::pack(pick_base(), is_write_at(i)));
+      }
+      break;
+    }
+    default: {  // hot row: random columns within one row
+      const std::uint64_t base = (pick_base() / row_stride) * row_stride;
+      const std::uint64_t cols = std::max<std::uint64_t>(row_stride / burst_bytes, 1);
+      for (std::size_t i = 0; i < count; ++i) {
+        out.push_back(load::CachedStage::pack(
+            (base + rng.next_below(cols) * burst_bytes) % span_bytes,
+            is_write_at(i)));
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Scenario random_scenario(std::uint64_t seed) {
+  Rng rng(seed);
+  Scenario s;
+  s.seed = seed;
+
+  // Device + frequency (each device has its own DDR clock range).
+  switch (rng.next_below(8)) {
+    case 0:
+    case 1:
+    case 2:
+    case 3: {
+      s.device = "next_gen_mobile_ddr";
+      static constexpr std::uint32_t kFreqs[] = {200, 266, 333, 400, 466, 533};
+      s.freq_mhz = kFreqs[rng.next_below(6)];
+      break;
+    }
+    case 4:
+    case 5: {
+      s.device = "eight_bank_future";  // tFAW-constrained, 8 banks
+      static constexpr std::uint32_t kFreqs[] = {200, 333, 400, 533};
+      s.freq_mhz = kFreqs[rng.next_below(4)];
+      break;
+    }
+    case 6: {
+      s.device = "mobile_ddr_2008";
+      static constexpr std::uint32_t kFreqs[] = {133, 166, 200};
+      s.freq_mhz = kFreqs[rng.next_below(3)];
+      break;
+    }
+    default: {
+      s.device = "wide_io_like";
+      static constexpr std::uint32_t kFreqs[] = {133, 200, 266};
+      s.freq_mhz = kFreqs[rng.next_below(3)];
+      break;
+    }
+  }
+  const dram::DeviceSpec spec = device_by_name(s.device);
+  const std::uint32_t burst = spec.org.bytes_per_burst();
+
+  static constexpr std::uint32_t kChannels[] = {1, 2, 4, 8};
+  s.channels = kChannels[rng.next_below(4)];
+  s.interleave_bytes = burst << rng.next_below(3);  // G, 2G, 4G
+
+  static constexpr const char* kMux[] = {"RBC", "RBC", "RBC", "BRC", "RCB", "RBC-XOR"};
+  s.mux = kMux[rng.next_below(6)];
+
+  static constexpr const char* kPage[] = {"open", "open", "closed", "timeout"};
+  s.page_policy = kPage[rng.next_below(4)];
+  static constexpr std::uint32_t kTimeouts[] = {16, 64, 512};
+  s.page_timeout_cycles = kTimeouts[rng.next_below(3)];
+  s.scheduler = rng.next_below(10) < 7 ? "FR-FCFS" : "FCFS";
+  static constexpr std::uint32_t kDepth[] = {1, 2, 4, 8, 16, 32};
+  s.queue_depth = kDepth[rng.next_below(6)];
+  static constexpr int kPd[] = {-1, 0, 1, 8};
+  s.powerdown_idle_cycles = kPd[rng.next_below(4)];
+  if (rng.next_below(10) < 3) {
+    s.selfrefresh_idle_cycles = rng.next_below(2) == 0 ? 64 : 256;
+  } else {
+    s.selfrefresh_idle_cycles = -1;
+  }
+  static constexpr std::uint32_t kPostpone[] = {0, 0, 4, 8};
+  s.refresh_postpone_max = kPostpone[rng.next_below(4)];
+  static constexpr std::uint32_t kSkips[] = {0, 1, 4, 128};
+  s.max_skips = kSkips[rng.next_below(4)];
+  s.stream_row_hits = rng.next_below(2) == 0;
+
+  static constexpr int kRic[] = {0, 0, 0, 1, 4};
+  s.request_interval_cycles = kRic[rng.next_below(5)];
+  static constexpr std::int64_t kLat[] = {0, 1000, 1000, 5000};
+  s.interconnect_latency_ps = kLat[rng.next_below(4)];
+  static constexpr std::int64_t kPeriod[] = {2'000'000, 20'000'000, 100'000'000,
+                                             1'000'000'000};
+  s.period_ps = kPeriod[rng.next_below(4)];
+  s.sim_threads = 1 + static_cast<unsigned>(rng.next_below(8));
+  s.legacy_feed = rng.next_below(4) == 0;
+
+  // Working set: mostly a few rows/banks (dense reuse), sometimes the whole
+  // device (address wrap in the mapper).
+  const std::uint64_t row_stride = spec.org.row_bytes;  // next row, same bank (RBC rotates banks)
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(s.channels) * spec.org.capacity_bytes();
+  std::uint64_t span;
+  switch (rng.next_below(4)) {
+    case 0: span = row_stride * spec.org.banks * 4; break;       // a few rows/bank
+    case 1: span = row_stride * spec.org.banks * 64; break;      // working-set scale
+    case 2: span = 4 * kMiB; break;
+    default: span = total + row_stride; break;                   // wraps capacity
+  }
+
+  const int frames = 1 + static_cast<int>(rng.next_below(3));
+  std::uint64_t budget = 200 + rng.next_below(1800);  // total request budget
+  for (int f = 0; f < frames; ++f) {
+    ScenarioFrame frame;
+    const int stages = 1 + static_cast<int>(rng.next_below(4));
+    for (int st = 0; st < stages; ++st) {
+      ScenarioStage stage;
+      stage.name = "f" + std::to_string(f) + "s" + std::to_string(st);
+      stage.source = static_cast<std::uint16_t>(st);
+      if (rng.next_below(10) != 0) {  // 10 % of stages are empty
+        const std::size_t count = static_cast<std::size_t>(
+            std::min<std::uint64_t>(20 + rng.next_below(400), budget));
+        stage.reqs = random_stream(rng, span, burst, row_stride, count);
+        budget -= std::min<std::uint64_t>(count, budget);
+      }
+      frame.stages.push_back(std::move(stage));
+    }
+    s.frames.push_back(std::move(frame));
+  }
+  return s;
+}
+
+obs::JsonValue scenario_to_json(const Scenario& s) {
+  obs::JsonValue doc = obs::JsonValue::object();
+  doc["schema"] = "mcm.repro/v1";
+  doc["seed"] = std::uint64_t{s.seed};
+  doc["device"] = s.device;
+  doc["channels"] = s.channels;
+  doc["freq_mhz"] = s.freq_mhz;
+  doc["interleave_bytes"] = s.interleave_bytes;
+  doc["mux"] = s.mux;
+  obs::JsonValue& c = doc["controller"];
+  c["page_policy"] = s.page_policy;
+  c["page_timeout_cycles"] = s.page_timeout_cycles;
+  c["scheduler"] = s.scheduler;
+  c["queue_depth"] = s.queue_depth;
+  c["powerdown_idle_cycles"] = s.powerdown_idle_cycles;
+  c["selfrefresh_idle_cycles"] = s.selfrefresh_idle_cycles;
+  c["refresh_postpone_max"] = s.refresh_postpone_max;
+  c["max_skips"] = s.max_skips;
+  c["stream_row_hits"] = s.stream_row_hits;
+  doc["request_interval_cycles"] = s.request_interval_cycles;
+  doc["interconnect_latency_ps"] = std::int64_t{s.interconnect_latency_ps};
+  doc["period_ps"] = std::int64_t{s.period_ps};
+  doc["sim_threads"] = s.sim_threads;
+  doc["legacy_feed"] = s.legacy_feed;
+  doc["inject"] = std::string(to_string(s.inject));
+  obs::JsonValue& frames = doc["frames"];
+  frames = obs::JsonValue::array();
+  for (const auto& f : s.frames) {
+    obs::JsonValue jf = obs::JsonValue::object();
+    obs::JsonValue& stages = jf["stages"];
+    stages = obs::JsonValue::array();
+    for (const auto& st : f.stages) {
+      obs::JsonValue js = obs::JsonValue::object();
+      js["name"] = st.name;
+      js["source"] = static_cast<std::uint32_t>(st.source);
+      obs::JsonValue& reqs = js["reqs"];
+      reqs = obs::JsonValue::array();
+      for (const std::uint64_t r : st.reqs) reqs.push(obs::JsonValue{r});
+      stages.push(std::move(js));
+    }
+    frames.push(std::move(jf));
+  }
+  return doc;
+}
+
+namespace {
+
+bool set_error(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+  return false;
+}
+
+}  // namespace
+
+std::optional<Scenario> scenario_from_json(const obs::JsonValue& doc,
+                                           std::string* error) {
+  const auto fail = [&](const std::string& msg) -> std::optional<Scenario> {
+    set_error(error, msg);
+    return std::nullopt;
+  };
+  const obs::JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || schema->as_string() != "mcm.repro/v1") {
+    return fail("missing or unsupported schema (want mcm.repro/v1)");
+  }
+  Scenario s;
+  if (const auto* v = doc.find("seed")) s.seed = v->as_uint();
+  if (const auto* v = doc.find("device")) s.device = v->as_string(s.device);
+  if (const auto* v = doc.find("channels")) s.channels = static_cast<std::uint32_t>(v->as_uint(s.channels));
+  if (const auto* v = doc.find("freq_mhz")) s.freq_mhz = static_cast<std::uint32_t>(v->as_uint(s.freq_mhz));
+  if (const auto* v = doc.find("interleave_bytes")) s.interleave_bytes = static_cast<std::uint32_t>(v->as_uint(s.interleave_bytes));
+  if (const auto* v = doc.find("mux")) s.mux = v->as_string(s.mux);
+  if (const auto* c = doc.find("controller")) {
+    if (const auto* v = c->find("page_policy")) s.page_policy = v->as_string(s.page_policy);
+    if (const auto* v = c->find("page_timeout_cycles")) s.page_timeout_cycles = static_cast<std::uint32_t>(v->as_uint(s.page_timeout_cycles));
+    if (const auto* v = c->find("scheduler")) s.scheduler = v->as_string(s.scheduler);
+    if (const auto* v = c->find("queue_depth")) s.queue_depth = static_cast<std::uint32_t>(v->as_uint(s.queue_depth));
+    if (const auto* v = c->find("powerdown_idle_cycles")) s.powerdown_idle_cycles = static_cast<int>(v->as_int(s.powerdown_idle_cycles));
+    if (const auto* v = c->find("selfrefresh_idle_cycles")) s.selfrefresh_idle_cycles = static_cast<int>(v->as_int(s.selfrefresh_idle_cycles));
+    if (const auto* v = c->find("refresh_postpone_max")) s.refresh_postpone_max = static_cast<std::uint32_t>(v->as_uint(s.refresh_postpone_max));
+    if (const auto* v = c->find("max_skips")) s.max_skips = static_cast<std::uint32_t>(v->as_uint(s.max_skips));
+    if (const auto* v = c->find("stream_row_hits")) s.stream_row_hits = v->as_bool(s.stream_row_hits);
+  }
+  if (const auto* v = doc.find("request_interval_cycles")) s.request_interval_cycles = static_cast<int>(v->as_int(s.request_interval_cycles));
+  if (const auto* v = doc.find("interconnect_latency_ps")) s.interconnect_latency_ps = v->as_int(s.interconnect_latency_ps);
+  if (const auto* v = doc.find("period_ps")) s.period_ps = v->as_int(s.period_ps);
+  if (const auto* v = doc.find("sim_threads")) s.sim_threads = static_cast<unsigned>(v->as_uint(s.sim_threads));
+  if (const auto* v = doc.find("legacy_feed")) s.legacy_feed = v->as_bool(s.legacy_feed);
+  if (const auto* v = doc.find("inject")) {
+    const auto bug = parse_injected_bug(v->as_string("none"));
+    if (!bug.has_value()) return fail("unknown inject value");
+    s.inject = *bug;
+  }
+  const obs::JsonValue* frames = doc.find("frames");
+  if (frames == nullptr || !frames->is_array()) return fail("missing frames array");
+  for (std::size_t i = 0; i < frames->size(); ++i) {
+    const obs::JsonValue* jf = frames->at(i);
+    const obs::JsonValue* stages = jf != nullptr ? jf->find("stages") : nullptr;
+    if (stages == nullptr || !stages->is_array()) return fail("frame missing stages");
+    ScenarioFrame frame;
+    for (std::size_t j = 0; j < stages->size(); ++j) {
+      const obs::JsonValue* js = stages->at(j);
+      if (js == nullptr) return fail("bad stage entry");
+      ScenarioStage stage;
+      if (const auto* v = js->find("name")) stage.name = v->as_string();
+      if (const auto* v = js->find("source")) stage.source = static_cast<std::uint16_t>(v->as_uint());
+      if (const auto* reqs = js->find("reqs")) {
+        if (!reqs->is_array()) return fail("stage reqs must be an array");
+        stage.reqs.reserve(reqs->size());
+        for (std::size_t k = 0; k < reqs->size(); ++k) {
+          stage.reqs.push_back(reqs->at(k)->as_uint());
+        }
+      }
+      frame.stages.push_back(std::move(stage));
+    }
+    s.frames.push_back(std::move(frame));
+  }
+  if (s.frames.empty()) return fail("scenario has no frames");
+  return s;
+}
+
+bool save_scenario(const Scenario& s, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  scenario_to_json(s).dump(out, 1);
+  out << '\n';
+  return static_cast<bool>(out);
+}
+
+std::optional<Scenario> load_scenario(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    set_error(error, "cannot open " + path);
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const auto doc = obs::json_parse(buf.str(), error);
+  if (!doc.has_value()) return std::nullopt;
+  return scenario_from_json(*doc, error);
+}
+
+}  // namespace mcm::verify

@@ -1,0 +1,38 @@
+// Delta-debugging shrinker for mismatching scenarios. Given a scenario the
+// oracle rejects (production and reference disagree), greedily minimize it
+// while keeping the disagreement alive: drop whole frames, drop whole
+// stages, delta-debug each stage's request list (halving chunk sizes down
+// to single requests), then simplify configuration knobs toward their
+// defaults. Runs to a fixpoint, so the result is 1-minimal with respect to
+// these passes: removing any single request or reverting any single
+// simplification makes the mismatch disappear.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "verify/scenario.hpp"
+
+namespace mcm::verify {
+
+/// Returns the mismatch description when the scenario still fails, nullopt
+/// when the two simulators agree on it.
+using Oracle = std::function<std::optional<std::string>(const Scenario&)>;
+
+struct ShrinkResult {
+  Scenario scenario;       // the minimized scenario (still mismatching)
+  std::string mismatch;    // its mismatch description
+  std::uint64_t attempts = 0;  // oracle invocations spent
+};
+
+/// Shrink `s` (which must fail the oracle with `mismatch`). `max_attempts`
+/// bounds total oracle invocations; the best scenario found so far is
+/// returned when the budget runs out.
+[[nodiscard]] ShrinkResult shrink_scenario(const Scenario& s,
+                                           const std::string& mismatch,
+                                           const Oracle& oracle,
+                                           std::uint64_t max_attempts = 4000);
+
+}  // namespace mcm::verify

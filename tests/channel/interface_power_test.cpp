@@ -1,0 +1,49 @@
+#include "channel/interface_power.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcm::channel {
+namespace {
+
+TEST(InterfacePower, MatchesHandComputedEquationOne) {
+  // Eq. (1): P = pins * C * V^2 * f * activity
+  //        = 36 * 0.4e-12 F * (1.2 V)^2 * 400e6 Hz * 0.5
+  //        = 36 * 0.4e-12 * 1.44 * 2.0e8 W = 4.1472 mW.
+  const InterfacePowerSpec spec;
+  EXPECT_DOUBLE_EQ(spec.power_mw(Frequency{400.0}), 4.1472);
+}
+
+TEST(InterfacePower, ApproximatelyFiveMilliwattsPerPaperClaim) {
+  // The paper rounds the Eq. (1) result to "approximately 5 mW" per channel.
+  const InterfacePowerSpec spec;
+  const double mw = spec.power_mw(Frequency{400.0});
+  EXPECT_GT(mw, 4.0);
+  EXPECT_LT(mw, 5.0);
+}
+
+TEST(InterfacePower, ScalesLinearlyWithFrequency) {
+  const InterfacePowerSpec spec;
+  EXPECT_DOUBLE_EQ(spec.power_mw(Frequency{800.0}),
+                   2.0 * spec.power_mw(Frequency{400.0}));
+  EXPECT_DOUBLE_EQ(spec.power_mw(Frequency{0.0}), 0.0);
+}
+
+TEST(InterfacePower, DefaultCapacitanceIsTheBondingAverage) {
+  // 0.4 pF is the average of wire bonding (0.6), flip chip (0.2), and tape
+  // automated bonding (0.4).
+  EXPECT_DOUBLE_EQ(InterfacePowerSpec::average_bond_capacitance_pf(), 0.4);
+  EXPECT_DOUBLE_EQ(InterfacePowerSpec{}.capacitance_pf,
+                   InterfacePowerSpec::average_bond_capacitance_pf());
+}
+
+TEST(InterfacePower, RespectsCustomPinAndVoltageSettings) {
+  InterfacePowerSpec spec;
+  spec.pins = 72;  // doubling the pins doubles the power
+  EXPECT_DOUBLE_EQ(spec.power_mw(Frequency{400.0}), 2.0 * 4.1472);
+  spec.pins = 36;
+  spec.vio = 2.4;  // doubling the voltage quadruples it
+  EXPECT_DOUBLE_EQ(spec.power_mw(Frequency{400.0}), 4.0 * 4.1472);
+}
+
+}  // namespace
+}  // namespace mcm::channel

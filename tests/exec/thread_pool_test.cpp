@@ -1,0 +1,126 @@
+#include "exec/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace mcm::exec {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPool, RunBatchComputesAllResults) {
+  ThreadPool pool(3);
+  std::vector<int> out(257, 0);
+  std::vector<ThreadPool::Task> tasks;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    tasks.push_back([&out, i] { out[i] = static_cast<int>(i) * 2; });
+  }
+  pool.run_batch(std::move(tasks));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i) * 2);
+  }
+}
+
+TEST(ThreadPool, SingleWorkerStillRunsEverything) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<int> count{0};
+  std::vector<ThreadPool::Task> tasks;
+  for (int i = 0; i < 64; ++i) {
+    tasks.push_back([&count] { ++count; });
+  }
+  pool.run_batch(std::move(tasks));
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, IdleWorkerStealsFromBlockedPeer) {
+  // Two workers; the first submitted task blocks one worker indefinitely.
+  // Round-robin submission then parks half of the follow-up tasks on the
+  // blocked worker's deque — the free worker must steal them, or the
+  // counter below never reaches 10.
+  ThreadPool pool(2);
+  std::atomic<bool> gate{false};
+  std::atomic<int> count{0};
+  pool.submit([&gate] {
+    while (!gate.load()) std::this_thread::yield();
+  });
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (count.load() < 10 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(count.load(), 10) << "free worker did not steal parked tasks";
+  gate.store(true);
+  pool.wait_idle();
+}
+
+TEST(ThreadPool, FirstExceptionPropagatesFromWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&ran, i] {
+      ++ran;
+      if (i == 3) throw std::runtime_error("task failed");
+    });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 16);  // remaining tasks still ran
+  // The pool stays usable and the error is consumed.
+  pool.submit([&ran] { ++ran; });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 17);
+}
+
+TEST(ThreadPool, ThreadsFromEnvParsesPositiveIntegers) {
+  ::setenv("MCM_THREADS", "6", 1);
+  EXPECT_EQ(ThreadPool::threads_from_env(), 6u);
+  EXPECT_EQ(ThreadPool::default_thread_count(), 6u);
+  EXPECT_EQ(ThreadPool::resolve_thread_count(0), 6u);
+  EXPECT_EQ(ThreadPool::resolve_thread_count(2), 2u);
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 6u);
+
+  ::setenv("MCM_THREADS", "0", 1);
+  EXPECT_EQ(ThreadPool::threads_from_env(), std::nullopt);
+  ::setenv("MCM_THREADS", "garbage", 1);
+  EXPECT_EQ(ThreadPool::threads_from_env(), std::nullopt);
+  ::setenv("MCM_THREADS", "-3", 1);
+  EXPECT_EQ(ThreadPool::threads_from_env(), std::nullopt);
+  ::unsetenv("MCM_THREADS");
+  EXPECT_EQ(ThreadPool::threads_from_env(), std::nullopt);
+  EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+}
+
+TEST(ThreadPool, TasksCanSubmitMoreTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&] {
+    ++count;
+    for (int i = 0; i < 8; ++i) {
+      pool.submit([&count] { ++count; });
+    }
+  });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 9);
+}
+
+}  // namespace
+}  // namespace mcm::exec

@@ -1,0 +1,121 @@
+#include "verify/reference_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+
+#include "verify/scenario.hpp"
+
+namespace mcm::verify {
+namespace {
+
+// Packed request convention from the stream cache: addr | write << 63.
+std::uint64_t pack(std::uint64_t addr, bool write) {
+  return addr | (write ? (1ull << 63) : 0ull);
+}
+
+/// A single-frame scenario of sequential 16-byte requests, alternating
+/// read/write when `mixed` is set.
+Scenario sequential_scenario(std::uint32_t channels, int n, bool mixed = false) {
+  Scenario s;
+  s.channels = channels;
+  s.frames.resize(1);
+  ScenarioStage stage;
+  stage.name = "seq";
+  for (int i = 0; i < n; ++i) {
+    stage.reqs.push_back(
+        pack(static_cast<std::uint64_t>(i) * 16, mixed && (i % 2 == 1)));
+  }
+  s.frames[0].stages.push_back(stage);
+  return s;
+}
+
+TEST(ReferenceModel, CountsEveryRequestOnce) {
+  const Scenario s = sequential_scenario(1, 256, /*mixed=*/true);
+  const RefRunOutput out = run_reference(s);
+  ASSERT_EQ(out.channels.size(), 1u);
+  const RefChannelResult& ch = out.channels[0];
+  EXPECT_EQ(ch.reads, 128u);
+  EXPECT_EQ(ch.writes, 128u);
+  EXPECT_EQ(ch.n_rd, 128u);
+  EXPECT_EQ(ch.n_wr, 128u);
+  EXPECT_EQ(ch.bytes, 256u * 16u);
+  EXPECT_EQ(ch.route_count, 256u);
+  EXPECT_EQ(ch.row_hits + ch.row_misses + ch.row_conflicts, 256u);
+  const std::uint64_t bank_total = std::accumulate(
+      ch.bank_accesses.begin(), ch.bank_accesses.end(), std::uint64_t{0});
+  EXPECT_EQ(bank_total, 256u);
+  EXPECT_GT(out.end_time_ps, 0);
+  EXPECT_GE(out.window_ps, out.end_time_ps);
+}
+
+TEST(ReferenceModel, SequentialTrafficBalancesAcrossChannels) {
+  // 16-byte interleave granularity with 16-byte sequential requests: every
+  // channel serves exactly 1/M of the stream.
+  const Scenario s = sequential_scenario(4, 1024);
+  const RefRunOutput out = run_reference(s);
+  ASSERT_EQ(out.channels.size(), 4u);
+  for (const RefChannelResult& ch : out.channels) {
+    EXPECT_EQ(ch.route_count, 256u);
+    EXPECT_EQ(ch.reads, 256u);
+    EXPECT_EQ(ch.bytes, 256u * 16u);
+  }
+}
+
+TEST(ReferenceModel, FirstFrameStageBookkeeping) {
+  Scenario s;
+  s.channels = 2;
+  s.frames.resize(2);
+  for (int f = 0; f < 2; ++f) {
+    for (int st = 0; st < 3; ++st) {
+      ScenarioStage stage;
+      stage.name = "stage" + std::to_string(st);
+      for (int i = 0; i < 8; ++i) {
+        stage.reqs.push_back(pack(static_cast<std::uint64_t>(st * 8 + i) * 16,
+                                  st == 1));
+      }
+      s.frames[f].stages.push_back(stage);
+    }
+  }
+  const RefRunOutput out = run_reference(s);
+  ASSERT_EQ(out.stage_names.size(), 3u);
+  EXPECT_EQ(out.stage_names[1], "stage1");
+  ASSERT_EQ(out.stage_bytes.size(), 3u);
+  EXPECT_EQ(out.stage_bytes[0], 8u * 16u);
+  ASSERT_EQ(out.stage_completed_ps.size(), 3u);
+  // Stages are barriers: completions are non-decreasing.
+  EXPECT_LE(out.stage_completed_ps[0], out.stage_completed_ps[1]);
+  EXPECT_LE(out.stage_completed_ps[1], out.stage_completed_ps[2]);
+  EXPECT_EQ(out.per_frame_access_ps.size(), 2u);
+}
+
+TEST(ReferenceModel, IsDeterministic) {
+  const Scenario s = random_scenario(0x5eed);
+  const RefRunOutput a = run_reference(s);
+  const RefRunOutput b = run_reference(s);
+  ASSERT_EQ(a.channels.size(), b.channels.size());
+  EXPECT_EQ(a.end_time_ps, b.end_time_ps);
+  EXPECT_EQ(a.window_ps, b.window_ps);
+  for (std::size_t c = 0; c < a.channels.size(); ++c) {
+    ASSERT_EQ(a.channels[c].events.size(), b.channels[c].events.size());
+    for (std::size_t i = 0; i < a.channels[c].events.size(); ++i) {
+      EXPECT_EQ(a.channels[c].events[i].order_time(),
+                b.channels[c].events[i].order_time())
+          << "channel " << c << " event " << i;
+    }
+  }
+}
+
+TEST(ReferenceModel, CommandTimesLandOnClockEdges) {
+  const Scenario s = sequential_scenario(1, 64, /*mixed=*/true);
+  const RefRunOutput out = run_reference(s);
+  const std::int64_t period_ps = 2500;  // 400 MHz
+  for (const obs::TraceEvent& e : out.channels[0].events) {
+    if (e.kind != obs::TraceEvent::Kind::kCommand) continue;
+    EXPECT_EQ(e.at.ps() % period_ps, 0) << "command off the clock edge";
+  }
+}
+
+}  // namespace
+}  // namespace mcm::verify

@@ -1,0 +1,80 @@
+#include "verify/shrink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "common/rng.hpp"
+#include "verify/differ.hpp"
+#include "verify/scenario.hpp"
+
+namespace mcm::verify {
+namespace {
+
+std::optional<std::string> oracle(const Scenario& s) {
+  try {
+    return diff_scenario(s);
+  } catch (const std::exception&) {
+    return std::nullopt;  // unusable shrink candidate, treat as agreement
+  }
+}
+
+/// First fuzz case (from the shared master seed) that the injected bug
+/// makes diverge, together with its mismatch description.
+std::pair<Scenario, std::string> first_mismatch(InjectedBug bug) {
+  mcm::Rng master(1);
+  for (int i = 0; i < 50; ++i) {
+    Scenario s = random_scenario(master.next_u64());
+    s.inject = bug;
+    if (auto m = diff_scenario(s)) return {s, *m};
+  }
+  ADD_FAILURE() << "no mismatching case for '" << to_string(bug) << "'";
+  return {Scenario{}, ""};
+}
+
+TEST(Shrink, MinimizesInjectedTwtrBugToTenRequestsOrFewer) {
+  const auto [scenario, mismatch] = first_mismatch(InjectedBug::kIgnoreTwtr);
+  ASSERT_FALSE(mismatch.empty());
+  const ShrinkResult shrunk = shrink_scenario(scenario, mismatch, oracle);
+  EXPECT_LE(shrunk.scenario.total_requests(), 10u);
+  EXPECT_LE(shrunk.scenario.total_requests(), scenario.total_requests());
+  // The minimized repro must still reproduce a divergence.
+  const auto replay = oracle(shrunk.scenario);
+  ASSERT_TRUE(replay.has_value());
+  EXPECT_EQ(*replay, shrunk.mismatch);
+}
+
+TEST(Shrink, MinimizedScenarioIsOneMinimal) {
+  const auto [scenario, mismatch] = first_mismatch(InjectedBug::kIgnoreTras);
+  ASSERT_FALSE(mismatch.empty());
+  const ShrinkResult shrunk = shrink_scenario(scenario, mismatch, oracle);
+  ASSERT_GE(shrunk.scenario.total_requests(), 1u);
+  // Dropping any single remaining request makes the mismatch disappear —
+  // the shrinker ran its request pass to a fixpoint.
+  for (std::size_t f = 0; f < shrunk.scenario.frames.size(); ++f) {
+    const auto& stages = shrunk.scenario.frames[f].stages;
+    for (std::size_t st = 0; st < stages.size(); ++st) {
+      for (std::size_t r = 0; r < stages[st].reqs.size(); ++r) {
+        Scenario candidate = shrunk.scenario;
+        auto& reqs = candidate.frames[f].stages[st].reqs;
+        reqs.erase(reqs.begin() + static_cast<std::ptrdiff_t>(r));
+        EXPECT_FALSE(oracle(candidate).has_value())
+            << "frame " << f << " stage " << st << " request " << r
+            << " was removable";
+      }
+    }
+  }
+}
+
+TEST(Shrink, RespectsTheAttemptBudget) {
+  const auto [scenario, mismatch] = first_mismatch(InjectedBug::kIgnoreTwtr);
+  ASSERT_FALSE(mismatch.empty());
+  const ShrinkResult shrunk = shrink_scenario(scenario, mismatch, oracle, 5);
+  EXPECT_LE(shrunk.attempts, 5u);
+  // Even with a tiny budget the result must still be a failing scenario.
+  EXPECT_TRUE(oracle(shrunk.scenario).has_value());
+}
+
+}  // namespace
+}  // namespace mcm::verify

@@ -1,0 +1,52 @@
+#include "xdr/xdr_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "channel/interface_power.hpp"
+#include "multichannel/memory_system.hpp"
+
+namespace mcm::xdr {
+namespace {
+
+TEST(XdrModel, DefaultsMatchThePaperReferencePoint) {
+  // Paper Section IV (citing Yip et al.): dual-channel XDR at 1.6 GHz,
+  // 25.6 GB/s, ~5 W typical.
+  const XdrInterface xdr;
+  EXPECT_DOUBLE_EQ(xdr.clock_ghz, 1.6);
+  EXPECT_DOUBLE_EQ(xdr.bandwidth_gb_per_s, 25.6);
+  EXPECT_DOUBLE_EQ(xdr.typical_power_w, 5.0);
+  EXPECT_DOUBLE_EQ(xdr.typical_power_mw(), 5000.0);
+}
+
+TEST(XdrModel, PowerFractionIsRelativeToTypicalPower) {
+  const XdrInterface xdr;
+  EXPECT_DOUBLE_EQ(xdr.power_fraction(5000.0), 1.0);
+  // The paper's comparison range: the 8-channel mobile DDR subsystem runs
+  // at 4-25 % of XDR power depending on the encoding format.
+  EXPECT_DOUBLE_EQ(xdr.power_fraction(200.0), 0.04);
+  EXPECT_DOUBLE_EQ(xdr.power_fraction(1250.0), 0.25);
+}
+
+TEST(XdrModel, EightChannelMobileDdrMatchesXdrBandwidth) {
+  // The headline comparison: 8 channels at 400 MHz reach XDR-class
+  // aggregate bandwidth.
+  multichannel::SystemConfig cfg;
+  cfg.channels = 8;
+  cfg.freq = Frequency{400.0};
+  const multichannel::MemorySystem sys(cfg);
+  const XdrInterface xdr;
+  EXPECT_NEAR(sys.peak_bandwidth_bytes_per_s() / 1e9, xdr.bandwidth_gb_per_s,
+              0.7);
+}
+
+TEST(XdrModel, EightChannelInterfacePowerIsSmallFractionOfXdr) {
+  // Even 8 channels' worth of Eq. (1) interface power (~33 mW) is under 1 %
+  // of XDR's typical 5 W — the interface is not where the power goes.
+  const channel::InterfacePowerSpec iface;
+  const XdrInterface xdr;
+  const double eight_channel_mw = 8.0 * iface.power_mw(Frequency{400.0});
+  EXPECT_LT(xdr.power_fraction(eight_channel_mw), 0.01);
+}
+
+}  // namespace
+}  // namespace mcm::xdr
