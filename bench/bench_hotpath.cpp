@@ -14,6 +14,9 @@
 //   bench_hotpath --update [<baseline>]   # refresh the baseline in place,
 //                                         # printing the per-cell deltas
 //   bench_hotpath --no-fastpath           # measure with row-hit streaming off
+//   bench_hotpath --profile               # also write a per-cell engine
+//                                         # profile (mcm.prof_set/v1) next to
+//                                         # the JSON output, for mcm_prof
 //
 // The tolerance can also come from MCM_PERF_TOLERANCE. Baseline numbers are
 // machine-dependent: refresh them (docs/performance.md, "Updating the perf
@@ -29,6 +32,7 @@
 
 #include "core/experiments.hpp"
 #include "obs/json.hpp"
+#include "obs/prof.hpp"
 #include "video/h264_levels.hpp"
 
 namespace {
@@ -50,6 +54,7 @@ struct CellResult {
   double wall_ms_best = 0;
   double wall_ms_mean = 0;
   double requests_per_s = 0;
+  obs::JsonValue profile;  // mcm.prof/v1 doc when --profile, else null
 };
 
 double now_ms() {
@@ -59,7 +64,7 @@ double now_ms() {
 }
 
 CellResult run_cell(const core::ExperimentConfig& base, const Cell& cell,
-                    double min_time_ms, int min_iters) {
+                    double min_time_ms, int min_iters, bool profile) {
   core::ExperimentConfig cfg = base;
   cfg.base.channels = cell.channels;
   cfg.base.freq = Frequency{400.0};
@@ -91,6 +96,8 @@ CellResult run_cell(const core::ExperimentConfig& base, const Cell& cell,
     const auto res = sim.run(cfg.base, cfg.usecase);
     r.requests = res.stats.accesses();
   }
+  // Discard the warm-up's profile so the sidecar covers timed iterations only.
+  if (profile) (void)obs::prof::collect(/*reset=*/true);
 
   double total_ms = 0;
   double best_ms = 0;
@@ -113,7 +120,21 @@ CellResult run_cell(const core::ExperimentConfig& base, const Cell& cell,
   r.wall_ms_mean = total_ms / iters;
   r.requests_per_s = best_ms > 0 ? static_cast<double>(r.requests) / (best_ms / 1e3)
                                  : 0.0;
+  if (profile) {
+    r.profile = obs::prof::collect(/*reset=*/true).to_json(/*with_spans=*/true);
+  }
   return r;
+}
+
+/// "<stem>.json" -> "<stem>.prof.json" (plain append otherwise).
+std::string prof_sidecar_path(const std::string& out_path) {
+  const std::string suffix = ".json";
+  if (out_path.size() > suffix.size() &&
+      out_path.compare(out_path.size() - suffix.size(), suffix.size(), suffix) ==
+          0) {
+    return out_path.substr(0, out_path.size() - suffix.size()) + ".prof.json";
+  }
+  return out_path + ".prof.json";
 }
 
 /// Minimal scanner for this bench's own JSON output: pairs each "label"
@@ -159,6 +180,7 @@ int main(int argc, char** argv) {
   double min_time_ms = 500.0;
   int min_iters = 3;
   bool fastpath = true;
+  bool profile = false;
 
   if (const char* env = std::getenv("MCM_PERF_TOLERANCE")) {
     tolerance = std::strtod(env, nullptr);
@@ -179,6 +201,8 @@ int main(int argc, char** argv) {
       if (i + 1 < argc && argv[i + 1][0] != '-') out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--no-fastpath") == 0) {
       fastpath = false;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      profile = true;
     } else {
       std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
       return 2;
@@ -187,6 +211,7 @@ int main(int argc, char** argv) {
 
   auto cfg = core::ExperimentConfig::paper_defaults();
   cfg.base.controller.stream_row_hits = fastpath;
+  if (profile) obs::prof::set_enabled(true);
 
   // The paper's headline cell (720p30, 4 ch) plus a single-channel contrast
   // point and two heavier formats that stress queue pressure differently.
@@ -217,7 +242,7 @@ int main(int argc, char** argv) {
 
   std::vector<CellResult> results;
   for (const auto& cell : cells) {
-    CellResult r = run_cell(cfg, cell, min_time_ms, min_iters);
+    CellResult r = run_cell(cfg, cell, min_time_ms, min_iters, profile);
     std::printf("%-18s %10llu %6d %12.2f %12.2f %14.0f\n", r.label.c_str(),
                 static_cast<unsigned long long>(r.requests), r.iters,
                 r.wall_ms_best, r.wall_ms_mean, r.requests_per_s);
@@ -304,6 +329,34 @@ int main(int argc, char** argv) {
     std::printf("\n[baseline: %s]\n", out_path.c_str());
   } else {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+  }
+
+  if (profile) {
+    const std::string prof_path = prof_sidecar_path(out_path);
+    obs::JsonValue pset = obs::JsonValue::object();
+    pset["schema"] = "mcm.prof_set/v1";
+    pset["freq_mhz"] = 400.0;
+    pset["fastpath"] = fastpath;
+    auto& pcells = pset["cells"];
+    pcells = obs::JsonValue::array();
+    for (auto& r : results) {
+      obs::JsonValue c = obs::JsonValue::object();
+      c["label"] = r.label;
+      c["iters"] = r.iters;
+      c["requests"] = r.requests;
+      c["wall_ms_best"] = r.wall_ms_best;
+      c["wall_ms_mean"] = r.wall_ms_mean;
+      c["profile"] = std::move(r.profile);
+      pcells.push(std::move(c));
+    }
+    std::ofstream pout(prof_path);
+    if (pout) {
+      pset.dump(pout, 2);
+      pout << "\n";
+      std::printf("[profile: %s]\n", prof_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", prof_path.c_str());
+    }
   }
   return 0;
 }

@@ -12,6 +12,7 @@
 #include "core/sharded_engine.hpp"
 #include "load/stream_cache.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "obs/trace.hpp"
 
 namespace mcm::core {
@@ -40,6 +41,42 @@ void warn_capacity_once(std::uint64_t working_set, std::uint64_t capacity) {
 
 FrameSimResult FrameSimulator::run(const multichannel::SystemConfig& system,
                                    const video::UseCaseParams& usecase) const {
+  if (opt_.profile) obs::prof::set_enabled(true);
+  if (!obs::prof::enabled()) return run_impl(system, usecase);
+
+  FrameSimResult result;
+  {
+    static const obs::prof::PhaseId kRun = obs::prof::phase_id("sim/run");
+    obs::prof::ScopedTimer span(kRun);
+    result = run_impl(system, usecase);
+  }
+  if (!opt_.prof_path.empty() || !opt_.prof_trace_path.empty()) {
+    const obs::prof::ProfileReport report = obs::prof::collect(/*reset=*/true);
+    if (!opt_.prof_path.empty()) {
+      std::ofstream out(opt_.prof_path);
+      if (out) {
+        report.to_json(/*with_spans=*/true).dump(out);
+        out << '\n';
+      } else {
+        MCM_LOG_WARN("cannot open profile file '%s'", opt_.prof_path.c_str());
+      }
+    }
+    if (!opt_.prof_trace_path.empty()) {
+      std::ofstream out(opt_.prof_trace_path);
+      if (out) {
+        report.write_chrome_trace(out);
+      } else {
+        MCM_LOG_WARN("cannot open trace-events file '%s'",
+                     opt_.prof_trace_path.c_str());
+      }
+    }
+  }
+  return result;
+}
+
+FrameSimResult FrameSimulator::run_impl(
+    const multichannel::SystemConfig& system,
+    const video::UseCaseParams& usecase) const {
   assert(opt_.frames >= 1);
   const video::UseCaseModel model(usecase);
 
@@ -106,10 +143,16 @@ FrameSimResult FrameSimulator::run(const multichannel::SystemConfig& system,
     // The memoized per-frame request stream: one enumeration per format,
     // replayed into every grid point that shares it.
     auto& cache = load::StreamCache::instance();
-    const auto workload = cache.get(model, layout, align, load_opt);
+    std::shared_ptr<const load::CachedWorkload> workload;
     std::shared_ptr<const load::CachedWorkload> intra_workload;
-    if (intra_model != nullptr) {
-      intra_workload = cache.get(*intra_model, layout, align, load_opt);
+    {
+      static const obs::prof::PhaseId kLoad =
+          obs::prof::phase_id("sim/load_build");
+      obs::prof::ScopedTimer span(kLoad);
+      workload = cache.get(model, layout, align, load_opt);
+      if (intra_model != nullptr) {
+        intra_workload = cache.get(*intra_model, layout, align, load_opt);
+      }
     }
     std::vector<const load::CachedWorkload*> frames(
         static_cast<std::size_t>(opt_.frames), workload.get());
@@ -125,8 +168,11 @@ FrameSimResult FrameSimulator::run(const multichannel::SystemConfig& system,
       }
     }
 
+    static const obs::prof::PhaseId kEngine = obs::prof::phase_id("sim/engine");
+    obs::prof::ScopedTimer engine_span(kEngine);
     const auto out =
         run_sharded_frames(sys, frames, period, opt_.sim_threads);
+    engine_span.stop();
     t = out.end_time;
     access_accum = out.access_accum;
     bytes_first_frame = out.bytes_first_frame;
@@ -220,6 +266,11 @@ FrameSimResult FrameSimulator::run(const multichannel::SystemConfig& system,
         stage_last_done = stage_start;
         std::uint64_t stage_bytes = 0;
         current_stage_id = src->done() ? 0xffff : src->head().source;
+        static const obs::prof::PhaseId kFeed = obs::prof::phase_id("sim/feed");
+        static const obs::prof::PhaseId kDrain =
+            obs::prof::phase_id("sim/drain");
+        const bool pon = obs::prof::enabled();
+        const std::int64_t t_feed0 = pon ? obs::prof::now_ns() : 0;
         while (!src->done()) {
           feed_paced(sys.max_horizon());
           if (sys.try_submit(src->head())) {
@@ -229,8 +280,14 @@ FrameSimResult FrameSimulator::run(const multichannel::SystemConfig& system,
             on_complete(*c);
           }
         }
+        const std::int64_t t_drain0 = pon ? obs::prof::now_ns() : 0;
         // Stage barrier: the next stage consumes this stage's output frame.
         while (auto c = sys.process_next()) on_complete(*c);
+        if (pon) {
+          const std::int64_t t_end = obs::prof::now_ns();
+          obs::prof::tally(kFeed, t_drain0 - t_feed0);
+          obs::prof::tally(kDrain, t_end - t_drain0);
+        }
         const Time last_done = stage_last_done;
         stage_start = max(stage_start, last_done);
         if (frame == 0) {
@@ -267,9 +324,17 @@ FrameSimResult FrameSimulator::run(const multichannel::SystemConfig& system,
   }
 
   const Time window = max(t, period * opt_.frames);
-  sys.finalize(window);
+  {
+    static const obs::prof::PhaseId kFinalize =
+        obs::prof::phase_id("sim/finalize");
+    obs::prof::ScopedTimer span(kFinalize);
+    sys.finalize(window);
+  }
 
   if (!spools.empty()) {
+    static const obs::prof::PhaseId kMerge =
+        obs::prof::phase_id("sim/trace_merge");
+    obs::prof::ScopedTimer span(kMerge);
     std::vector<const obs::TraceSpool*> refs;
     refs.reserve(spools.size());
     for (const auto& s : spools) refs.push_back(&s);

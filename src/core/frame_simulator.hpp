@@ -64,6 +64,17 @@ struct FrameSimOptions {
   /// When set, the memory system's full metric catalogue is published here
   /// after the run (per-channel, per-bank, interleaver, residency).
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// Self-profiling (obs/prof). `profile` force-enables the process-wide
+  /// profiler for this run (MCM_PROF=1 in the environment does the same for
+  /// every run). When prof_path is non-empty the accumulated profile is
+  /// collected - and the global profiler reset - after the run and written
+  /// there as mcm.prof/v1 JSON; prof_trace_path additionally writes a
+  /// Chrome/Perfetto trace_events file. Profiling observes the host clock
+  /// only and never alters simulated results.
+  bool profile = false;
+  std::string prof_path;
+  std::string prof_trace_path;
 };
 
 struct StageResult {
@@ -110,6 +121,9 @@ class FrameSimulator {
                                    const video::UseCaseParams& usecase) const;
 
  private:
+  FrameSimResult run_impl(const multichannel::SystemConfig& system,
+                          const video::UseCaseParams& usecase) const;
+
   FrameSimOptions opt_;
 };
 

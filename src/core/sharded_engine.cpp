@@ -2,12 +2,14 @@
 
 #include <atomic>
 #include <cassert>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <thread>
 #include <utility>
 
 #include "exec/thread_pool.hpp"
+#include "obs/prof.hpp"
 
 namespace mcm::core {
 namespace {
@@ -45,6 +47,45 @@ struct alignas(64) ChanState {
   bool tmax_valid = false;
   std::uint64_t routed = 0;
 };
+
+// Per-worker self-profiling handles (obs/prof). Everything here observes
+// host-side wall clock only and never feeds back into engine decisions, so
+// simulated results are identical with profiling on or off. Interning the
+// per-worker phase names costs a handful of map lookups per run, paid only
+// when profiling is enabled.
+struct WorkerProf {
+  bool on = false;
+  obs::prof::PhaseId feed{};        // main-loop wall per segment (incl. waits)
+  obs::prof::PhaseId drain{};       // stage-barrier drain wall per segment
+  obs::prof::PhaseId handoff{};     // cursor-handoff wait episodes
+  obs::prof::PhaseId ring_full{};   // SPSC threshold-ring full stalls
+  obs::prof::PhaseId barrier{};     // segment-barrier wait
+  obs::prof::PhaseId retired{};     // completions popped by this worker
+  obs::prof::PhaseId folded{};      // thresholds folded from rings
+  obs::prof::PhaseId occupancy{};   // ring occupancy sampled at publish
+};
+
+WorkerProf make_worker_prof(unsigned w) {
+  WorkerProf p;
+  p.on = obs::prof::enabled();
+  if (!p.on) return p;
+  char buf[48];
+  const auto id = [&](const char* suffix) {
+    std::snprintf(buf, sizeof buf, "engine/w%u/%s", w, suffix);
+    return obs::prof::phase_id(buf);
+  };
+  p.feed = id("feed");
+  p.drain = id("drain");
+  p.handoff = id("handoff_wait");
+  p.ring_full = id("ring_full_wait");
+  p.barrier = id("barrier_wait");
+  p.retired = id("retired");
+  p.folded = id("thresholds_folded");
+  p.occupancy = id("ring_occupancy");
+  std::snprintf(buf, sizeof buf, "engine/w%u", w);
+  obs::prof::set_thread_label(buf);
+  return p;
+}
 
 struct Segment {
   const load::CachedStage* stage = nullptr;
@@ -109,24 +150,36 @@ void fold_threshold(ChanState& st, std::int64_t h_ps, std::uint32_t idx) {
 }
 
 /// Fold every published-but-unconsumed threshold into the channel's max.
-void drain_ring(ChanState& st) {
+/// Returns the number of thresholds folded (0 on the common empty path).
+std::uint64_t drain_ring(ChanState& st) {
   const std::uint64_t pub = st.published.load(std::memory_order_acquire);
   std::uint64_t con = st.consumed.load(std::memory_order_relaxed);
-  if (con == pub) return;
+  if (con == pub) return 0;
+  const std::uint64_t folded = pub - con;
   do {
     const ChanState::Entry& e = st.ring[con % kRingCap];
     fold_threshold(st, e.h_ps, e.idx);
   } while (++con < pub);
   st.consumed.store(con, std::memory_order_release);
+  return folded;
 }
 
-void publish(Shared& sh, ChanState& dst, std::int64_t h_ps,
-             std::uint32_t idx) {
+/// When `stall_ns` is non-null (profiling), full-ring producer stalls are
+/// accumulated there; `*stalls` counts the episodes.
+void publish(Shared& sh, ChanState& dst, std::int64_t h_ps, std::uint32_t idx,
+             std::int64_t* stall_ns, std::uint64_t* stalls) {
   const std::uint64_t pub = dst.published.load(std::memory_order_relaxed);
-  unsigned spins = 0;
-  while (pub - dst.consumed.load(std::memory_order_acquire) >= kRingCap) {
-    if (sh.failed.load(std::memory_order_relaxed)) return;
-    spin_pause(spins, sh.oversubscribed);  // the consumer drains on every cursor poll
+  if (pub - dst.consumed.load(std::memory_order_acquire) >= kRingCap) {
+    const std::int64_t t0 = stall_ns != nullptr ? obs::prof::now_ns() : 0;
+    unsigned spins = 0;
+    do {
+      if (sh.failed.load(std::memory_order_relaxed)) return;
+      spin_pause(spins, sh.oversubscribed);  // the consumer drains on every cursor poll
+    } while (pub - dst.consumed.load(std::memory_order_acquire) >= kRingCap);
+    if (stall_ns != nullptr) {
+      *stall_ns += obs::prof::now_ns() - t0;
+      ++*stalls;
+    }
   }
   dst.ring[pub % kRingCap] = ChanState::Entry{h_ps, idx};
   dst.published.store(pub + 1, std::memory_order_release);
@@ -173,23 +226,33 @@ void serial_step(Shared& sh, std::size_t i) {
 
 /// Sense-reversing barrier; the last arriver runs the serial step for
 /// segment `i`. Returns false when the run was aborted by a failure.
-bool barrier(Shared& sh, std::size_t i) {
+bool barrier(Shared& sh, std::size_t i, const WorkerProf& wp) {
   const std::uint64_t gen = sh.generation.load(std::memory_order_acquire);
   if (sh.arrived.fetch_add(1, std::memory_order_acq_rel) + 1 == sh.workers) {
+    static const obs::prof::PhaseId kSerialStep =
+        obs::prof::phase_id("engine/serial_step");
+    const std::int64_t t0 = wp.on ? obs::prof::now_ns() : 0;
     serial_step(sh, i);
+    if (wp.on) obs::prof::tally(kSerialStep, obs::prof::now_ns() - t0);
     sh.arrived.store(0, std::memory_order_relaxed);
     sh.generation.store(gen + 1, std::memory_order_release);
     return !sh.failed.load(std::memory_order_relaxed);
   }
+  const std::int64_t t0 = wp.on ? obs::prof::now_ns() : 0;
   unsigned spins = 0;
   while (sh.generation.load(std::memory_order_acquire) == gen) {
-    if (sh.failed.load(std::memory_order_relaxed)) return false;
+    if (sh.failed.load(std::memory_order_relaxed)) {
+      if (wp.on) obs::prof::tally(wp.barrier, obs::prof::now_ns() - t0);
+      return false;
+    }
     spin_pause(spins, sh.oversubscribed);
   }
+  if (wp.on) obs::prof::tally(wp.barrier, obs::prof::now_ns() - t0);
   return !sh.failed.load(std::memory_order_relaxed);
 }
 
-void run_segment(Shared& sh, const Segment& s, unsigned w) {
+void run_segment(Shared& sh, const Segment& s, unsigned w,
+                 const WorkerProf& wp) {
   const std::uint64_t n = s.stage->reqs.size();
   const std::uint64_t* reqs = s.stage->reqs.data();
   const std::uint32_t channels = sh.sys.channel_count();
@@ -198,9 +261,22 @@ void run_segment(Shared& sh, const Segment& s, unsigned w) {
   const std::uint16_t sid = s.stage->source_id;
   Time local_done = arr;
 
+  // Profiling accumulators, flushed once per segment. Timing the handoff
+  // wait costs two clock reads per *episode* (an unbroken run of non-owned
+  // positions), never per request; with one worker no episode ever starts.
+  const bool pon = wp.on;
+  const std::int64_t t_feed0 = pon ? obs::prof::now_ns() : 0;
+  std::int64_t handoff_wait_t0 = 0;
+  bool handoff_waiting = false;
+  std::int64_t ring_stall_ns = 0;
+  std::uint64_t ring_stalls = 0;
+  std::uint64_t retired = 0;
+  std::uint64_t folded = 0;
+
   const auto pop = [&](channel::Channel& ch) {
     const auto c = ch.process_one();
     local_done = max(local_done, c.done);
+    retired += static_cast<std::uint64_t>(pon);
   };
 
   unsigned spins = 0;
@@ -212,13 +288,23 @@ void run_segment(Shared& sh, const Segment& s, unsigned w) {
     const std::uint32_t c = routed.channel;
     if (c % T != w) {
       // Not ours: keep our channels' thresholds folded and wait.
-      for (std::uint32_t k = w; k < channels; k += T) drain_ring(sh.chans[k]);
+      if (pon && !handoff_waiting) {
+        handoff_waiting = true;
+        handoff_wait_t0 = obs::prof::now_ns();
+      }
+      for (std::uint32_t k = w; k < channels; k += T) {
+        folded += drain_ring(sh.chans[k]);
+      }
       spin_pause(spins, sh.oversubscribed);
       continue;
     }
+    if (handoff_waiting) {
+      obs::prof::tally(wp.handoff, obs::prof::now_ns() - handoff_wait_t0);
+      handoff_waiting = false;
+    }
     channel::Channel& ch = sh.sys.channel(c);
     ChanState& st = sh.chans[c];
-    drain_ring(st);
+    folded += drain_ring(st);
     if (st.tmax_valid) {
       while (ch.has_pending() &&
              key_less(ch.horizon().ps(), c, st.tmax_ps, st.tmax_idx)) {
@@ -238,10 +324,19 @@ void run_segment(Shared& sh, const Segment& s, unsigned w) {
           // poll its ring while we hold the cursor - fold directly (after
           // the ring, to keep thresholds max-merged with any cross-worker
           // ones already queued).
-          drain_ring(sh.chans[k]);
+          folded += drain_ring(sh.chans[k]);
           fold_threshold(sh.chans[k], hj, c);
         } else {
-          publish(sh, sh.chans[k], hj, c);
+          if (pon) {
+            const ChanState& dst = sh.chans[k];
+            obs::prof::value(
+                wp.occupancy,
+                static_cast<std::int64_t>(
+                    dst.published.load(std::memory_order_relaxed) -
+                    dst.consumed.load(std::memory_order_relaxed)));
+          }
+          publish(sh, sh.chans[k], hj, c, pon ? &ring_stall_ns : nullptr,
+                  &ring_stalls);
         }
       }
     }
@@ -256,7 +351,11 @@ void run_segment(Shared& sh, const Segment& s, unsigned w) {
     ch.enqueue(r);
     ++st.routed;
   }
+  if (handoff_waiting) {
+    obs::prof::tally(wp.handoff, obs::prof::now_ns() - handoff_wait_t0);
+  }
 
+  const std::int64_t t_drain0 = pon ? obs::prof::now_ns() : 0;
   // Stage barrier: drain owned channels to empty. All enqueues into our
   // channels happened on this worker, and trailing thresholds are subsumed
   // by the full drain.
@@ -266,13 +365,23 @@ void run_segment(Shared& sh, const Segment& s, unsigned w) {
     while (ch.has_pending()) pop(ch);
   }
   sh.slot_last_done[w] = local_done;
+
+  if (pon) {
+    const std::int64_t t_end = obs::prof::now_ns();
+    obs::prof::tally(wp.feed, t_drain0 - t_feed0);
+    obs::prof::tally(wp.drain, t_end - t_drain0);
+    if (ring_stalls > 0) obs::prof::tally(wp.ring_full, ring_stall_ns, ring_stalls);
+    if (retired > 0) obs::prof::count(wp.retired, retired);
+    if (folded > 0) obs::prof::count(wp.folded, folded);
+  }
 }
 
 void run_worker(Shared& sh, unsigned w) {
+  const WorkerProf wp = make_worker_prof(w);
   try {
     for (std::size_t i = 0; i < sh.segments.size(); ++i) {
-      run_segment(sh, sh.segments[i], w);
-      if (!barrier(sh, i)) return;
+      run_segment(sh, sh.segments[i], w, wp);
+      if (!barrier(sh, i, wp)) return;
     }
   } catch (...) {
     sh.failed.store(true, std::memory_order_relaxed);

@@ -8,6 +8,7 @@
 #include "core/sharded_engine.hpp"
 #include "explore/thread_pool.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 
 namespace mcm::explore {
 namespace {
@@ -36,6 +37,10 @@ core::FrameSimOptions point_sim_options(const ExperimentSpec& spec,
   opt.load.seed = point.seed(spec.base_seed);
   opt.metrics = nullptr;
   opt.trace_path.clear();
+  // Concurrent points must not each collect-and-reset the global profiler;
+  // profile the whole exploration and collect once at the caller instead.
+  opt.prof_path.clear();
+  opt.prof_trace_path.clear();
   opt.sim_threads = budgeted_sim_threads(opt.sim_threads, pool_threads);
   return opt;
 }
@@ -48,6 +53,14 @@ ExploreRun Orchestrator::run(const ExperimentSpec& spec) const {
 
 ExploreRun Orchestrator::run(const ExperimentSpec& spec,
                              std::vector<ExplorePoint> points) const {
+  static const obs::prof::PhaseId kRun = obs::prof::phase_id("explore/run");
+  static const obs::prof::PhaseId kQueueWait =
+      obs::prof::phase_id("explore/queue_wait");
+  static const obs::prof::PhaseId kAnalytic =
+      obs::prof::phase_id("explore/point_analytic");
+  static const obs::prof::PhaseId kExecute =
+      obs::prof::phase_id("explore/point_execute");
+  obs::prof::ScopedTimer run_span(kRun);
   const auto t0 = std::chrono::steady_clock::now();
 
   ExploreRun run;
@@ -66,8 +79,14 @@ ExploreRun Orchestrator::run(const ExperimentSpec& spec,
   if (want_screen) {
     std::vector<ThreadPool::Task> tasks;
     tasks.reserve(points.size());
+    const bool pon = obs::prof::enabled();
     for (std::size_t i = 0; i < points.size(); ++i) {
-      tasks.push_back([&spec, &run, i] {
+      // Queue latency = enqueue-to-start; measured only when profiling so
+      // the task captures nothing extra otherwise.
+      const std::int64_t enq = pon ? obs::prof::now_ns() : 0;
+      tasks.push_back([&spec, &run, i, enq] {
+        if (enq != 0) obs::prof::tally(kQueueWait, obs::prof::now_ns() - enq);
+        obs::prof::ScopedTimer span(kAnalytic);
         ExploreResult& r = run.results[i];
         r.analytic = core::analytic_estimate(r.point.system(spec.base),
                                              r.point.usecase(spec.base),
@@ -93,7 +112,11 @@ ExploreRun Orchestrator::run(const ExperimentSpec& spec,
         continue;
       }
       const unsigned pool_threads = pool.size();
-      tasks.push_back([&spec, &run, i, pool_threads] {
+      const std::int64_t enq =
+          obs::prof::enabled() ? obs::prof::now_ns() : 0;
+      tasks.push_back([&spec, &run, i, pool_threads, enq] {
+        if (enq != 0) obs::prof::tally(kQueueWait, obs::prof::now_ns() - enq);
+        obs::prof::ScopedTimer span(kExecute);
         ExploreResult& r = run.results[i];
         const core::FrameSimulator sim(
             point_sim_options(spec, r.point, pool_threads));

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/prof.hpp"
+
 namespace mcm::load {
 namespace {
 
@@ -45,6 +47,9 @@ bool StreamCache::enabled() {
 std::shared_ptr<const CachedWorkload> StreamCache::generate(
     const video::UseCaseModel& model, const video::SurfaceLayout& layout,
     const LoadOptions& opt) {
+  static const obs::prof::PhaseId kBuild =
+      obs::prof::phase_id("stream_cache/build");
+  obs::prof::ScopedTimer span(kBuild);
   auto wl = std::make_shared<CachedWorkload>();
   wl->burst_bytes = opt.burst_bytes;
   auto sources = build_stage_sources(model, layout, opt);
@@ -71,12 +76,19 @@ std::shared_ptr<const CachedWorkload> StreamCache::get(
     const video::UseCaseModel& model, const video::SurfaceLayout& layout,
     std::uint64_t alignment, const LoadOptions& opt) {
   if (!enabled()) return generate(model, layout, opt);
+  static const obs::prof::PhaseId kHit = obs::prof::phase_id("stream_cache/hit");
+  static const obs::prof::PhaseId kMiss =
+      obs::prof::phase_id("stream_cache/miss");
   const std::string key = make_key(model.params(), alignment, opt);
   {
     std::lock_guard lock(mutex_);
     const auto it = map_.find(key);
-    if (it != map_.end()) return it->second;
+    if (it != map_.end()) {
+      obs::prof::count(kHit, 1);
+      return it->second;
+    }
   }
+  obs::prof::count(kMiss, 1);
   // Generate outside the lock: two threads may race to build the same
   // format, in which case the first insert wins and the loser's copy is
   // dropped (both are identical by construction).

@@ -6,6 +6,9 @@
 
 namespace mcm::obs {
 
+// get_or_create is the only map mutator; every public entry point takes
+// mutex_ first. std::map nodes are stable, so references handed out remain
+// valid while other threads keep registering.
 MetricsRegistry::Metric& MetricsRegistry::get_or_create(const std::string& name,
                                                         MetricKind kind) {
   auto [it, inserted] = metrics_.try_emplace(name);
@@ -18,12 +21,14 @@ MetricsRegistry::Metric& MetricsRegistry::get_or_create(const std::string& name,
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
   Metric& m = get_or_create(name, MetricKind::kCounter);
   if (!m.counter) m.counter = std::make_unique<Counter>();
   return *m.counter;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
   Metric& m = get_or_create(name, MetricKind::kGauge);
   if (!m.gauge) m.gauge = std::make_unique<Gauge>();
   return *m.gauge;
@@ -31,21 +36,30 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 
 Histogram& MetricsRegistry::histogram(const std::string& name, double lo,
                                       double hi, std::size_t buckets) {
+  std::lock_guard lock(mutex_);
   Metric& m = get_or_create(name, MetricKind::kHistogram);
   if (!m.histogram) m.histogram = std::make_unique<Histogram>(lo, hi, buckets);
   return *m.histogram;
 }
 
 void MetricsRegistry::histogram(const std::string& name, const Histogram& h) {
+  std::lock_guard lock(mutex_);
   Metric& m = get_or_create(name, MetricKind::kHistogram);
   m.histogram = std::make_unique<Histogram>(h);
 }
 
 bool MetricsRegistry::contains(const std::string& name) const {
+  std::lock_guard lock(mutex_);
   return metrics_.find(name) != metrics_.end();
 }
 
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard lock(mutex_);
+  return metrics_.size();
+}
+
 std::vector<MetricEntry> MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
   std::vector<MetricEntry> out;
   out.reserve(metrics_.size());
   for (const auto& [name, m] : metrics_) {
@@ -78,6 +92,7 @@ std::vector<MetricEntry> MetricsRegistry::snapshot() const {
 }
 
 JsonValue MetricsRegistry::to_json(bool with_buckets) const {
+  std::lock_guard lock(mutex_);
   JsonValue root = JsonValue::object();
   for (const auto& [name, m] : metrics_) {
     JsonValue& entry = root[name];

@@ -5,9 +5,11 @@
 // in sorted order so exports diff cleanly between runs.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -29,25 +31,32 @@ enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
   return "?";
 }
 
-/// Monotonic event count.
+/// Monotonic event count. Updates are relaxed atomics, so concurrent
+/// workers may increment the same counter without a data race.
 class Counter {
  public:
-  void inc(std::uint64_t delta = 1) { value_ += delta; }
-  void set(std::uint64_t v) { value_ = v; }
-  [[nodiscard]] std::uint64_t value() const { return value_; }
+  void inc(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void set(std::uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
-/// Point-in-time scalar.
+/// Point-in-time scalar. Last writer wins under concurrent sets.
 class Gauge {
  public:
-  void set(double v) { value_ = v; }
-  [[nodiscard]] double value() const { return value_; }
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// One row of a registry snapshot. Counters/gauges carry `value`; histograms
@@ -66,6 +75,12 @@ struct MetricEntry {
   double p99 = 0.0;
 };
 
+/// Registration and snapshot/export are guarded by an internal mutex, so
+/// worker threads may register and resolve metrics concurrently; returned
+/// references stay valid for the registry's lifetime. Counter/Gauge updates
+/// through those references are atomic; a Histogram returned by the
+/// get-or-create overload is NOT internally synchronized — keep one writer
+/// per histogram (the publish-on-collect copy overload is always safe).
 class MetricsRegistry {
  public:
   /// Get-or-create. Registering an existing name returns the same object;
@@ -80,7 +95,7 @@ class MetricsRegistry {
   void histogram(const std::string& name, const Histogram& h);
 
   [[nodiscard]] bool contains(const std::string& name) const;
-  [[nodiscard]] std::size_t size() const { return metrics_.size(); }
+  [[nodiscard]] std::size_t size() const;
 
   /// Flat snapshot, sorted by name.
   [[nodiscard]] std::vector<MetricEntry> snapshot() const;
@@ -103,6 +118,7 @@ class MetricsRegistry {
 
   Metric& get_or_create(const std::string& name, MetricKind kind);
 
+  mutable std::mutex mutex_;               // guards the map, not the metrics
   std::map<std::string, Metric> metrics_;  // sorted => deterministic exports
 };
 

@@ -7,6 +7,7 @@
 #include "dram/energy.hpp"
 #include "load/stream_cache.hpp"
 #include "multichannel/memory_system.hpp"
+#include "obs/prof.hpp"
 
 namespace mcm::verify {
 namespace {
@@ -82,6 +83,9 @@ bool report_vec(std::ostringstream& os, const char* name,
 }  // namespace
 
 Outcome run_production(const Scenario& s) {
+  static const obs::prof::PhaseId kProd =
+      obs::prof::phase_id("verify/production");
+  obs::prof::ScopedTimer span(kProd);
   const multichannel::SystemConfig cfg = s.system_config();
   multichannel::MemorySystem sys(cfg);
 
@@ -305,13 +309,21 @@ std::optional<std::string> compare_outcomes(const Outcome& production,
 }
 
 std::optional<std::string> diff_scenario(const Scenario& s) {
+  static const obs::prof::PhaseId kRef =
+      obs::prof::phase_id("verify/reference");
+  static const obs::prof::PhaseId kCompare =
+      obs::prof::phase_id("verify/compare");
   const Outcome prod = run_production(s);
   RefRunOutput ref;
-  try {
-    ref = run_reference(s);
-  } catch (const std::logic_error& e) {
-    return std::string("reference invariant: ") + e.what();
+  {
+    obs::prof::ScopedTimer span(kRef);
+    try {
+      ref = run_reference(s);
+    } catch (const std::logic_error& e) {
+      return std::string("reference invariant: ") + e.what();
+    }
   }
+  obs::prof::ScopedTimer span(kCompare);
   return compare_outcomes(prod, reference_outcome(s, ref));
 }
 

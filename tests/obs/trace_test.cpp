@@ -90,5 +90,57 @@ TEST(TraceSink, EveryLineIsAFlatJsonObject) {
   }
 }
 
+TEST(MergeTraceSpools, SameSpoolTiesKeepEmissionOrder) {
+  // Two commands and a span on one spool, all at the same order_time. With
+  // time and channel equal, the per-channel emission sequence is the final
+  // tie-break, so the merged stream replays the spool verbatim.
+  TraceSpool sp;
+  sp.command(0, Time::from_ns(5.0), dram::Command::kActivate, 1, 10);
+  sp.command(0, Time::from_ns(5.0), dram::Command::kRead, 1, 10);
+  sp.span(0, 256, false, Time::zero(), Time::from_ns(5.0), Time::from_ns(5.0),
+          true);
+
+  std::ostringstream out;
+  merge_trace_spools({&sp}, out);
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_NE(lines[1].find(R"("cmd":"ACT")"), std::string::npos);
+  EXPECT_NE(lines[2].find(R"("cmd":"RD")"), std::string::npos);
+  EXPECT_NE(lines[3].find(R"("type":"req")"), std::string::npos);
+}
+
+TEST(MergeTraceSpools, CrossSpoolTiesOrderByChannel) {
+  // Equal order_time across spools: spool index (= channel) breaks the tie,
+  // so channel 0's event precedes channel 1's even though spool 1 is listed
+  // with an earlier-emitted event.
+  TraceSpool sp0;
+  TraceSpool sp1;
+  sp1.command(1, Time::from_ns(7.0), dram::Command::kWrite, 0, 3);
+  sp0.command(0, Time::from_ns(7.0), dram::Command::kRead, 0, 3);
+
+  std::ostringstream out;
+  merge_trace_spools({&sp0, &sp1}, out);
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[1].find(R"("ch":0)"), std::string::npos);
+  EXPECT_NE(lines[2].find(R"("ch":1)"), std::string::npos);
+}
+
+TEST(MergeTraceSpools, TimeOrderDominatesChannelAndSequence) {
+  // A later-emitted but earlier-timestamped event on a higher channel must
+  // still come out first: order_time is the primary key.
+  TraceSpool sp0;
+  TraceSpool sp1;
+  sp0.command(0, Time::from_ns(20.0), dram::Command::kActivate, 0, 0);
+  sp1.command(1, Time::from_ns(10.0), dram::Command::kActivate, 0, 0);
+
+  std::ostringstream out;
+  merge_trace_spools({&sp0, &sp1}, out);
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[1].find(R"("t_ps":10000)"), std::string::npos);
+  EXPECT_NE(lines[2].find(R"("t_ps":20000)"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace mcm::obs
