@@ -31,9 +31,11 @@
 #include <vector>
 
 #include "core/experiments.hpp"
+#include "load/trace.hpp"
 #include "obs/json.hpp"
 #include "obs/prof.hpp"
 #include "video/h264_levels.hpp"
+#include "workload/workload.hpp"
 
 namespace {
 
@@ -43,7 +45,90 @@ struct Cell {
   video::H264Level level;
   std::uint32_t channels;
   unsigned sim_threads = 1;  // channel-sharded workers (pinned per cell)
+  // Workload-backed cell ("trace_replay" / "mixed4"): drives run_workload
+  // instead of the video frame simulator. Controller knobs stay at the
+  // production defaults (--no-fastpath does not apply to these cells).
+  const char* workload = nullptr;
 };
+
+/// Deterministic 32 Ki-request replay trace (sequential / ping-pong / row
+/// sweep phases), written once per process to a fixed temp path.
+const std::string& bench_trace_path() {
+  static const std::string path = [] {
+    std::vector<ctrl::Request> reqs;
+    reqs.reserve(32768);
+    std::int64_t t = 0;
+    for (std::uint64_t i = 0; i < 32768; ++i) {
+      ctrl::Request r;
+      switch ((i / 64) % 3) {
+        case 0:  // sequential burst run
+          r.addr = 0x100000 + (i % 64) * 16;
+          break;
+        case 1:  // two-row ping-pong
+          r.addr = (i % 2 == 0) ? 0x200000 : 0x202000;
+          break;
+        default:  // row sweep
+          r.addr = 0x300000 + (i % 64) * 2048;
+          break;
+      }
+      r.is_write = i % 4 == 0;
+      r.arrival = Time{t};
+      t += 1000;
+      reqs.push_back(r);
+    }
+    const std::string p = "/tmp/bench_hotpath_replay.trace";
+    std::ofstream out(p);
+    load::write_trace(out, reqs);
+    return p;
+  }();
+  return path;
+}
+
+workload::WorkloadSpec make_workload_spec(const Cell& cell) {
+  workload::WorkloadSpec s;
+  s.channels = cell.channels;
+  s.freq_mhz = 400;
+  s.sim_threads = cell.sim_threads;
+  workload::TenantSpec replay;
+  replay.name = "replay";
+  replay.kind = "trace";
+  replay.path = bench_trace_path();
+  if (std::strcmp(cell.workload, "trace_replay") == 0) {
+    s.name = "trace_replay";
+    s.tenants = {replay};
+    return s;
+  }
+  // "mixed4": the committed mixed_tenants shape - one video level, one
+  // replayed trace, two generators contending for the same channels.
+  s.name = "mixed4";
+  workload::TenantSpec camera;
+  camera.name = "camera";
+  camera.kind = "video";
+  camera.level = "3.1";
+  camera.max_requests = 20000;
+  camera.pace_ps = 16'000'000'000;
+  replay.pace_ps = 8'000'000'000;
+  workload::TenantSpec chaser;
+  chaser.name = "chaser";
+  chaser.kind = "generator";
+  chaser.generator = "pointer_chase";
+  chaser.window_bytes = 2 << 20;
+  chaser.bytes = 128 << 10;
+  chaser.write_fraction = 0.3;
+  chaser.seed = 7;
+  chaser.pace_ps = 16'000'000'000;
+  workload::TenantSpec scanner;
+  scanner.name = "scanner";
+  scanner.kind = "generator";
+  scanner.generator = "sequential";
+  scanner.window_bytes = 1 << 20;
+  scanner.bytes = 256 << 10;
+  scanner.write_fraction = 1.0;
+  scanner.seed = 11;
+  scanner.pace_ps = 16'000'000'000;
+  s.tenants = {camera, replay, chaser, scanner};
+  return s;
+}
 
 struct CellResult {
   std::string label;
@@ -63,8 +148,59 @@ double now_ms() {
       .count();
 }
 
+CellResult run_workload_cell(const Cell& cell, double min_time_ms, int min_iters,
+                             bool profile) {
+  const workload::WorkloadSpec spec = make_workload_spec(cell);
+
+  CellResult r;
+  r.level_name = "-";
+  r.channels = cell.channels;
+  {
+    char label[64];
+    std::snprintf(label, sizeof label, "%s/%uch", cell.workload, cell.channels);
+    r.label = label;
+  }
+
+  // Warm-up run: populates the stream cache (compilation is memoized, so
+  // the timed loop measures the engine, like the video cells).
+  {
+    const auto res = workload::run_workload(spec);
+    r.requests = res.sim.stats.accesses();
+  }
+  if (profile) (void)obs::prof::collect(/*reset=*/true);
+
+  double total_ms = 0;
+  double best_ms = 0;
+  int iters = 0;
+  while (iters < min_iters || total_ms < min_time_ms) {
+    const double t0 = now_ms();
+    const auto res = workload::run_workload(spec);
+    const double dt = now_ms() - t0;
+    if (res.sim.stats.accesses() != r.requests) {
+      std::fprintf(stderr, "non-deterministic request count in cell %s\n",
+                   r.label.c_str());
+      std::exit(2);
+    }
+    total_ms += dt;
+    best_ms = iters == 0 ? dt : std::min(best_ms, dt);
+    ++iters;
+  }
+  r.iters = iters;
+  r.wall_ms_best = best_ms;
+  r.wall_ms_mean = total_ms / iters;
+  r.requests_per_s = best_ms > 0 ? static_cast<double>(r.requests) / (best_ms / 1e3)
+                                 : 0.0;
+  if (profile) {
+    r.profile = obs::prof::collect(/*reset=*/true).to_json(/*with_spans=*/true);
+  }
+  return r;
+}
+
 CellResult run_cell(const core::ExperimentConfig& base, const Cell& cell,
                     double min_time_ms, int min_iters, bool profile) {
+  if (cell.workload != nullptr) {
+    return run_workload_cell(cell, min_time_ms, min_iters, profile);
+  }
   core::ExperimentConfig cfg = base;
   cfg.base.channels = cell.channels;
   cfg.base.freq = Frequency{400.0};
@@ -226,6 +362,11 @@ int main(int argc, char** argv) {
       {video::H264Level::k31, 8},
       {video::H264Level::k31, 4, 4},
       {video::H264Level::k31, 8, 4},
+      // Workload-subsystem cells: external-trace replay and the 4-tenant
+      // mixed scenario (video + trace + two generators), both through
+      // run_workload's compile/merge/shard path.
+      {video::H264Level::k31, 4, 1, "trace_replay"},
+      {video::H264Level::k31, 4, 1, "mixed4"},
   };
 
   std::printf("HOT-PATH THROUGHPUT (400 MHz, fast path %s)\n\n",

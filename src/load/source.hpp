@@ -30,8 +30,11 @@ class TrafficSource {
   virtual void set_start(Time t) = 0;
 
   /// Spread arrivals over [start, start + duration] by progress (paced
-  /// masters such as a display controller). Default: unsupported no-op.
-  virtual void set_pacing(Time duration) { (void)duration; }
+  /// masters such as a display controller). The default implementation does
+  /// not pace - it logs a one-shot warning and leaves arrivals untouched, so
+  /// a scenario that asks an unsupporting source to pace is visible instead
+  /// of silently bursty.
+  virtual void set_pacing(Time duration);
 };
 
 }  // namespace mcm::load

@@ -103,6 +103,33 @@ std::shared_ptr<const CachedWorkload> StreamCache::get(
   return wl;
 }
 
+std::shared_ptr<const CachedWorkload> StreamCache::get_keyed(
+    const std::string& key,
+    const std::function<std::shared_ptr<const CachedWorkload>()>& build) {
+  if (!enabled()) return build();
+  static const obs::prof::PhaseId kHit = obs::prof::phase_id("stream_cache/hit");
+  static const obs::prof::PhaseId kMiss =
+      obs::prof::phase_id("stream_cache/miss");
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      obs::prof::count(kHit, 1);
+      return it->second;
+    }
+  }
+  obs::prof::count(kMiss, 1);
+  auto wl = build();
+  std::lock_guard lock(mutex_);
+  const auto it = map_.find(key);
+  if (it != map_.end()) return it->second;
+  if (bytes_ + wl->footprint_bytes() <= kMaxCachedBytes) {
+    bytes_ += wl->footprint_bytes();
+    map_.emplace(key, wl);
+  }
+  return wl;
+}
+
 void StreamCache::clear() {
   std::lock_guard lock(mutex_);
   map_.clear();

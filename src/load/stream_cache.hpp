@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -71,6 +72,14 @@ class StreamCache {
   [[nodiscard]] static std::shared_ptr<const CachedWorkload> generate(
       const video::UseCaseModel& model, const video::SurfaceLayout& layout,
       const LoadOptions& opt);
+
+  /// Keyed memoization for non-video frontends (workload/): the cached
+  /// workload for `key`, built with `build` on first use. Callers must make
+  /// `key` a pure function of everything `build` depends on. Honors
+  /// MCM_STREAM_CACHE=off and the byte cap like get().
+  std::shared_ptr<const CachedWorkload> get_keyed(
+      const std::string& key,
+      const std::function<std::shared_ptr<const CachedWorkload>()>& build);
 
   /// False when MCM_STREAM_CACHE is "off" or "0" (checked per call so tests
   /// can toggle it).

@@ -21,6 +21,7 @@ std::vector<ctrl::Request> read_trace(std::istream& in) {
   std::vector<ctrl::Request> out;
   std::string line;
   int lineno = 0;
+  long long prev_ps = 0;
   while (std::getline(in, line)) {
     ++lineno;
     const std::size_t hash = line.find('#');
@@ -39,6 +40,24 @@ std::vector<ctrl::Request> read_trace(std::istream& in) {
                        ": expected '<ps> <R|W> 0x<addr> [source]', got '" + line +
                        "'");
     }
+    if (ps < 0) {
+      throw TraceError("trace line " + std::to_string(lineno) +
+                       ": negative arrival " + std::to_string(ps) + " ps");
+    }
+    if (!out.empty() && ps < prev_ps) {
+      throw TraceError("trace line " + std::to_string(lineno) +
+                       ": arrival " + std::to_string(ps) +
+                       " ps goes backwards (previous request arrived at " +
+                       std::to_string(prev_ps) + " ps)");
+    }
+    if (addr > kMaxTraceAddr) {
+      char hex[32];
+      std::snprintf(hex, sizeof hex, "0x%llx", addr);
+      throw TraceError("trace line " + std::to_string(lineno) + ": address " +
+                       hex + " out of range (bit 63 is reserved for the "
+                       "packed write flag)");
+    }
+    prev_ps = ps;
     ctrl::Request r;
     r.arrival = Time{ps};
     r.is_write = rw == 'W';
@@ -60,10 +79,26 @@ std::vector<ctrl::Request> record_source(TrafficSource& src) {
 
 TraceReplaySource::TraceReplaySource(std::vector<ctrl::Request> requests,
                                      std::string name)
-    : requests_(std::move(requests)), name_(std::move(name)) {}
+    : requests_(std::move(requests)), name_(std::move(name)) {
+  for (const auto& r : requests_) span_ = max(span_, r.arrival);
+}
 
 ctrl::Request TraceReplaySource::head() const {
   ctrl::Request r = requests_[pos_];
+  if (pace_duration_ > Time::zero()) {
+    if (span_ > Time::zero()) {
+      // Rescale the trace's own time axis onto [0, duration]. 128-bit
+      // intermediate: arrival * duration overflows 64 bits for long traces.
+      const auto scaled = static_cast<__int128>(r.arrival.ps()) *
+                          pace_duration_.ps() / span_.ps();
+      r.arrival = Time{static_cast<std::int64_t>(scaled)};
+    } else if (requests_.size() > 1) {
+      // No time spread recorded: spread uniformly by index progress.
+      const auto scaled = static_cast<__int128>(pos_) * pace_duration_.ps() /
+                          static_cast<std::int64_t>(requests_.size() - 1);
+      r.arrival = Time{static_cast<std::int64_t>(scaled)};
+    }
+  }
   r.arrival += start_;
   return r;
 }

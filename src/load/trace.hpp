@@ -8,7 +8,12 @@
 // addresses; one line is one DRAM burst. The format is the interchange point
 // for externally generated traces (e.g. from an instrumented encoder such as
 // x264 run at the matching resolution) as well as for reproducing a captured
-// use-case run bit-exactly.
+// use-case run bit-exactly. Parsing is strict: arrivals must be
+// non-decreasing (equal timestamps are fine, going backwards is an ordering
+// violation) and addresses must stay below 2^63 (bit 63 is the packed-stream
+// write flag everywhere downstream); violations throw a line-numbered
+// TraceError. The Ramulator-style and binary mcm trace formats live in
+// workload/trace_format.hpp.
 #pragma once
 
 #include <iosfwd>
@@ -25,6 +30,11 @@ class TraceError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Largest representable trace address: bit 63 carries the write flag in the
+/// packed stream representation (load::CachedStage), so global byte
+/// addresses must stay below it in every trace format.
+inline constexpr std::uint64_t kMaxTraceAddr = (std::uint64_t{1} << 63) - 1;
+
 /// Serialize requests, one per line.
 void write_trace(std::ostream& out, const std::vector<ctrl::Request>& requests);
 
@@ -35,7 +45,9 @@ void write_trace(std::ostream& out, const std::vector<ctrl::Request>& requests);
 [[nodiscard]] std::vector<ctrl::Request> record_source(TrafficSource& src);
 
 /// Replays a recorded trace. Arrival times in the trace are relative; the
-/// whole trace shifts by set_start().
+/// whole trace shifts by set_start(). Pacing is supported: set_pacing(d)
+/// rescales the trace's relative arrivals so the last request arrives at
+/// start + d (a trace with no time spread is spread uniformly by index).
 class TraceReplaySource final : public TrafficSource {
  public:
   explicit TraceReplaySource(std::vector<ctrl::Request> requests,
@@ -47,6 +59,7 @@ class TraceReplaySource final : public TrafficSource {
   [[nodiscard]] std::uint64_t total_bytes() const override;
   [[nodiscard]] std::string_view name() const override { return name_; }
   void set_start(Time t) override { start_ = t; }
+  void set_pacing(Time duration) override { pace_duration_ = duration; }
 
   [[nodiscard]] std::size_t size() const { return requests_.size(); }
 
@@ -55,6 +68,8 @@ class TraceReplaySource final : public TrafficSource {
   std::string name_;
   std::size_t pos_ = 0;
   Time start_ = Time::zero();
+  Time pace_duration_ = Time::zero();
+  Time span_ = Time::zero();  // largest relative arrival in the trace
 };
 
 }  // namespace mcm::load

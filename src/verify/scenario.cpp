@@ -6,6 +6,7 @@
 
 #include "common/rng.hpp"
 #include "load/stream_cache.hpp"
+#include "workload/generators.hpp"
 
 namespace mcm::verify {
 
@@ -165,9 +166,38 @@ std::vector<std::uint64_t> random_stream(Rng& rng, std::uint64_t span_bytes,
   return out;
 }
 
+/// One stage's request stream drawn from a sampled workload/ synthetic
+/// generator, so the differential oracle exercises exactly the address
+/// patterns the workload subsystem can compose.
+std::vector<std::uint64_t> generator_stream(Rng& rng, std::uint64_t span_bytes,
+                                            std::uint32_t burst_bytes,
+                                            std::size_t count) {
+  static constexpr const char* kKinds[] = {"sequential", "strided",
+                                           "pointer_chase", "uniform_random"};
+  workload::GeneratorParams p;
+  p.name = "fuzz-gen";
+  p.base = 0;
+  p.window_bytes = std::max<std::uint64_t>(span_bytes, burst_bytes);
+  p.bytes = static_cast<std::uint64_t>(count) * burst_bytes;
+  p.burst_bytes = burst_bytes;
+  p.stride_bytes = static_cast<std::uint64_t>(burst_bytes) << rng.next_below(8);
+  static constexpr double kWrites[] = {0.0, 1.0, 0.3, 0.5};
+  p.write_fraction = kWrites[rng.next_below(4)];
+  p.seed = rng.next_u64();
+  auto gen = workload::make_generator(kKinds[rng.next_below(4)], std::move(p));
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  while (!gen->done()) {
+    const ctrl::Request r = gen->head();
+    out.push_back(load::CachedStage::pack(r.addr % span_bytes, r.is_write));
+    gen->advance();
+  }
+  return out;
+}
+
 }  // namespace
 
-Scenario random_scenario(std::uint64_t seed) {
+Scenario random_scenario(std::uint64_t seed, bool workload_generators) {
   Rng rng(seed);
   Scenario s;
   s.seed = seed;
@@ -268,7 +298,13 @@ Scenario random_scenario(std::uint64_t seed) {
       if (rng.next_below(10) != 0) {  // 10 % of stages are empty
         const std::size_t count = static_cast<std::size_t>(
             std::min<std::uint64_t>(20 + rng.next_below(400), budget));
-        stage.reqs = random_stream(rng, span, burst, row_stride, count);
+        // The extra draw happens only in generator mode, so plain
+        // random_scenario(seed) output is unchanged by the flag's existence.
+        if (workload_generators && rng.next_below(2) == 0) {
+          stage.reqs = generator_stream(rng, span, burst, count);
+        } else {
+          stage.reqs = random_stream(rng, span, burst, row_stride, count);
+        }
         budget -= std::min<std::uint64_t>(count, budget);
       }
       frame.stages.push_back(std::move(stage));

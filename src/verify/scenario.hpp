@@ -88,8 +88,13 @@ struct Scenario {
 };
 
 /// Deterministically generate a random scenario from `seed`: the same seed
-/// always yields the same scenario on every platform.
-[[nodiscard]] Scenario random_scenario(std::uint64_t seed);
+/// always yields the same scenario on every platform. With
+/// `workload_generators` set, roughly half of the non-empty stages draw
+/// their request stream from a sampled workload/ synthetic generator
+/// (sequential, strided, pointer-chase, uniform-random) instead of the
+/// built-in patterns; (seed, flag) together stay fully deterministic.
+[[nodiscard]] Scenario random_scenario(std::uint64_t seed,
+                                       bool workload_generators = false);
 
 /// `mcm.repro/v1` (de)serialization.
 [[nodiscard]] obs::JsonValue scenario_to_json(const Scenario& s);

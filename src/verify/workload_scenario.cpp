@@ -1,0 +1,31 @@
+#include "verify/workload_scenario.hpp"
+
+#include "workload/workload.hpp"
+
+namespace mcm::verify {
+
+Scenario scenario_from_workload(const workload::WorkloadSpec& spec) {
+  const workload::CompiledWorkload compiled = workload::compile_workload(spec);
+
+  Scenario s;
+  s.device = spec.device;
+  s.channels = spec.channels;
+  s.freq_mhz = spec.freq_mhz;
+  s.interleave_bytes = spec.interleave_bytes;
+  s.period_ps = spec.period_ps;
+  s.sim_threads = spec.sim_threads == 0 ? 1 : spec.sim_threads;
+  s.legacy_feed = spec.legacy_feed;
+
+  ScenarioFrame frame;
+  for (const auto& stage : compiled.frame->stages) {
+    ScenarioStage st;
+    st.name = stage.name;
+    st.source = stage.source_id;
+    st.reqs = stage.reqs;
+    frame.stages.push_back(std::move(st));
+  }
+  s.frames.assign(static_cast<std::size_t>(spec.frames), frame);
+  return s;
+}
+
+}  // namespace mcm::verify

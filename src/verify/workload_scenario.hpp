@@ -1,0 +1,19 @@
+// Bridge from the workload subsystem into the differential verifier: a
+// compiled `mcm.workload/v1` scenario becomes an `mcm.repro/v1` Scenario
+// whose frames replay the composed multi-tenant stream, so diff_scenario can
+// pit the production engine against the golden reference model over exactly
+// the traffic a workload run would issue. Controller/mux knobs take the
+// production defaults - the same ones WorkloadSpec::system_config() uses.
+#pragma once
+
+#include "verify/scenario.hpp"
+#include "workload/spec.hpp"
+
+namespace mcm::verify {
+
+/// Compile the workload and wrap its composed per-frame stream as a
+/// Scenario (one "mixed" stage per frame, `frames` frames). Propagates
+/// compile_workload's exceptions (bad partitions, unreadable traces).
+[[nodiscard]] Scenario scenario_from_workload(const workload::WorkloadSpec& spec);
+
+}  // namespace mcm::verify

@@ -1,0 +1,51 @@
+#include "workload/composer.hpp"
+
+#include <utility>
+
+namespace mcm::workload {
+
+MixedTenantSource::MixedTenantSource(
+    std::string name, std::vector<std::unique_ptr<load::TrafficSource>> tenants)
+    : name_(std::move(name)), tenants_(std::move(tenants)) {
+  for (const auto& t : tenants_) total_ += t->total_bytes();
+}
+
+bool MixedTenantSource::done() const {
+  for (const auto& t : tenants_) {
+    if (!t->done()) return false;
+  }
+  return true;
+}
+
+std::size_t MixedTenantSource::select() const {
+  std::size_t best = tenants_.size();
+  Time best_arrival = Time::zero();
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    if (tenants_[i]->done()) continue;
+    const Time arrival = tenants_[i]->head().arrival;
+    if (best == tenants_.size() || arrival < best_arrival) {
+      best = i;
+      best_arrival = arrival;
+    }
+  }
+  return best;
+}
+
+ctrl::Request MixedTenantSource::head() const {
+  return tenants_[select()]->head();
+}
+
+void MixedTenantSource::advance() {
+  const std::size_t i = select();
+  if (i < tenants_.size()) tenants_[i]->advance();
+}
+
+void MixedTenantSource::set_start(Time t) {
+  for (auto& tenant : tenants_) tenant->set_start(t);
+}
+
+void MixedTenantSource::set_pacing(Time duration) {
+  for (auto& tenant : tenants_) tenant->set_pacing(duration);
+}
+
+}  // namespace mcm::workload

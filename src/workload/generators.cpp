@@ -1,0 +1,90 @@
+#include "workload/generators.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace mcm::workload {
+
+GeneratorSource::GeneratorSource(GeneratorParams p)
+    : params_(std::move(p)), rng_(params_.seed), dir_rng_(params_.seed ^ 0x9e3779b97f4a7c15ull) {
+  if (params_.burst_bytes == 0) {
+    throw std::invalid_argument("generator '" + params_.name +
+                                "': burst_bytes must be positive");
+  }
+  slots_ = std::max<std::uint64_t>(params_.window_bytes / params_.burst_bytes, 1);
+  count_ = params_.bytes / params_.burst_bytes;
+}
+
+ctrl::Request GeneratorSource::make_request(std::uint64_t i) {
+  ctrl::Request r;
+  r.addr = params_.base + next_slot(i) * params_.burst_bytes;
+  if (params_.write_fraction >= 1.0) {
+    r.is_write = true;
+  } else if (params_.write_fraction > 0.0) {
+    r.is_write = dir_rng_.next_double() < params_.write_fraction;
+  }
+  r.source = params_.source_id;
+  return r;
+}
+
+ctrl::Request GeneratorSource::head() const {
+  ctrl::Request r = cur_;
+  Time arrival = Time::zero();
+  if (pace_duration_ > Time::zero() && count_ > 1) {
+    arrival = Time{static_cast<std::int64_t>(
+        static_cast<__int128>(issued_) * pace_duration_.ps() /
+        static_cast<std::int64_t>(count_ - 1))};
+  }
+  r.arrival = start_ + arrival;
+  return r;
+}
+
+void GeneratorSource::advance() {
+  ++issued_;
+  if (issued_ < count_) cur_ = make_request(issued_);
+}
+
+StridedSource::StridedSource(GeneratorParams p) : GeneratorSource(std::move(p)) {
+  const auto& par = params();
+  stride_slots_ = std::max<std::uint64_t>(par.stride_bytes / par.burst_bytes, 1);
+  prime();
+}
+
+std::uint64_t StridedSource::next_slot(std::uint64_t i) {
+  return (i * stride_slots_) % slots();
+}
+
+PointerChaseSource::PointerChaseSource(GeneratorParams p)
+    : GeneratorSource(std::move(p)) {
+  // Round the working set down to a power-of-two slot count so the LCG walk
+  // has full period (every slot visited once per lap).
+  std::uint64_t pow2 = 1;
+  while (pow2 * 2 <= slots()) pow2 *= 2;
+  mask_ = pow2 - 1;
+  mul_ = (rng().next_u64() & ~std::uint64_t{3}) | 1;  // a == 1 (mod 4)
+  add_ = rng().next_u64() | 1;                        // c odd
+  cur_slot_ = rng().next_u64() & mask_;
+  prime();
+}
+
+std::uint64_t PointerChaseSource::next_slot(std::uint64_t) {
+  const std::uint64_t slot = cur_slot_;
+  cur_slot_ = (mul_ * cur_slot_ + add_) & mask_;
+  return slot;
+}
+
+std::unique_ptr<GeneratorSource> make_generator(std::string_view kind,
+                                                GeneratorParams p) {
+  if (kind == "sequential") return std::make_unique<SequentialSource>(std::move(p));
+  if (kind == "strided") return std::make_unique<StridedSource>(std::move(p));
+  if (kind == "pointer_chase") {
+    return std::make_unique<PointerChaseSource>(std::move(p));
+  }
+  if (kind == "uniform_random") {
+    return std::make_unique<UniformRandomSource>(std::move(p));
+  }
+  return nullptr;
+}
+
+}  // namespace mcm::workload

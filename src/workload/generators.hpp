@@ -1,0 +1,141 @@
+// Parameterized synthetic traffic generators: the workload vocabulary that
+// takes the engine beyond the paper's video use case. Each generator is a
+// pull-style load::TrafficSource producing one DRAM burst per request over a
+// configurable address window, deterministically from its seed, so any
+// composition of generators replays bit-exactly at any worker count.
+//
+//   sequential      streaming pass over the window (row-hit friendly)
+//   strided         fixed stride between consecutive bursts (bank/row sweep)
+//   pointer_chase   dependent-chain walk over a working set: a full-period
+//                   LCG permutation of the window's burst slots, so every
+//                   slot is visited once per lap in pseudo-random order
+//   uniform_random  independent uniform draws over the window
+//
+// Direction mix: write_fraction in [0,1] draws per request from the
+// generator's own RNG (0 = all reads, 1 = all writes).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "load/source.hpp"
+
+namespace mcm::workload {
+
+struct GeneratorParams {
+  std::string name = "gen";
+  std::uint16_t source_id = 0;
+  std::uint64_t base = 0;              // window base byte address
+  std::uint64_t window_bytes = 1 << 20;  // footprint; wraps when volume exceeds
+  std::uint64_t bytes = 1 << 20;       // total volume to issue
+  std::uint32_t burst_bytes = 16;      // one request per DRAM burst
+  std::uint64_t stride_bytes = 4096;   // strided generator only
+  double write_fraction = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Common machinery: request count, progress, start shift and real pacing
+/// (arrivals spread by progress over the requested duration). Subclasses
+/// provide the address pattern via next_slot().
+class GeneratorSource : public load::TrafficSource {
+ public:
+  [[nodiscard]] bool done() const override { return issued_ >= count_; }
+  [[nodiscard]] ctrl::Request head() const override;
+  void advance() override;
+  [[nodiscard]] std::uint64_t total_bytes() const override {
+    return count_ * params_.burst_bytes;
+  }
+  [[nodiscard]] std::string_view name() const override { return params_.name; }
+  void set_start(Time t) override { start_ = t; }
+  void set_pacing(Time duration) override { pace_duration_ = duration; }
+
+  [[nodiscard]] const GeneratorParams& params() const { return params_; }
+  [[nodiscard]] std::uint64_t request_count() const { return count_; }
+
+ protected:
+  explicit GeneratorSource(GeneratorParams p);
+
+  /// Burst-slot index of request `i` within the window (0 .. slots()-1).
+  /// Called exactly once per request, in stream order.
+  virtual std::uint64_t next_slot(std::uint64_t i) = 0;
+
+  [[nodiscard]] std::uint64_t slots() const { return slots_; }
+  Rng& rng() { return rng_; }
+
+  /// Subclass constructors call this once to materialize the first request
+  /// (head() must be const and stable).
+  void prime() { cur_ = make_request(0); }
+
+ private:
+  [[nodiscard]] ctrl::Request make_request(std::uint64_t i);
+
+  GeneratorParams params_;
+  std::uint64_t count_ = 0;
+  std::uint64_t slots_ = 1;
+  std::uint64_t issued_ = 0;
+  ctrl::Request cur_;
+  Rng rng_;
+  Rng dir_rng_;  // direction draws stay independent of the address pattern
+  Time start_ = Time::zero();
+  Time pace_duration_ = Time::zero();
+};
+
+class SequentialSource final : public GeneratorSource {
+ public:
+  explicit SequentialSource(GeneratorParams p) : GeneratorSource(std::move(p)) {
+    prime();
+  }
+
+ protected:
+  std::uint64_t next_slot(std::uint64_t i) override { return i % slots(); }
+};
+
+class StridedSource final : public GeneratorSource {
+ public:
+  explicit StridedSource(GeneratorParams p);
+
+ protected:
+  std::uint64_t next_slot(std::uint64_t i) override;
+
+ private:
+  std::uint64_t stride_slots_ = 1;
+};
+
+class PointerChaseSource final : public GeneratorSource {
+ public:
+  explicit PointerChaseSource(GeneratorParams p);
+
+ protected:
+  std::uint64_t next_slot(std::uint64_t i) override;
+
+ private:
+  // Full-period LCG over a power-of-two slot count: next = (a*cur + c) mod
+  // 2^k with c odd and a == 1 (mod 4) visits every slot once per lap.
+  std::uint64_t mask_ = 0;
+  std::uint64_t mul_ = 5;
+  std::uint64_t add_ = 1;
+  std::uint64_t cur_slot_ = 0;
+};
+
+class UniformRandomSource final : public GeneratorSource {
+ public:
+  explicit UniformRandomSource(GeneratorParams p)
+      : GeneratorSource(std::move(p)) {
+    prime();
+  }
+
+ protected:
+  std::uint64_t next_slot(std::uint64_t) override {
+    return rng().next_below(slots());
+  }
+};
+
+/// Factory over the generator kind names used by the workload spec
+/// ("sequential", "strided", "pointer_chase", "uniform_random"); nullptr for
+/// an unknown kind.
+[[nodiscard]] std::unique_ptr<GeneratorSource> make_generator(
+    std::string_view kind, GeneratorParams p);
+
+}  // namespace mcm::workload

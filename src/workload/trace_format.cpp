@@ -1,0 +1,329 @@
+#include "workload/trace_format.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace mcm::workload {
+
+using load::TraceError;
+
+std::string_view to_string(TraceFormat f) {
+  switch (f) {
+    case TraceFormat::kMcmText: return "mcm-text";
+    case TraceFormat::kRamulator: return "ramulator";
+    case TraceFormat::kBinary: return "binary";
+  }
+  return "?";
+}
+
+std::optional<TraceFormat> parse_trace_format(std::string_view name) {
+  if (name == "mcm-text" || name == "text" || name == "mcm") {
+    return TraceFormat::kMcmText;
+  }
+  if (name == "ramulator" || name == "dramsim") return TraceFormat::kRamulator;
+  if (name == "binary" || name == "bin") return TraceFormat::kBinary;
+  return std::nullopt;
+}
+
+TraceFormat detect_trace_format(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw TraceError("cannot open trace file '" + path + "'");
+  char magic[8] = {};
+  in.read(magic, sizeof magic);
+  if (in.gcount() == sizeof magic &&
+      std::memcmp(magic, BinaryTraceHeader::kMagic, sizeof magic) == 0) {
+    return TraceFormat::kBinary;
+  }
+  in.clear();
+  in.seekg(0);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    // mcm-text leads with a decimal timestamp column; the Ramulator dialect
+    // leads with the address (conventionally 0x-prefixed). A bare decimal
+    // first column therefore means mcm-text.
+    if (line.compare(first, 2, "0x") == 0 || line.compare(first, 2, "0X") == 0) {
+      return TraceFormat::kRamulator;
+    }
+    // Two whitespace-separated columns = "<addr> <R|W>"; three or more with
+    // a decimal lead = "<ps> <R|W> 0x<addr> ...".
+    long long ps = 0;
+    char rw = 0;
+    unsigned long long addr = 0;
+    if (std::sscanf(line.c_str() + first, "%lld %c 0x%llx", &ps, &rw, &addr) == 3) {
+      return TraceFormat::kMcmText;
+    }
+    return TraceFormat::kRamulator;
+  }
+  throw TraceError("trace file '" + path + "' is empty");
+}
+
+// --- Ramulator/DRAMsim-style text -------------------------------------------
+
+void write_ramulator_trace(std::ostream& out,
+                           const std::vector<ctrl::Request>& requests) {
+  char line[48];
+  for (const auto& r : requests) {
+    std::snprintf(line, sizeof line, "0x%" PRIx64 " %c\n", r.addr,
+                  r.is_write ? 'W' : 'R');
+    out << line;
+  }
+}
+
+std::vector<ctrl::Request> read_ramulator_trace(std::istream& in) {
+  std::vector<ctrl::Request> out;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+    char addr_buf[64] = {};
+    char op_buf[16] = {};
+    char extra[8] = {};
+    const int got = std::sscanf(line.c_str(), "%63s %15s %7s", addr_buf, op_buf,
+                                extra);
+    if (got != 2) {
+      throw TraceError("trace line " + std::to_string(lineno) +
+                       ": expected '<addr> <R|W>', got '" + line + "'");
+    }
+    char* end = nullptr;
+    const unsigned long long addr = std::strtoull(addr_buf, &end, 0);
+    if (end == addr_buf || *end != '\0') {
+      throw TraceError("trace line " + std::to_string(lineno) +
+                       ": bad address '" + addr_buf + "'");
+    }
+    if (addr > load::kMaxTraceAddr) {
+      throw TraceError("trace line " + std::to_string(lineno) + ": address " +
+                       addr_buf + " out of range (bit 63 is reserved for the "
+                       "packed write flag)");
+    }
+    std::string op(op_buf);
+    for (char& c : op) c = static_cast<char>(std::toupper(c));
+    bool is_write = false;
+    if (op == "R" || op == "RD" || op == "READ") {
+      is_write = false;
+    } else if (op == "W" || op == "WR" || op == "WRITE") {
+      is_write = true;
+    } else {
+      throw TraceError("trace line " + std::to_string(lineno) +
+                       ": bad operation '" + op_buf + "' (want R or W)");
+    }
+    ctrl::Request r;
+    r.addr = addr;
+    r.is_write = is_write;
+    out.push_back(r);
+  }
+  return out;
+}
+
+// --- Binary mcm-native format -----------------------------------------------
+
+namespace {
+
+void put_u32(unsigned char* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+void put_u64(unsigned char* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+  return v;
+}
+
+void write_header(std::ostream& out, std::uint64_t record_count) {
+  unsigned char h[BinaryTraceHeader::kHeaderBytes] = {};
+  std::memcpy(h, BinaryTraceHeader::kMagic, 8);
+  put_u32(h + 8, BinaryTraceHeader::kVersion);
+  put_u32(h + 12, BinaryTraceHeader::kRecordBytes);
+  put_u64(h + 16, record_count);
+  put_u64(h + 24, 0);
+  out.write(reinterpret_cast<const char*>(h), sizeof h);
+}
+
+}  // namespace
+
+BinaryTraceWriter::BinaryTraceWriter(std::ostream& out) : out_(out) {
+  write_header(out_, BinaryTraceHeader::kCountUnknown);
+  if (!out_) throw TraceError("binary trace: cannot write header");
+}
+
+void BinaryTraceWriter::append(const ctrl::Request& r) {
+  if (r.addr > load::kMaxTraceAddr) {
+    throw TraceError("binary trace record " + std::to_string(written_) +
+                     ": address out of range (bit 63 is reserved for the "
+                     "packed write flag)");
+  }
+  if (r.arrival.ps() < 0) {
+    throw TraceError("binary trace record " + std::to_string(written_) +
+                     ": negative arrival");
+  }
+  if (written_ > 0 && r.arrival.ps() < prev_ps_) {
+    throw TraceError("binary trace record " + std::to_string(written_) +
+                     ": arrival goes backwards");
+  }
+  prev_ps_ = r.arrival.ps();
+  unsigned char rec[BinaryTraceHeader::kRecordBytes] = {};
+  put_u64(rec, static_cast<std::uint64_t>(r.arrival.ps()));
+  put_u64(rec + 8, r.addr);
+  rec[16] = static_cast<unsigned char>(r.source & 0xff);
+  rec[17] = static_cast<unsigned char>(r.source >> 8);
+  rec[18] = r.is_write ? 1 : 0;
+  out_.write(reinterpret_cast<const char*>(rec), sizeof rec);
+  if (!out_) throw TraceError("binary trace: short write");
+  ++written_;
+}
+
+void BinaryTraceWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  out_.flush();
+  // Patch the record count when the sink supports seeking (files do, pipes
+  // do not - those keep the read-until-EOF marker).
+  const std::ostream::pos_type end = out_.tellp();
+  if (end == std::ostream::pos_type(-1)) {
+    out_.clear();
+    return;
+  }
+  out_.seekp(16);
+  if (out_) {
+    unsigned char count[8];
+    put_u64(count, written_);
+    out_.write(reinterpret_cast<const char*>(count), sizeof count);
+    out_.seekp(end);
+  }
+  out_.flush();
+}
+
+BinaryTraceReader::BinaryTraceReader(std::istream& in) : in_(in) {
+  unsigned char h[BinaryTraceHeader::kHeaderBytes];
+  in_.read(reinterpret_cast<char*>(h), sizeof h);
+  if (in_.gcount() != sizeof h) {
+    throw TraceError("binary trace: truncated header");
+  }
+  if (std::memcmp(h, BinaryTraceHeader::kMagic, 8) != 0) {
+    throw TraceError("binary trace: bad magic (not an mcm.tracebin file)");
+  }
+  header_.version = get_u32(h + 8);
+  if (header_.version != BinaryTraceHeader::kVersion) {
+    throw TraceError("binary trace: unsupported version " +
+                     std::to_string(header_.version));
+  }
+  const std::uint32_t record_bytes = get_u32(h + 12);
+  if (record_bytes != BinaryTraceHeader::kRecordBytes) {
+    throw TraceError("binary trace: unsupported record size " +
+                     std::to_string(record_bytes));
+  }
+  header_.record_count = get_u64(h + 16);
+}
+
+std::optional<ctrl::Request> BinaryTraceReader::next() {
+  if (header_.record_count != BinaryTraceHeader::kCountUnknown &&
+      read_ >= header_.record_count) {
+    return std::nullopt;
+  }
+  unsigned char rec[BinaryTraceHeader::kRecordBytes];
+  in_.read(reinterpret_cast<char*>(rec), sizeof rec);
+  const std::streamsize got = in_.gcount();
+  if (got == 0 && header_.record_count == BinaryTraceHeader::kCountUnknown) {
+    return std::nullopt;  // clean EOF on an unsized stream
+  }
+  if (got != sizeof rec) {
+    throw TraceError("binary trace record " + std::to_string(read_) +
+                     ": truncated (got " + std::to_string(got) + " of " +
+                     std::to_string(sizeof rec) + " bytes)");
+  }
+  const std::uint64_t arrival = get_u64(rec);
+  const std::uint64_t addr = get_u64(rec + 8);
+  if (addr > load::kMaxTraceAddr) {
+    throw TraceError("binary trace record " + std::to_string(read_) +
+                     ": address out of range");
+  }
+  const std::int64_t ps = static_cast<std::int64_t>(arrival);
+  if (ps < 0 || (read_ > 0 && ps < prev_ps_)) {
+    throw TraceError("binary trace record " + std::to_string(read_) +
+                     ": arrival goes backwards");
+  }
+  prev_ps_ = ps;
+  ctrl::Request r;
+  r.arrival = Time{ps};
+  r.addr = addr;
+  r.source = static_cast<std::uint16_t>(rec[16] | (rec[17] << 8));
+  if (rec[18] > 1) {
+    throw TraceError("binary trace record " + std::to_string(read_) +
+                     ": bad op byte " + std::to_string(rec[18]));
+  }
+  r.is_write = rec[18] == 1;
+  ++read_;
+  return r;
+}
+
+void write_binary_trace(std::ostream& out,
+                        const std::vector<ctrl::Request>& requests) {
+  BinaryTraceWriter writer(out);
+  for (const auto& r : requests) writer.append(r);
+  writer.finish();
+}
+
+std::vector<ctrl::Request> read_binary_trace(std::istream& in) {
+  BinaryTraceReader reader(in);
+  std::vector<ctrl::Request> out;
+  if (reader.header().record_count != BinaryTraceHeader::kCountUnknown) {
+    out.reserve(reader.header().record_count);
+  }
+  while (auto r = reader.next()) out.push_back(*r);
+  return out;
+}
+
+// --- Format-dispatched file IO ----------------------------------------------
+
+std::vector<ctrl::Request> read_trace_file(const std::string& path,
+                                           std::optional<TraceFormat> format) {
+  const TraceFormat f = format.has_value() ? *format : detect_trace_format(path);
+  std::ifstream in(path, f == TraceFormat::kBinary
+                             ? std::ios::binary | std::ios::in
+                             : std::ios::in);
+  if (!in) throw TraceError("cannot open trace file '" + path + "'");
+  switch (f) {
+    case TraceFormat::kMcmText: return load::read_trace(in);
+    case TraceFormat::kRamulator: return read_ramulator_trace(in);
+    case TraceFormat::kBinary: return read_binary_trace(in);
+  }
+  throw TraceError("unreachable trace format");
+}
+
+void write_trace_file(const std::string& path, TraceFormat format,
+                      const std::vector<ctrl::Request>& requests) {
+  std::ofstream out(path, format == TraceFormat::kBinary
+                              ? std::ios::binary | std::ios::out
+                              : std::ios::out);
+  if (!out) throw TraceError("cannot write trace file '" + path + "'");
+  switch (format) {
+    case TraceFormat::kMcmText: load::write_trace(out, requests); break;
+    case TraceFormat::kRamulator: write_ramulator_trace(out, requests); break;
+    case TraceFormat::kBinary: write_binary_trace(out, requests); break;
+  }
+  if (!out) throw TraceError("short write to trace file '" + path + "'");
+}
+
+}  // namespace mcm::workload

@@ -1,0 +1,138 @@
+// Trace interchange formats for the workload subsystem. Three formats carry
+// the same request stream at different fidelities:
+//
+//   mcm-text   the repo's native text trace (load/trace.hpp):
+//              "<arrival_ps> <R|W> 0x<addr> [<source>]" - full fidelity.
+//   ramulator  the Ramulator/DRAMsim-style interchange line "0x<addr> <R|W>"
+//              used by external memory simulators - no timestamps and no
+//              source ids (both read back as zero).
+//   binary     the compact mcm-native binary format (mcm.tracebin/v1): a
+//              32-byte versioned header followed by fixed-width 24-byte
+//              little-endian records, with streaming reader/writer classes
+//              so multi-gigabyte traces never need to fit in memory.
+//
+// All readers apply the same hardening as load::read_trace: arrivals must be
+// non-decreasing, addresses must stay below 2^63 (bit 63 is the packed
+// write flag downstream), and malformed input throws a line-/record-numbered
+// load::TraceError.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "load/trace.hpp"
+
+namespace mcm::workload {
+
+enum class TraceFormat : std::uint8_t { kMcmText, kRamulator, kBinary };
+
+[[nodiscard]] std::string_view to_string(TraceFormat f);
+
+/// Parse a format name ("mcm-text"/"text", "ramulator", "binary"/"bin").
+[[nodiscard]] std::optional<TraceFormat> parse_trace_format(std::string_view name);
+
+/// Sniff a trace file's format: the binary magic wins, then the first
+/// non-comment line decides between the two text dialects (a leading
+/// timestamp column = mcm-text). Throws load::TraceError when the file
+/// cannot be opened or is empty.
+[[nodiscard]] TraceFormat detect_trace_format(const std::string& path);
+
+// --- Ramulator/DRAMsim-style text ("0x<addr> <R|W>") ------------------------
+
+void write_ramulator_trace(std::ostream& out,
+                           const std::vector<ctrl::Request>& requests);
+
+/// Accepts "R"/"W" plus the common aliases RD/WR/READ/WRITE in any case;
+/// addresses are hex with 0x prefix or decimal. Arrivals and sources read
+/// back as zero (the format does not carry them).
+[[nodiscard]] std::vector<ctrl::Request> read_ramulator_trace(std::istream& in);
+
+// --- Binary mcm-native format (mcm.tracebin/v1) -----------------------------
+
+/// Fixed 32-byte header, all fields little-endian:
+///   bytes  0..7   magic "MCMTRCB1"
+///   bytes  8..11  u32 version (1)
+///   bytes 12..15  u32 record_bytes (24)
+///   bytes 16..23  u64 record_count (all-ones = unknown, read until EOF)
+///   bytes 24..31  u64 reserved (0)
+/// Each 24-byte record:
+///   bytes  0..7   u64 arrival_ps
+///   bytes  8..15  u64 addr (< 2^63)
+///   bytes 16..17  u16 source
+///   byte  18      u8  op (0 = read, 1 = write)
+///   bytes 19..23  reserved (0)
+struct BinaryTraceHeader {
+  static constexpr char kMagic[8] = {'M', 'C', 'M', 'T', 'R', 'C', 'B', '1'};
+  static constexpr std::uint32_t kVersion = 1;
+  static constexpr std::uint32_t kRecordBytes = 24;
+  static constexpr std::uint32_t kHeaderBytes = 32;
+  static constexpr std::uint64_t kCountUnknown = ~std::uint64_t{0};
+
+  std::uint32_t version = kVersion;
+  std::uint64_t record_count = kCountUnknown;
+};
+
+/// Streaming writer: emits the header up front with an unknown record count,
+/// then one record per append(). finish() patches the true count into the
+/// header when the underlying stream is seekable (a pipe keeps the
+/// read-until-EOF marker). The destructor calls finish().
+class BinaryTraceWriter {
+ public:
+  explicit BinaryTraceWriter(std::ostream& out);
+  ~BinaryTraceWriter() { finish(); }
+  BinaryTraceWriter(const BinaryTraceWriter&) = delete;
+  BinaryTraceWriter& operator=(const BinaryTraceWriter&) = delete;
+
+  /// Throws load::TraceError on an out-of-range address or an arrival that
+  /// goes backwards (the binary format stays replay-ordered by build).
+  void append(const ctrl::Request& r);
+  void finish();
+
+  [[nodiscard]] std::uint64_t written() const { return written_; }
+
+ private:
+  std::ostream& out_;
+  std::uint64_t written_ = 0;
+  std::int64_t prev_ps_ = 0;
+  bool finished_ = false;
+};
+
+/// Streaming reader: validates the header in the constructor, then yields
+/// one request per next() until the declared count (or EOF when unknown).
+class BinaryTraceReader {
+ public:
+  explicit BinaryTraceReader(std::istream& in);
+
+  [[nodiscard]] const BinaryTraceHeader& header() const { return header_; }
+
+  /// Next record, or nullopt at end of trace. Throws load::TraceError on a
+  /// truncated record, an out-of-range address, or a backwards arrival.
+  std::optional<ctrl::Request> next();
+
+ private:
+  std::istream& in_;
+  BinaryTraceHeader header_;
+  std::uint64_t read_ = 0;
+  std::int64_t prev_ps_ = 0;
+};
+
+void write_binary_trace(std::ostream& out,
+                        const std::vector<ctrl::Request>& requests);
+[[nodiscard]] std::vector<ctrl::Request> read_binary_trace(std::istream& in);
+
+// --- Format-dispatched file IO ----------------------------------------------
+
+/// Read a whole trace file; `format` nullopt = detect_trace_format(path).
+[[nodiscard]] std::vector<ctrl::Request> read_trace_file(
+    const std::string& path, std::optional<TraceFormat> format = std::nullopt);
+
+/// Write a whole trace file in the given format. Throws load::TraceError on
+/// I/O failure or (binary) on range/ordering violations.
+void write_trace_file(const std::string& path, TraceFormat format,
+                      const std::vector<ctrl::Request>& requests);
+
+}  // namespace mcm::workload

@@ -4,6 +4,7 @@
 
 #include <sstream>
 
+#include "common/rng.hpp"
 #include "load/multi_stream_source.hpp"
 #include "load/usecase_sources.hpp"
 #include "multichannel/memory_system.hpp"
@@ -116,6 +117,108 @@ TEST(Trace, ReplayShiftsByStart) {
   TraceReplaySource replay({{0x10, false, Time{100}, 0}}, "t");
   replay.set_start(Time{1000});
   EXPECT_EQ(replay.head().arrival, Time{1100});
+}
+
+TEST(Trace, RejectsBackwardsArrivalsWithLineNumber) {
+  std::stringstream ss("0 R 0x10\n500 W 0x20\n400 R 0x30\n");
+  try {
+    (void)read_trace(ss);
+    FAIL() << "expected TraceError";
+  } catch (const TraceError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("backwards"), std::string::npos) << what;
+  }
+}
+
+TEST(Trace, EqualArrivalsAreFine) {
+  std::stringstream ss("100 R 0x10\n100 W 0x20\n");
+  EXPECT_EQ(read_trace(ss).size(), 2u);
+}
+
+TEST(Trace, RejectsNegativeArrival) {
+  std::stringstream ss("-5 R 0x10\n");
+  EXPECT_THROW((void)read_trace(ss), TraceError);
+}
+
+TEST(Trace, RejectsAddressesWithBit63Set) {
+  std::stringstream ss("0 R 0x8000000000000000\n");
+  try {
+    (void)read_trace(ss);
+    FAIL() << "expected TraceError";
+  } catch (const TraceError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("out of range"), std::string::npos) << what;
+  }
+  std::stringstream ok("0 R 0x7fffffffffffffff\n");
+  EXPECT_EQ(read_trace(ok).size(), 1u);  // kMaxTraceAddr itself is legal
+}
+
+TEST(Trace, RandomStreamsRoundTripExactly) {
+  // Property test: any ordered request stream survives write -> read
+  // unchanged (arrivals, directions, addresses, sources).
+  Rng rng(0xC0FFEE);
+  std::vector<ctrl::Request> original;
+  std::int64_t t = 0;
+  for (int i = 0; i < 500; ++i) {
+    ctrl::Request r;
+    t += static_cast<std::int64_t>(rng.next_below(10'000));
+    r.arrival = Time{t};
+    r.addr = rng.next_u64() & kMaxTraceAddr;
+    r.is_write = rng.next_below(2) == 1;
+    r.source = static_cast<std::uint16_t>(rng.next_below(16));
+    original.push_back(r);
+  }
+  std::stringstream ss;
+  write_trace(ss, original);
+  const auto parsed = read_trace(ss);
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(parsed[i].addr, original[i].addr);
+    EXPECT_EQ(parsed[i].is_write, original[i].is_write);
+    EXPECT_EQ(parsed[i].arrival, original[i].arrival);
+    EXPECT_EQ(parsed[i].source, original[i].source);
+  }
+}
+
+TEST(Trace, ReplayPacingRescalesRecordedTimeAxis) {
+  // Trace spans 1000 ps; pacing over 10000 ps scales arrivals 10x.
+  TraceReplaySource replay(
+      {{0x10, false, Time{0}, 0}, {0x20, false, Time{400}, 0},
+       {0x30, false, Time{1000}, 0}},
+      "t");
+  replay.set_pacing(Time{10'000});
+  replay.set_start(Time{100});
+  EXPECT_EQ(replay.head().arrival, Time{100});
+  replay.advance();
+  EXPECT_EQ(replay.head().arrival, Time{4100});
+  replay.advance();
+  EXPECT_EQ(replay.head().arrival, Time{10'100});
+}
+
+TEST(Trace, ReplayPacingSpreadsZeroSpanTracesByIndex) {
+  // All arrivals at 0 (e.g. a ramulator import): spread uniformly.
+  TraceReplaySource replay(
+      {{0x10, false, Time{0}, 0}, {0x20, false, Time{0}, 0},
+       {0x30, false, Time{0}, 0}},
+      "t");
+  replay.set_pacing(Time{1000});
+  EXPECT_EQ(replay.head().arrival, Time{0});
+  replay.advance();
+  EXPECT_EQ(replay.head().arrival, Time{500});
+  replay.advance();
+  EXPECT_EQ(replay.head().arrival, Time{1000});
+}
+
+TEST(Trace, UnsupportedPacingWarnsAndLeavesArrivalsAlone) {
+  // MultiStreamSource does not override set_pacing: the base class logs a
+  // one-shot warning (satellite fix for the silent no-op) and arrivals stay
+  // at the stage start.
+  MultiStreamSource src("s", {{0x100, 64, 0, false, 7}});
+  src.set_pacing(Time{1'000'000});
+  src.set_pacing(Time{2'000'000});  // second call must not warn again
+  EXPECT_EQ(src.head().arrival, Time::zero());
 }
 
 }  // namespace

@@ -1,0 +1,163 @@
+#include "workload/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#ifndef MCM_WORKLOAD_DIR
+#define MCM_WORKLOAD_DIR "."
+#endif
+
+namespace mcm::workload {
+namespace {
+
+WorkloadSpec three_tenant_spec() {
+  WorkloadSpec s;
+  s.name = "t3";
+  s.channels = 2;
+  s.freq_mhz = 333;
+  s.frames = 2;
+  s.period_ps = 1'000'000;
+  TenantSpec video;
+  video.name = "cam";
+  video.kind = "video";
+  video.level = "3.2";
+  video.max_requests = 100;
+  video.pace_ps = 500;
+  TenantSpec trace;
+  trace.name = "replay";
+  trace.kind = "trace";
+  trace.path = "some/trace.tracebin";
+  trace.format = "binary";
+  TenantSpec gen;
+  gen.name = "rnd";
+  gen.kind = "generator";
+  gen.generator = "uniform_random";
+  gen.window_bytes = 4096;
+  gen.bytes = 8192;
+  gen.write_fraction = 0.5;
+  gen.seed = 9;
+  s.tenants = {video, trace, gen};
+  return s;
+}
+
+TEST(WorkloadSpec, JsonRoundTripIsExact) {
+  const WorkloadSpec original = three_tenant_spec();
+  std::string error;
+  const auto parsed = workload_from_json(workload_to_json(original), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(*parsed, original);
+}
+
+TEST(WorkloadSpec, RejectsMissingSchema) {
+  obs::JsonValue doc = obs::JsonValue::object();
+  doc["name"] = "x";
+  std::string error;
+  EXPECT_FALSE(workload_from_json(doc, &error).has_value());
+  EXPECT_NE(error.find("schema"), std::string::npos);
+}
+
+TEST(WorkloadSpec, RejectsBadTenants) {
+  const auto parse_with = [](auto mutate) {
+    WorkloadSpec s = three_tenant_spec();
+    mutate(s);
+    std::string error;
+    const auto parsed = workload_from_json(workload_to_json(s), &error);
+    return std::pair{parsed.has_value(), error};
+  };
+  auto [ok1, e1] = parse_with([](WorkloadSpec& s) { s.tenants[0].level = "9.9"; });
+  EXPECT_FALSE(ok1);
+  EXPECT_NE(e1.find("level"), std::string::npos);
+  auto [ok2, e2] = parse_with([](WorkloadSpec& s) { s.tenants[1].path.clear(); });
+  EXPECT_FALSE(ok2);
+  EXPECT_NE(e2.find("path"), std::string::npos);
+  auto [ok3, e3] =
+      parse_with([](WorkloadSpec& s) { s.tenants[2].generator = "zipf"; });
+  EXPECT_FALSE(ok3);
+  EXPECT_NE(e3.find("generator"), std::string::npos);
+  auto [ok4, e4] = parse_with([](WorkloadSpec& s) { s.tenants[2].kind = "gpu"; });
+  EXPECT_FALSE(ok4);
+  EXPECT_NE(e4.find("kind"), std::string::npos);
+  auto [ok5, e5] =
+      parse_with([](WorkloadSpec& s) { s.tenants[2].write_fraction = 1.5; });
+  EXPECT_FALSE(ok5);
+  EXPECT_NE(e5.find("write_fraction"), std::string::npos);
+}
+
+TEST(WorkloadSpec, RejectsBadSystem) {
+  WorkloadSpec s = three_tenant_spec();
+  s.channels = 0;
+  EXPECT_FALSE(workload_from_json(workload_to_json(s)).has_value());
+  s = three_tenant_spec();
+  s.device = "hbm9";
+  EXPECT_FALSE(workload_from_json(workload_to_json(s)).has_value());
+  s = three_tenant_spec();
+  s.tenants.clear();
+  EXPECT_FALSE(workload_from_json(workload_to_json(s)).has_value());
+}
+
+TEST(WorkloadSpec, CacheKeyTracksStreamAffectingFields) {
+  const WorkloadSpec a = three_tenant_spec();
+  WorkloadSpec b = a;
+  EXPECT_EQ(a.cache_key(), b.cache_key());
+  b.tenants[2].seed = 10;
+  EXPECT_NE(a.cache_key(), b.cache_key());
+  WorkloadSpec c = a;
+  c.channels = 8;  // partition layout changes with the system shape
+  EXPECT_NE(a.cache_key(), c.cache_key());
+  WorkloadSpec d = a;
+  d.sim_threads = 4;  // engine knob: same stream, same key
+  EXPECT_EQ(a.cache_key(), d.cache_key());
+}
+
+TEST(WorkloadSpec, ParseLevelKnowsTheTableIColumns) {
+  EXPECT_TRUE(parse_level("3.1").has_value());
+  EXPECT_TRUE(parse_level("5.2").has_value());
+  EXPECT_FALSE(parse_level("6.2").has_value());
+}
+
+TEST(WorkloadSpec, LoadResolvesTracePathsRelativeToSpecDir) {
+  const std::string dir = testing::TempDir();
+  const std::string trace_path = dir + "rel_sample.trace";
+  {
+    std::ofstream trace(trace_path);
+    trace << "0 R 0x100 0\n";
+  }
+  WorkloadSpec s = three_tenant_spec();
+  s.tenants[1].path = "rel_sample.trace";
+  s.tenants[1].format = "auto";
+  const std::string spec_path = dir + "rel_spec.workload.json";
+  ASSERT_TRUE(save_workload(s, spec_path));
+
+  std::string error;
+  const auto loaded = load_workload(spec_path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->tenants[1].path, trace_path);
+  std::remove(trace_path.c_str());
+  std::remove(spec_path.c_str());
+}
+
+TEST(WorkloadSpec, CommittedMixedTenantScenarioParses) {
+  // The committed scenario must stay loadable and keep the acceptance
+  // shape: >= 3 tenants covering all three kinds.
+  std::string error;
+  const auto spec = load_workload(
+      std::string(MCM_WORKLOAD_DIR) + "/mixed_tenants.workload.json", &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  EXPECT_GE(spec->tenants.size(), 3u);
+  bool has_video = false, has_trace = false, has_generator = false;
+  for (const auto& t : spec->tenants) {
+    has_video |= t.kind == "video";
+    has_trace |= t.kind == "trace";
+    has_generator |= t.kind == "generator";
+  }
+  EXPECT_TRUE(has_video);
+  EXPECT_TRUE(has_trace);
+  EXPECT_TRUE(has_generator);
+  // The trace path resolved against the workloads/ directory.
+  EXPECT_NE(spec->tenants[1].path.find("workloads/"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcm::workload

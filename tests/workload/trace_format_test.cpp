@@ -1,0 +1,201 @@
+#include "workload/trace_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/rng.hpp"
+
+namespace mcm::workload {
+namespace {
+
+std::vector<ctrl::Request> sample_requests() {
+  return {
+      {0x1000, false, Time{0}, 1},
+      {0x2010, true, Time{2500}, 2},
+      {0xdeadbeef0, false, Time{123456789}, 0},
+  };
+}
+
+void expect_equal(const std::vector<ctrl::Request>& a,
+                  const std::vector<ctrl::Request>& b, bool with_time = true) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].addr, b[i].addr) << i;
+    EXPECT_EQ(a[i].is_write, b[i].is_write) << i;
+    if (with_time) {
+      EXPECT_EQ(a[i].arrival, b[i].arrival) << i;
+      EXPECT_EQ(a[i].source, b[i].source) << i;
+    }
+  }
+}
+
+/// Temp file helper: unique path per test, removed on destruction.
+struct TempFile {
+  explicit TempFile(const std::string& suffix) {
+    path = testing::TempDir() + "mcm_trace_format_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+           suffix;
+  }
+  ~TempFile() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+TEST(TraceFormat, NamesRoundTrip) {
+  for (const auto f :
+       {TraceFormat::kMcmText, TraceFormat::kRamulator, TraceFormat::kBinary}) {
+    EXPECT_EQ(parse_trace_format(to_string(f)), f);
+  }
+  EXPECT_EQ(parse_trace_format("text"), TraceFormat::kMcmText);
+  EXPECT_EQ(parse_trace_format("dramsim"), TraceFormat::kRamulator);
+  EXPECT_EQ(parse_trace_format("bin"), TraceFormat::kBinary);
+  EXPECT_FALSE(parse_trace_format("protobuf").has_value());
+}
+
+TEST(TraceFormat, BinaryRoundTripsExactly) {
+  const auto original = sample_requests();
+  std::stringstream ss;
+  write_binary_trace(ss, original);
+  expect_equal(read_binary_trace(ss), original);
+}
+
+TEST(TraceFormat, BinaryRandomStreamsRoundTrip) {
+  Rng rng(42);
+  std::vector<ctrl::Request> original;
+  std::int64_t t = 0;
+  for (int i = 0; i < 300; ++i) {
+    ctrl::Request r;
+    t += static_cast<std::int64_t>(rng.next_below(100'000));
+    r.arrival = Time{t};
+    r.addr = rng.next_u64() & load::kMaxTraceAddr;
+    r.is_write = rng.next_below(2) == 1;
+    r.source = static_cast<std::uint16_t>(rng.next_below(100));
+    original.push_back(r);
+  }
+  std::stringstream ss;
+  write_binary_trace(ss, original);
+  expect_equal(read_binary_trace(ss), original);
+}
+
+TEST(TraceFormat, BinaryWriterPatchesRecordCount) {
+  std::stringstream ss;
+  {
+    BinaryTraceWriter writer(ss);
+    for (const auto& r : sample_requests()) writer.append(r);
+    writer.finish();
+    EXPECT_EQ(writer.written(), 3u);
+  }
+  BinaryTraceReader reader(ss);
+  EXPECT_EQ(reader.header().record_count, 3u);
+}
+
+TEST(TraceFormat, BinaryHeaderIs32BytesAndRecords24) {
+  std::stringstream ss;
+  write_binary_trace(ss, sample_requests());
+  EXPECT_EQ(ss.str().size(), BinaryTraceHeader::kHeaderBytes +
+                                 3 * BinaryTraceHeader::kRecordBytes);
+  EXPECT_EQ(ss.str().substr(0, 8), "MCMTRCB1");
+}
+
+TEST(TraceFormat, BinaryReaderRejectsBadMagic) {
+  std::stringstream ss("XXMTRCB1 definitely not a trace");
+  EXPECT_THROW(BinaryTraceReader reader(ss), load::TraceError);
+}
+
+TEST(TraceFormat, BinaryReaderRejectsTruncatedRecord) {
+  std::stringstream ss;
+  write_binary_trace(ss, sample_requests());
+  std::string bytes = ss.str();
+  bytes.resize(bytes.size() - 5);  // chop the tail of the last record
+  std::stringstream truncated(bytes);
+  EXPECT_THROW((void)read_binary_trace(truncated), load::TraceError);
+}
+
+TEST(TraceFormat, BinaryWriterRejectsOutOfRangeAndBackwards) {
+  std::stringstream ss;
+  BinaryTraceWriter writer(ss);
+  writer.append({0x10, false, Time{100}, 0});
+  EXPECT_THROW(writer.append({std::uint64_t{1} << 63, false, Time{200}, 0}),
+               load::TraceError);
+  EXPECT_THROW(writer.append({0x10, false, Time{50}, 0}), load::TraceError);
+}
+
+TEST(TraceFormat, RamulatorRoundTripsAddressesAndDirections) {
+  const auto original = sample_requests();
+  std::stringstream ss;
+  write_ramulator_trace(ss, original);
+  const auto parsed = read_ramulator_trace(ss);
+  expect_equal(parsed, original, /*with_time=*/false);
+  for (const auto& r : parsed) {
+    EXPECT_EQ(r.arrival, Time::zero());  // the format carries no timestamps
+    EXPECT_EQ(r.source, 0);
+  }
+}
+
+TEST(TraceFormat, RamulatorAcceptsCommonAliases) {
+  std::stringstream ss("0x100 RD\n0x200 write\n768 R\n");
+  const auto parsed = read_ramulator_trace(ss);
+  ASSERT_EQ(parsed.size(), 3u);
+  EXPECT_FALSE(parsed[0].is_write);
+  EXPECT_TRUE(parsed[1].is_write);
+  EXPECT_EQ(parsed[2].addr, 768u);  // decimal addresses allowed
+}
+
+TEST(TraceFormat, RamulatorRejectsMalformedLines) {
+  std::stringstream bad1("0x100 R extra\n");
+  EXPECT_THROW((void)read_ramulator_trace(bad1), load::TraceError);
+  std::stringstream bad2("0x100 X\n");
+  EXPECT_THROW((void)read_ramulator_trace(bad2), load::TraceError);
+  std::stringstream bad3("0x100\n");
+  EXPECT_THROW((void)read_ramulator_trace(bad3), load::TraceError);
+}
+
+TEST(TraceFormat, DetectsAllThreeFormats) {
+  TempFile text(".trace"), ram(".ramtrace"), bin(".tracebin");
+  const auto reqs = sample_requests();
+  write_trace_file(text.path, TraceFormat::kMcmText, reqs);
+  write_trace_file(ram.path, TraceFormat::kRamulator, reqs);
+  write_trace_file(bin.path, TraceFormat::kBinary, reqs);
+  EXPECT_EQ(detect_trace_format(text.path), TraceFormat::kMcmText);
+  EXPECT_EQ(detect_trace_format(ram.path), TraceFormat::kRamulator);
+  EXPECT_EQ(detect_trace_format(bin.path), TraceFormat::kBinary);
+}
+
+TEST(TraceFormat, FileRoundTripAcrossAllFormatsIsLossless) {
+  // A stream with zero arrivals and zero sources survives the full
+  // text -> binary -> ramulator -> text tour byte-exactly (this is the
+  // property the committed workloads/sample.trace relies on).
+  std::vector<ctrl::Request> original;
+  Rng rng(7);
+  for (int i = 0; i < 64; ++i) {
+    original.push_back(
+        {rng.next_below(1 << 20) * 16, rng.next_below(3) == 0, Time{0}, 0});
+  }
+  TempFile text(".trace"), bin(".tracebin"), ram(".ramtrace");
+  write_trace_file(text.path, TraceFormat::kMcmText, original);
+  write_trace_file(bin.path, TraceFormat::kBinary, read_trace_file(text.path));
+  write_trace_file(ram.path, TraceFormat::kRamulator, read_trace_file(bin.path));
+  expect_equal(read_trace_file(ram.path), original);
+}
+
+TEST(TraceFormat, ReadTraceFileHonorsExplicitFormat) {
+  // A ramulator-style file read as mcm-text must fail loudly, not
+  // silently misparse.
+  TempFile ram(".dat");
+  write_trace_file(ram.path, TraceFormat::kRamulator, sample_requests());
+  EXPECT_THROW((void)read_trace_file(ram.path, TraceFormat::kMcmText),
+               load::TraceError);
+  EXPECT_EQ(read_trace_file(ram.path, TraceFormat::kRamulator).size(), 3u);
+  EXPECT_EQ(read_trace_file(ram.path).size(), 3u);  // sniffed
+}
+
+TEST(TraceFormat, MissingFileThrows) {
+  EXPECT_THROW((void)read_trace_file("/nonexistent/trace.bin"), load::TraceError);
+  EXPECT_THROW((void)detect_trace_format("/nonexistent/trace.bin"),
+               load::TraceError);
+}
+
+}  // namespace
+}  // namespace mcm::workload

@@ -9,6 +9,7 @@
 //   mcm_fuzz --case-seed 0xdeadbeef          # rerun one generated case
 //   mcm_fuzz --replay repro.json             # rerun a saved repro
 //   mcm_fuzz --cases 50 --seed 1 --inject ignore-twtr --expect-mismatch
+//   mcm_fuzz --cases 200 --generators       # sample workload/ generators too
 //
 // Exit status: 0 = every case agreed (or, with --expect-mismatch, at least
 // one case diverged); 1 = unexpected result; 2 = usage/setup error.
@@ -36,6 +37,7 @@ struct Options {
   std::string out = "mcm_fuzz_failure.json";
   std::string replay;
   bool expect_mismatch = false;
+  bool generators = false;
   std::uint64_t shrink_attempts = 4000;
 };
 
@@ -51,6 +53,8 @@ struct Options {
       "  --out FILE         where to write the shrunken repro JSON\n"
       "  --replay FILE      run a saved mcm.repro/v1 scenario instead\n"
       "  --expect-mismatch  invert the exit status (harness self-test)\n"
+      "  --generators       draw ~half the stage streams from the workload\n"
+      "                     subsystem's synthetic generators\n"
       "  --shrink-attempts N  oracle budget for the shrinker (default 4000)\n",
       argv0);
   std::exit(status);
@@ -81,6 +85,8 @@ Options parse_args(int argc, char** argv) {
       usage(argv[0], 0);
     } else if (std::strcmp(argv[i], "--expect-mismatch") == 0) {
       opt.expect_mismatch = true;
+    } else if (std::strcmp(argv[i], "--generators") == 0) {
+      opt.generators = true;
     } else if (const char* v = arg("--cases")) {
       opt.cases = parse_u64(v, "--cases");
     } else if (const char* v = arg("--seed")) {
@@ -186,7 +192,7 @@ int main(int argc, char** argv) {
                 std::string(to_string(s.inject)).c_str());
     mismatched = handle_case(s, opt);
   } else if (opt.case_seed.has_value()) {
-    Scenario s = mcm::verify::random_scenario(*opt.case_seed);
+    Scenario s = mcm::verify::random_scenario(*opt.case_seed, opt.generators);
     s.inject = inject;
     std::printf("mcm_fuzz: case seed 0x%llx (%llu requests)\n",
                 static_cast<unsigned long long>(*opt.case_seed),
@@ -203,7 +209,7 @@ int main(int argc, char** argv) {
     std::uint64_t requests_total = 0;
     for (std::uint64_t i = 0; i < opt.cases; ++i) {
       const std::uint64_t case_seed = master.next_u64();
-      Scenario s = mcm::verify::random_scenario(case_seed);
+      Scenario s = mcm::verify::random_scenario(case_seed, opt.generators);
       s.inject = inject;
       requests_total += s.total_requests();
       if (handle_case(s, opt)) {
