@@ -49,6 +49,10 @@ struct Cell {
   // instead of the video frame simulator. Controller knobs stay at the
   // production defaults (--no-fastpath does not apply to these cells).
   const char* workload = nullptr;
+  // Sweep-eligible: the cell is run once per --workers value (default
+  // 1,2,4), emitting per-worker twins with /simtN labels and a
+  // simt_speedup column (requests/s relative to the 1-worker twin).
+  bool sweep = false;
 };
 
 /// Deterministic 32 Ki-request replay trace (sequential / ping-pong / row
@@ -134,11 +138,13 @@ struct CellResult {
   std::string label;
   std::string level_name;
   std::uint32_t channels = 0;
+  unsigned sim_threads = 1;
   std::uint64_t requests = 0;
   int iters = 0;
   double wall_ms_best = 0;
   double wall_ms_mean = 0;
   double requests_per_s = 0;
+  double simt_speedup = 0;  // rps / 1-worker twin's rps; 0 = not in a sweep
   obs::JsonValue profile;  // mcm.prof/v1 doc when --profile, else null
 };
 
@@ -155,6 +161,7 @@ CellResult run_workload_cell(const Cell& cell, double min_time_ms, int min_iters
   CellResult r;
   r.level_name = "-";
   r.channels = cell.channels;
+  r.sim_threads = cell.sim_threads;
   {
     char label[64];
     std::snprintf(label, sizeof label, "%s/%uch", cell.workload, cell.channels);
@@ -213,6 +220,7 @@ CellResult run_cell(const core::ExperimentConfig& base, const Cell& cell,
   const auto& spec = video::level_spec(cell.level);
   r.level_name = spec.name;
   r.channels = cell.channels;
+  r.sim_threads = cell.sim_threads;
   {
     char label[64];
     if (cell.sim_threads > 1) {
@@ -317,6 +325,8 @@ int main(int argc, char** argv) {
   int min_iters = 3;
   bool fastpath = true;
   bool profile = false;
+  std::vector<unsigned> sweep_workers = {1, 2, 4};
+  double assert_speedup = 0;  // 0 = no assertion
 
   if (const char* env = std::getenv("MCM_PERF_TOLERANCE")) {
     tolerance = std::strtod(env, nullptr);
@@ -339,6 +349,24 @@ int main(int argc, char** argv) {
       fastpath = false;
     } else if (std::strcmp(argv[i], "--profile") == 0) {
       profile = true;
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      sweep_workers.clear();
+      for (const char* p = argv[++i]; *p != '\0';) {
+        char* end = nullptr;
+        const long v = std::strtol(p, &end, 10);
+        if (end == p || v <= 0) {
+          std::fprintf(stderr, "--workers wants a comma list like 1,2,4\n");
+          return 2;
+        }
+        sweep_workers.push_back(static_cast<unsigned>(v));
+        p = *end == ',' ? end + 1 : end;
+      }
+      if (sweep_workers.empty()) {
+        std::fprintf(stderr, "--workers wants a comma list like 1,2,4\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--assert-speedup") == 0 && i + 1 < argc) {
+      assert_speedup = std::strtod(argv[++i], nullptr);
     } else {
       std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
       return 2;
@@ -351,28 +379,40 @@ int main(int argc, char** argv) {
 
   // The paper's headline cell (720p30, 4 ch) plus a single-channel contrast
   // point and two heavier formats that stress queue pressure differently.
-  // The simt cells track the channel-sharded parallel path: the same
-  // workload at 1 and 4 sim workers (on few-core runners the simt4 cells
-  // mostly measure handoff overhead; on wide machines, real speedup).
-  const std::vector<Cell> cells = {
+  // Sweep cells track the channel-sharded parallel path: the same workload
+  // re-run at every --workers value in one process, so the per-worker twins
+  // share the warm stream cache and the simt_speedup ratios are apples to
+  // apples (on few-core runners the simtN twins mostly measure epoch
+  // overhead; on wide machines, real speedup).
+  const std::vector<Cell> base_cells = {
       {video::H264Level::k31, 1},
-      {video::H264Level::k31, 4},
+      {video::H264Level::k31, 4, 1, nullptr, /*sweep=*/true},
       {video::H264Level::k40, 4},
       {video::H264Level::k42, 4},
-      {video::H264Level::k31, 8},
-      {video::H264Level::k31, 4, 4},
-      {video::H264Level::k31, 8, 4},
+      {video::H264Level::k31, 8, 1, nullptr, /*sweep=*/true},
       // Workload-subsystem cells: external-trace replay and the 4-tenant
       // mixed scenario (video + trace + two generators), both through
       // run_workload's compile/merge/shard path.
       {video::H264Level::k31, 4, 1, "trace_replay"},
       {video::H264Level::k31, 4, 1, "mixed4"},
   };
+  std::vector<Cell> cells;
+  for (const auto& cell : base_cells) {
+    if (!cell.sweep) {
+      cells.push_back(cell);
+      continue;
+    }
+    for (const unsigned w : sweep_workers) {
+      Cell twin = cell;
+      twin.sim_threads = w;
+      cells.push_back(twin);
+    }
+  }
 
   std::printf("HOT-PATH THROUGHPUT (400 MHz, fast path %s)\n\n",
               fastpath ? "on" : "off");
-  std::printf("%-18s %10s %6s %12s %12s %14s\n", "cell", "requests", "iters",
-              "best [ms]", "mean [ms]", "requests/s");
+  std::printf("%-22s %10s %6s %12s %12s %14s %8s\n", "cell", "requests",
+              "iters", "best [ms]", "mean [ms]", "requests/s", "simt x");
 
   obs::JsonValue root = obs::JsonValue::object();
   root["schema"] = "mcm.bench_hotpath/v1";
@@ -384,18 +424,41 @@ int main(int argc, char** argv) {
   std::vector<CellResult> results;
   for (const auto& cell : cells) {
     CellResult r = run_cell(cfg, cell, min_time_ms, min_iters, profile);
-    std::printf("%-18s %10llu %6d %12.2f %12.2f %14.0f\n", r.label.c_str(),
-                static_cast<unsigned long long>(r.requests), r.iters,
-                r.wall_ms_best, r.wall_ms_mean, r.requests_per_s);
+    if (cell.sweep) {
+      // Speedup vs the 1-worker twin (sweeps list workers ascending, so the
+      // base twin has already run; 0 when the sweep list omits worker 1).
+      for (const auto& prev : results) {
+        if (prev.sim_threads == 1 && prev.channels == r.channels &&
+            prev.level_name == r.level_name) {
+          r.simt_speedup = prev.requests_per_s > 0
+                               ? r.requests_per_s / prev.requests_per_s
+                               : 0.0;
+        }
+      }
+      if (r.sim_threads == 1) r.simt_speedup = 1.0;
+    }
+    if (r.simt_speedup > 0) {
+      std::printf("%-22s %10llu %6d %12.2f %12.2f %14.0f %7.2fx\n",
+                  r.label.c_str(), static_cast<unsigned long long>(r.requests),
+                  r.iters, r.wall_ms_best, r.wall_ms_mean, r.requests_per_s,
+                  r.simt_speedup);
+    } else {
+      std::printf("%-22s %10llu %6d %12.2f %12.2f %14.0f %8s\n",
+                  r.label.c_str(), static_cast<unsigned long long>(r.requests),
+                  r.iters, r.wall_ms_best, r.wall_ms_mean, r.requests_per_s,
+                  "-");
+    }
     obs::JsonValue c = obs::JsonValue::object();
     c["label"] = r.label;
     c["level"] = r.level_name;
     c["channels"] = r.channels;
+    c["sim_threads"] = r.sim_threads;
     c["requests"] = r.requests;
     c["iters"] = r.iters;
     c["wall_ms_best"] = r.wall_ms_best;
     c["wall_ms_mean"] = r.wall_ms_mean;
     c["requests_per_s"] = r.requests_per_s;
+    if (r.simt_speedup > 0) c["simt_speedup"] = r.simt_speedup;
     arr.push(std::move(c));
     results.push_back(std::move(r));
   }
@@ -461,6 +524,28 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("perf smoke ok\n");
+  }
+
+  if (assert_speedup > 0) {
+    double best = 0;
+    const CellResult* best_cell = nullptr;
+    for (const auto& r : results) {
+      if (r.sim_threads > 1 && r.simt_speedup > best) {
+        best = r.simt_speedup;
+        best_cell = &r;
+      }
+    }
+    if (best_cell != nullptr) {
+      std::printf("\nbest simt speedup: %.2fx (%s), required >= %.2fx\n", best,
+                  best_cell->label.c_str(), assert_speedup);
+    }
+    if (best < assert_speedup) {
+      std::fprintf(stderr,
+                   "--assert-speedup FAILED: best multi-worker speedup %.2fx "
+                   "is below the required %.2fx\n",
+                   best, assert_speedup);
+      return 1;
+    }
   }
 
   std::ofstream out(out_path);

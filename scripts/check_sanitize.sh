@@ -26,11 +26,13 @@ cmake --build "$build_dir" -j "$(nproc)"
 if [ "$mode" = "thread" ]; then
   export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
   # The suites that exercise real multi-threading: the channel-sharded
-  # engine at 1/2/8 workers, the sharded-vs-legacy equivalence runs, the
-  # memoized stream cache, the exploration pool, the metrics registry under
-  # concurrent registration, and the profiler's cross-thread spool merge.
+  # engine at 1/2/8 workers (per-request and epoch-batched speculative
+  # paths, including forced rollbacks), the sharded-vs-legacy equivalence
+  # runs, the memoized stream cache, the exploration pool, the metrics
+  # registry under concurrent registration, and the profiler's cross-thread
+  # spool merge.
   ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
-    -R "SimThreads|ShardedEquivalence|StreamCache|ThreadPool|Orchestrator|MetricsRegistryThreadSafe|ProfTest|ProfPurity"
+    -R "SimThreads|SimChunk|ShardedEquivalence|StreamCache|ThreadPool|Orchestrator|MetricsRegistryThreadSafe|ProfTest|ProfPurity"
 else
   export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
   export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"

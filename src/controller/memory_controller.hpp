@@ -67,6 +67,7 @@ class MemoryController {
   [[nodiscard]] bool can_accept() const { return queue_.size() < cfg_.queue_depth; }
   [[nodiscard]] bool has_pending() const { return !queue_.empty(); }
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::size_t queue_capacity() const { return cfg_.queue_depth; }
 
   void enqueue(const Request& r);
 
@@ -100,6 +101,10 @@ class MemoryController {
     trace_sink_ = sink;
     trace_channel_ = channel_id;
   }
+
+  /// The attached trace writer, if any (the sharded engine checks
+  /// supports_rewind() before running chunks speculatively).
+  [[nodiscard]] obs::TraceWriter* trace_writer() const { return trace_sink_; }
 
  private:
   /// FR-FCFS candidate selection; returns a queue slot index.

@@ -170,8 +170,8 @@ FrameSimResult FrameSimulator::run_impl(
 
     static const obs::prof::PhaseId kEngine = obs::prof::phase_id("sim/engine");
     obs::prof::ScopedTimer engine_span(kEngine);
-    const auto out =
-        run_sharded_frames(sys, frames, period, opt_.sim_threads);
+    const auto out = run_sharded_frames(sys, frames, period, opt_.sim_threads,
+                                        opt_.sim_chunk);
     engine_span.stop();
     t = out.end_time;
     access_accum = out.access_accum;

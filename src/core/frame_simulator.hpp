@@ -51,6 +51,11 @@ struct FrameSimOptions {
   /// Results are byte-identical at every setting.
   unsigned sim_threads = 0;
 
+  /// Positions per speculative chunk for the epoch-batched sharded engine
+  /// (0 = MCM_SIM_CHUNK, then the engine default; 1 forces the per-request
+  /// protocol). Results are byte-identical at every setting.
+  unsigned sim_chunk = 0;
+
   /// Force the historical sequential feed loop instead of the sharded
   /// engine (equivalence tests; kConcurrent always uses it).
   bool legacy_feed = false;

@@ -22,19 +22,43 @@
 // per channel, stage completion is a max), which is what makes the lazy
 // application legal.
 //
-// Parallel execution: requests are consumed from the memoized stream in
-// strict position order through one atomic cursor. The owner of position
-// p's channel performs the tiny serialized step (apply + full-check +
-// publish) and bumps the cursor; the expensive work — the service pop, the
-// enqueue, and the stage-end drain — runs after the bump, overlapped with
-// other channels' positions. Thresholds travel through per-channel SPSC
-// rings whose producers are serialized by cursor ownership. Channels are
-// assigned to workers round-robin (channel c -> worker c % T) so
-// consecutive positions of the 16 B-interleaved rotation land on different
-// workers and the deferred work overlaps.
+// Parallel execution, epoch-batched (default): the stream is cut into
+// chunks of MCM_SIM_CHUNK positions and each chunk runs in three tiers:
 //
-// Every ordering decision is a pure function of per-channel state, so the
-// results are byte-identical at any worker count, including 1.
+//   Tier 1 (proven run): while every channel's occupancy plus its incoming
+//   positions in the window fits its queue depth, no queue can fill, so no
+//   thresholds can be published — workers blast their own channels'
+//   positions (from load::ChunkMeta's per-channel position lists) with no
+//   synchronization beyond the chunk barrier.
+//
+//   Tier 2 (speculate + validate): each worker runs its own channels'
+//   positions assuming no cross-channel threshold binds inside the chunk
+//   (entry thresholds from earlier chunks still apply at the first own
+//   position), recording per position the pre-publish horizon, the
+//   was-full bit, and the had-pending bit. After a barrier, each channel
+//   replays the chunk's publish sequence from those records and checks
+//   whether any threshold would have popped where speculation did not.
+//   Publishes recorded before the globally first divergence are exact, so
+//   the minimum over channels of the first divergence is exact.
+//
+//   Tier 3 (rollback): on divergence (or MCM_SIM_SPEC=rollback), restore
+//   the epoch snapshot (whole-channel copies + trace rewind marks, taken
+//   every few speculative chunks) and replay serially up to the chunk end
+//   with the per-request protocol, then re-snapshot. Committed state is
+//   never re-rolled. After kMaxRollbacksPerSegment genuine rollbacks the
+//   segment's remainder is completed serially with the exact protocol
+//   (speculation is clearly not paying for this stream shape).
+//
+// Per-request fallback (chunk size 1, 1 worker, MCM_SIM_SPEC=off, or a
+// non-rewindable trace writer): requests are consumed in strict position
+// order through one atomic cursor; the owner of position p's channel
+// performs the tiny serialized step (apply + full-check + publish) and
+// bumps the cursor; thresholds travel through per-channel SPSC rings.
+// Channels are assigned to workers round-robin (channel c -> worker c % T).
+//
+// Every ordering and rollback decision is a pure function of per-channel
+// deterministic state, so results are byte-identical at any worker count
+// AND any chunk size, including the sequential loop's.
 #pragma once
 
 #include <cstdint>
@@ -62,10 +86,12 @@ struct ShardedRunOutput {
 /// nothing: requests carry global addresses and are routed here. Updates
 /// sys's per-channel route counters; channel stats/energy/trace accumulate
 /// in the channels as usual.
+/// `sim_chunk` positions per speculative chunk (0 = MCM_SIM_CHUNK or the
+/// built-in default; 1 forces the per-request protocol).
 ShardedRunOutput run_sharded_frames(
     multichannel::MemorySystem& sys,
     const std::vector<const load::CachedWorkload*>& frame_workloads,
-    Time period, unsigned sim_threads);
+    Time period, unsigned sim_threads, unsigned sim_chunk = 0);
 
 /// The sequential feed loop (one heap, `while (!try_submit) process_next`)
 /// over the same memoized streams: the legacy-equivalent semantics the
@@ -85,5 +111,12 @@ ShardedRunOutput run_sequential_frames(
 /// channels (0 = environment default; clamped to the channel count).
 [[nodiscard]] unsigned resolve_sim_threads(unsigned requested,
                                            std::uint32_t channels);
+
+/// MCM_SIM_CHUNK when set to a positive integer, else 0 (engine default).
+[[nodiscard]] unsigned sim_chunk_from_env();
+
+/// Chunk size actually used for `requested` (0 = environment default, then
+/// the built-in default of 4096 positions).
+[[nodiscard]] unsigned resolve_sim_chunk(unsigned requested);
 
 }  // namespace mcm::core

@@ -1,8 +1,10 @@
 #include "load/stream_cache.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/log.hpp"
 #include "obs/prof.hpp"
 
 namespace mcm::load {
@@ -11,7 +13,7 @@ namespace {
 // Soft cap on resident cached streams: one 2160p30 format is ~10^7 requests
 // (~80 MB); the cap fits every paper figure with slack while bounding a
 // pathological sweep over many distinct formats. New workloads beyond the
-// cap are generated but not retained.
+// cap are generated but not retained; chunk metadata shares the same cap.
 constexpr std::uint64_t kMaxCachedBytes = std::uint64_t{2} << 30;
 
 std::string make_key(const video::UseCaseParams& p, std::uint64_t alignment,
@@ -30,21 +32,17 @@ std::string make_key(const video::UseCaseParams& p, std::uint64_t alignment,
   return buf;
 }
 
-}  // namespace
-
-StreamCache& StreamCache::instance() {
-  static StreamCache cache;
-  return cache;
+std::string make_meta_key(const std::string& workload_key,
+                          std::size_t stage_index, std::uint32_t channels,
+                          std::uint32_t granularity) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "#meta s%llu c%u g%u",
+                static_cast<unsigned long long>(stage_index), channels,
+                granularity);
+  return workload_key + buf;
 }
 
-bool StreamCache::enabled() {
-  const char* env = std::getenv("MCM_STREAM_CACHE");
-  if (env == nullptr) return true;
-  const std::string v(env);
-  return !(v == "off" || v == "OFF" || v == "0");
-}
-
-std::shared_ptr<const CachedWorkload> StreamCache::generate(
+std::shared_ptr<CachedWorkload> build_video_workload(
     const video::UseCaseModel& model, const video::SurfaceLayout& layout,
     const LoadOptions& opt) {
   static const obs::prof::PhaseId kBuild =
@@ -72,6 +70,80 @@ std::shared_ptr<const CachedWorkload> StreamCache::generate(
   return wl;
 }
 
+}  // namespace
+
+std::uint64_t ChunkMeta::count_in(std::uint32_t channel, std::uint64_t a,
+                                  std::uint64_t b) const {
+  const std::vector<std::uint32_t>& pos = pos_of[channel];
+  const auto lo = std::lower_bound(pos.begin(), pos.end(),
+                                   static_cast<std::uint32_t>(a));
+  const auto hi = std::lower_bound(lo, pos.end(), static_cast<std::uint32_t>(b));
+  return static_cast<std::uint64_t>(hi - lo);
+}
+
+std::shared_ptr<const ChunkMeta> ChunkMeta::build(const CachedStage& stage,
+                                                  std::uint32_t channels,
+                                                  std::uint32_t granularity) {
+  static const obs::prof::PhaseId kBuild =
+      obs::prof::phase_id("stream_cache/meta_build");
+  obs::prof::ScopedTimer span(kBuild);
+  auto meta = std::make_shared<ChunkMeta>();
+  meta->channels = channels;
+  meta->granularity = granularity;
+  const std::size_t n = stage.reqs.size();
+  meta->chan.resize(n);
+  meta->pos_of.resize(channels);
+  if (channels > 0) {
+    for (auto& v : meta->pos_of) v.reserve(n / channels + 1);
+  }
+  for (std::size_t p = 0; p < n; ++p) {
+    const std::uint64_t addr = CachedStage::addr_of(stage.reqs[p]);
+    const std::uint32_t c =
+        static_cast<std::uint32_t>((addr / granularity) % channels);
+    meta->chan[p] = static_cast<std::uint8_t>(c);
+    meta->pos_of[c].push_back(static_cast<std::uint32_t>(p));
+  }
+  return meta;
+}
+
+StreamCache& StreamCache::instance() {
+  static StreamCache cache;
+  return cache;
+}
+
+bool StreamCache::enabled() {
+  const char* env = std::getenv("MCM_STREAM_CACHE");
+  if (env == nullptr) return true;
+  const std::string v(env);
+  return !(v == "off" || v == "OFF" || v == "0");
+}
+
+std::shared_ptr<const CachedWorkload> StreamCache::generate(
+    const video::UseCaseModel& model, const video::SurfaceLayout& layout,
+    const LoadOptions& opt) {
+  return build_video_workload(model, layout, opt);
+}
+
+void StreamCache::warn_capped_locked(const std::string& key,
+                                     std::uint64_t bytes) {
+  if (!capped_warned_.insert(key).second) return;
+  MCM_LOG_WARN(
+      "stream cache soft cap (%llu B) reached; not retaining %llu B for key "
+      "'%s' (regenerated per run)",
+      static_cast<unsigned long long>(kMaxCachedBytes),
+      static_cast<unsigned long long>(bytes), key.c_str());
+}
+
+void StreamCache::try_retain_locked(
+    const std::string& key, const std::shared_ptr<const CachedWorkload>& wl) {
+  if (bytes_ + meta_bytes_ + wl->footprint_bytes() <= kMaxCachedBytes) {
+    bytes_ += wl->footprint_bytes();
+    map_.emplace(key, wl);
+  } else {
+    warn_capped_locked(key, wl->footprint_bytes());
+  }
+}
+
 std::shared_ptr<const CachedWorkload> StreamCache::get(
     const video::UseCaseModel& model, const video::SurfaceLayout& layout,
     std::uint64_t alignment, const LoadOptions& opt) {
@@ -92,20 +164,19 @@ std::shared_ptr<const CachedWorkload> StreamCache::get(
   // Generate outside the lock: two threads may race to build the same
   // format, in which case the first insert wins and the loser's copy is
   // dropped (both are identical by construction).
-  auto wl = generate(model, layout, opt);
+  auto wl = build_video_workload(model, layout, opt);
+  wl->key = key;
   std::lock_guard lock(mutex_);
   const auto it = map_.find(key);
   if (it != map_.end()) return it->second;
-  if (bytes_ + wl->footprint_bytes() <= kMaxCachedBytes) {
-    bytes_ += wl->footprint_bytes();
-    map_.emplace(key, wl);
-  }
-  return wl;
+  std::shared_ptr<const CachedWorkload> frozen = std::move(wl);
+  try_retain_locked(key, frozen);
+  return frozen;
 }
 
 std::shared_ptr<const CachedWorkload> StreamCache::get_keyed(
     const std::string& key,
-    const std::function<std::shared_ptr<const CachedWorkload>()>& build) {
+    const std::function<std::shared_ptr<CachedWorkload>()>& build) {
   if (!enabled()) return build();
   static const obs::prof::PhaseId kHit = obs::prof::phase_id("stream_cache/hit");
   static const obs::prof::PhaseId kMiss =
@@ -120,25 +191,71 @@ std::shared_ptr<const CachedWorkload> StreamCache::get_keyed(
   }
   obs::prof::count(kMiss, 1);
   auto wl = build();
+  wl->key = key;
   std::lock_guard lock(mutex_);
   const auto it = map_.find(key);
   if (it != map_.end()) return it->second;
-  if (bytes_ + wl->footprint_bytes() <= kMaxCachedBytes) {
-    bytes_ += wl->footprint_bytes();
-    map_.emplace(key, wl);
+  std::shared_ptr<const CachedWorkload> frozen = std::move(wl);
+  try_retain_locked(key, frozen);
+  return frozen;
+}
+
+std::shared_ptr<const ChunkMeta> StreamCache::chunk_meta(
+    const CachedWorkload& wl, std::size_t stage_index, std::uint32_t channels,
+    std::uint32_t granularity) {
+  if (wl.key.empty() || !enabled()) {
+    return ChunkMeta::build(wl.stages[stage_index], channels, granularity);
   }
-  return wl;
+  static const obs::prof::PhaseId kHit =
+      obs::prof::phase_id("stream_cache/meta_hit");
+  static const obs::prof::PhaseId kMiss =
+      obs::prof::phase_id("stream_cache/meta_miss");
+  const std::string key = make_meta_key(wl.key, stage_index, channels,
+                                        granularity);
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = meta_map_.find(key);
+    if (it != meta_map_.end()) {
+      obs::prof::count(kHit, 1);
+      return it->second;
+    }
+  }
+  obs::prof::count(kMiss, 1);
+  auto meta = ChunkMeta::build(wl.stages[stage_index], channels, granularity);
+  std::lock_guard lock(mutex_);
+  const auto it = meta_map_.find(key);
+  if (it != meta_map_.end()) return it->second;
+  if (bytes_ + meta_bytes_ + meta->footprint_bytes() <= kMaxCachedBytes) {
+    meta_bytes_ += meta->footprint_bytes();
+    meta_map_.emplace(key, meta);
+  } else {
+    warn_capped_locked(key, meta->footprint_bytes());
+  }
+  return meta;
 }
 
 void StreamCache::clear() {
   std::lock_guard lock(mutex_);
   map_.clear();
+  meta_map_.clear();
+  capped_warned_.clear();
   bytes_ = 0;
+  meta_bytes_ = 0;
 }
 
 std::uint64_t StreamCache::cached_bytes() {
   std::lock_guard lock(mutex_);
-  return bytes_;
+  return bytes_ + meta_bytes_;
+}
+
+StreamCacheStats StreamCache::stats() {
+  std::lock_guard lock(mutex_);
+  StreamCacheStats s;
+  s.stream_bytes = bytes_;
+  s.meta_bytes = meta_bytes_;
+  s.stream_entries = map_.size();
+  s.meta_entries = meta_map_.size();
+  return s;
 }
 
 }  // namespace mcm::load

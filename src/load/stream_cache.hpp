@@ -20,6 +20,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "load/usecase_sources.hpp"
@@ -49,10 +50,51 @@ struct CachedWorkload {
   std::vector<CachedStage> stages;  // Fig. 1 processing order
   std::uint32_t burst_bytes = 0;
   std::uint64_t total_requests = 0;
+  // Cache key this workload was memoized under; empty when the workload was
+  // generated uncached (MCM_STREAM_CACHE=off or direct generate() calls).
+  // Chunk metadata derives its own key from this one, so it is invalidated
+  // exactly when the stream is.
+  std::string key;
 
   [[nodiscard]] std::uint64_t footprint_bytes() const {
     return total_requests * sizeof(std::uint64_t);
   }
+};
+
+/// Per-stage chunk metadata for the epoch-batched sharded engine: the
+/// channel of every position of the flat request array under a given
+/// interleave (channels, granularity), plus per-channel sorted position
+/// lists. Workers use pos_of to speculate over their own channels' positions
+/// without touching the shared cursor; the chunk scheduler uses count_in to
+/// prove no-stall horizons (occupancy + incoming <= queue depth).
+struct ChunkMeta {
+  std::uint32_t channels = 0;
+  std::uint32_t granularity = 0;
+  std::vector<std::uint8_t> chan;                  // channel of each position
+  std::vector<std::vector<std::uint32_t>> pos_of;  // per channel, ascending
+
+  [[nodiscard]] std::uint64_t footprint_bytes() const {
+    return chan.size() * (sizeof(std::uint8_t) + sizeof(std::uint32_t));
+  }
+
+  /// Number of positions routed to `channel` in stream range [a, b).
+  [[nodiscard]] std::uint64_t count_in(std::uint32_t channel, std::uint64_t a,
+                                       std::uint64_t b) const;
+
+  /// Route every position of `stage` under (channels, granularity).
+  /// Requires channels <= 255 (the engine falls back to the per-request
+  /// protocol beyond that).
+  [[nodiscard]] static std::shared_ptr<const ChunkMeta> build(
+      const CachedStage& stage, std::uint32_t channels,
+      std::uint32_t granularity);
+};
+
+/// Resident byte counters, split by kind (streams vs chunk metadata).
+struct StreamCacheStats {
+  std::uint64_t stream_bytes = 0;
+  std::uint64_t meta_bytes = 0;
+  std::uint64_t stream_entries = 0;
+  std::uint64_t meta_entries = 0;
 };
 
 class StreamCache {
@@ -76,10 +118,19 @@ class StreamCache {
   /// Keyed memoization for non-video frontends (workload/): the cached
   /// workload for `key`, built with `build` on first use. Callers must make
   /// `key` a pure function of everything `build` depends on. Honors
-  /// MCM_STREAM_CACHE=off and the byte cap like get().
+  /// MCM_STREAM_CACHE=off and the byte cap like get(). The builder returns a
+  /// mutable workload so the cache can stamp the key on it.
   std::shared_ptr<const CachedWorkload> get_keyed(
       const std::string& key,
-      const std::function<std::shared_ptr<const CachedWorkload>()>& build);
+      const std::function<std::shared_ptr<CachedWorkload>()>& build);
+
+  /// Chunk metadata for one stage of `wl` under an interleave, memoized
+  /// alongside the stream when the workload itself was cached (wl.key set);
+  /// built fresh otherwise. Counts toward the same soft byte cap.
+  std::shared_ptr<const ChunkMeta> chunk_meta(const CachedWorkload& wl,
+                                              std::size_t stage_index,
+                                              std::uint32_t channels,
+                                              std::uint32_t granularity);
 
   /// False when MCM_STREAM_CACHE is "off" or "0" (checked per call so tests
   /// can toggle it).
@@ -89,12 +140,22 @@ class StreamCache {
   void clear();
 
   [[nodiscard]] std::uint64_t cached_bytes();
+  [[nodiscard]] StreamCacheStats stats();
 
  private:
-  // Workloads are immutable once built; the mutex only guards the map.
+  /// Retain `wl` under `key` if the soft cap allows; warns once per key when
+  /// it does not. Caller holds mutex_.
+  void try_retain_locked(const std::string& key,
+                         const std::shared_ptr<const CachedWorkload>& wl);
+  void warn_capped_locked(const std::string& key, std::uint64_t bytes);
+
+  // Workloads are immutable once built; the mutex only guards the maps.
   std::mutex mutex_;
   std::unordered_map<std::string, std::shared_ptr<const CachedWorkload>> map_;
+  std::unordered_map<std::string, std::shared_ptr<const ChunkMeta>> meta_map_;
+  std::unordered_set<std::string> capped_warned_;
   std::uint64_t bytes_ = 0;
+  std::uint64_t meta_bytes_ = 0;
 };
 
 }  // namespace mcm::load

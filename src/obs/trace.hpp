@@ -65,6 +65,18 @@ class TraceWriter {
   /// One request lifecycle span on `channel`.
   virtual void span(std::uint32_t channel, std::uint64_t addr, bool is_write,
                     Time arrival, Time first_cmd, Time done, bool row_hit) = 0;
+
+  /// Whether this writer can discard events back to a mark() checkpoint.
+  /// Streaming writers cannot (bytes already left the process); the sharded
+  /// engine only speculates when every attached writer supports rewind.
+  [[nodiscard]] virtual bool supports_rewind() const { return false; }
+
+  /// Opaque checkpoint of the events recorded so far.
+  [[nodiscard]] virtual std::uint64_t mark() const { return 0; }
+
+  /// Discard every event recorded after `checkpoint`. Only meaningful when
+  /// supports_rewind() is true.
+  virtual void rewind(std::uint64_t checkpoint) { (void)checkpoint; }
 };
 
 /// Write the schema meta line that must open every trace stream.
@@ -114,6 +126,13 @@ class TraceSpool final : public TraceWriter {
 
   [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
   [[nodiscard]] std::uint64_t events_recorded() const { return events_.size(); }
+
+  /// Spools buffer in memory, so speculative events can be truncated.
+  [[nodiscard]] bool supports_rewind() const override { return true; }
+  [[nodiscard]] std::uint64_t mark() const override { return events_.size(); }
+  void rewind(std::uint64_t checkpoint) override {
+    if (checkpoint < events_.size()) events_.resize(checkpoint);
+  }
 
  private:
   std::vector<TraceEvent> events_;

@@ -291,7 +291,7 @@ CompiledWorkload compile_workload(const WorkloadSpec& spec) {
   }
 
   out.frame = load::StreamCache::instance().get_keyed(
-      spec.cache_key(), [&]() -> std::shared_ptr<const load::CachedWorkload> {
+      spec.cache_key(), [&]() -> std::shared_ptr<load::CachedWorkload> {
         MixedTenantSource composed = compose(spec, ctx.plans, ctx.inputs, ctx.burst);
         auto wl = std::make_shared<load::CachedWorkload>();
         load::CachedStage stage;

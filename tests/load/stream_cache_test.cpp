@@ -90,6 +90,87 @@ TEST(StreamCache, GetMemoizesPerKey) {
   EXPECT_EQ(cache.cached_bytes(), 0u);
 }
 
+TEST(StreamCache, ChunkMetaRoutesEveryPosition) {
+  CachedStage stage;
+  stage.name = "meta";
+  stage.source_id = 1;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    stage.reqs.push_back(CachedStage::pack(i * 48, i % 2 == 0));
+  }
+  const std::uint32_t channels = 4, granularity = 128;
+  const auto meta = ChunkMeta::build(stage, channels, granularity);
+  ASSERT_EQ(meta->chan.size(), stage.reqs.size());
+  std::uint64_t listed = 0;
+  for (std::uint32_t c = 0; c < channels; ++c) {
+    listed += meta->pos_of[c].size();
+    for (std::size_t i = 0; i < meta->pos_of[c].size(); ++i) {
+      EXPECT_EQ(meta->chan[meta->pos_of[c][i]], c);
+      if (i > 0) {
+        EXPECT_LT(meta->pos_of[c][i - 1], meta->pos_of[c][i]);
+      }
+    }
+  }
+  EXPECT_EQ(listed, stage.reqs.size());
+  for (std::size_t p = 0; p < stage.reqs.size(); ++p) {
+    const std::uint64_t addr = CachedStage::addr_of(stage.reqs[p]);
+    EXPECT_EQ(meta->chan[p], (addr / granularity) % channels);
+  }
+  // count_in must agree with a direct scan on arbitrary sub-ranges.
+  for (std::uint32_t c = 0; c < channels; ++c) {
+    for (const auto& [a, b] :
+         {std::pair<std::uint64_t, std::uint64_t>{0, 1000},
+          {0, 1},
+          {17, 401},
+          {999, 1000},
+          {500, 500}}) {
+      std::uint64_t expect = 0;
+      for (std::uint64_t p = a; p < b; ++p) expect += meta->chan[p] == c;
+      EXPECT_EQ(meta->count_in(c, a, b), expect)
+          << "c=" << c << " [" << a << "," << b << ")";
+    }
+  }
+}
+
+TEST(StreamCache, ChunkMetaMemoizedAndCounted) {
+  auto& cache = StreamCache::instance();
+  cache.clear();
+  const Format f(params());
+  LoadOptions opt;
+
+  const auto wl = cache.get(f.model, f.layout, kAlign, opt);
+  ASSERT_FALSE(wl->key.empty());
+  const StreamCacheStats before = cache.stats();
+  EXPECT_EQ(before.meta_entries, 0u);
+  EXPECT_EQ(before.meta_bytes, 0u);
+
+  const auto m1 = cache.chunk_meta(*wl, 0, 4, 128);
+  const auto m2 = cache.chunk_meta(*wl, 0, 4, 128);
+  EXPECT_EQ(m1.get(), m2.get()) << "same (key, stage, interleave) must hit";
+
+  // A different interleave (or stage) is a different meta entry.
+  const auto m3 = cache.chunk_meta(*wl, 0, 2, 128);
+  EXPECT_NE(m1.get(), m3.get());
+
+  const StreamCacheStats after = cache.stats();
+  EXPECT_EQ(after.meta_entries, 2u);
+  EXPECT_EQ(after.meta_bytes,
+            m1->footprint_bytes() + m3->footprint_bytes());
+  EXPECT_EQ(after.stream_bytes, wl->footprint_bytes());
+  EXPECT_EQ(cache.cached_bytes(), after.stream_bytes + after.meta_bytes);
+
+  // Uncached workloads (no key) still get correct metadata, just unretained.
+  const auto loose = StreamCache::generate(f.model, f.layout, opt);
+  EXPECT_TRUE(loose->key.empty());
+  const auto m4 = cache.chunk_meta(*loose, 0, 4, 128);
+  EXPECT_EQ(m4->chan, m1->chan);
+  EXPECT_EQ(cache.stats().meta_entries, 2u) << "keyless meta is not retained";
+
+  cache.clear();
+  const StreamCacheStats cleared = cache.stats();
+  EXPECT_EQ(cleared.stream_bytes + cleared.meta_bytes, 0u);
+  EXPECT_EQ(cleared.stream_entries + cleared.meta_entries, 0u);
+}
+
 TEST(StreamCache, EnvOffBypassesRetention) {
   auto& cache = StreamCache::instance();
   cache.clear();

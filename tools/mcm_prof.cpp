@@ -343,6 +343,10 @@ struct WorkerWaits {
   std::uint64_t handoff_calls = 0, ring_calls = 0, barrier_calls = 0;
   std::uint64_t retired = 0, folded = 0;
   double occupancy_p95 = 0;
+  // Epoch-batched engine phases (zero when the per-request protocol ran).
+  std::int64_t speculate_ns = 0, validate_ns = 0, snapshot_ns = 0;
+  std::uint64_t publishes = 0;
+  double spec_depth_p50 = 0, spec_depth_p95 = 0;
 };
 
 /// Parse "engine/w<N>/<kind>" phases into per-worker rows.
@@ -384,6 +388,17 @@ std::map<unsigned, WorkerWaits> worker_waits(const ProfileReport& rep) {
       ww.folded = ph.calls;
     } else if (kind == "ring_occupancy") {
       ww.occupancy_p95 = ph.p95;
+    } else if (kind == "speculate") {
+      ww.speculate_ns = ph.wall_ns;
+    } else if (kind == "validate") {
+      ww.validate_ns = ph.wall_ns;
+    } else if (kind == "snapshot") {
+      ww.snapshot_ns = ph.wall_ns;
+    } else if (kind == "publishes") {
+      ww.publishes = ph.calls;
+    } else if (kind == "spec_depth") {
+      ww.spec_depth_p50 = ph.p50;
+      ww.spec_depth_p95 = ph.p95;
     }
   }
   return out;
@@ -401,6 +416,7 @@ int contention(const LoadedProfile& p, const LoadedProfile* baseline) {
               "feed [ms]", "drain [ms]", "handoff [ms]", "ring_full [ms]",
               "barrier [ms]", "retired", "occ p95");
   std::int64_t total_wait_ns = 0;
+  std::int64_t max_wait_ns = 0;  // critical-path wait: slowest worker
   for (const auto& [w, ww] : waits) {
     std::printf("w%-7u %10.2f %10.2f %9.2f/%-6llu %9.2f/%-6llu %9.2f/%-6llu "
                 "%12llu %10.1f\n",
@@ -410,36 +426,78 @@ int contention(const LoadedProfile& p, const LoadedProfile* baseline) {
                 ms(ww.barrier_ns),
                 static_cast<unsigned long long>(ww.barrier_calls),
                 static_cast<unsigned long long>(ww.retired), ww.occupancy_p95);
-    total_wait_ns += ww.handoff_ns + ww.ring_ns + ww.barrier_ns;
+    const std::int64_t wait = ww.handoff_ns + ww.ring_ns + ww.barrier_ns;
+    total_wait_ns += wait;
+    max_wait_ns = std::max(max_wait_ns, wait);
   }
 
+  // Epoch-batched engine attribution (absent for per-request runs).
+  const ProfilePhase* epochs = p.report.find("engine/epoch_publish");
+  const ProfilePhase* rollback = p.report.find("engine/rollback");
+  const ProfilePhase* proven = p.report.find("engine/proven_positions");
   const double runs = [&] {
     const ProfilePhase* run = p.report.find("sim/run");
     return run != nullptr && run->calls > 0 ? static_cast<double>(run->calls)
                                             : 1.0;
   }();
+  if (epochs != nullptr && epochs->calls > 0) {
+    std::printf("%-8s %12s %12s %12s %12s %18s\n", "worker", "spec [ms]",
+                "valid [ms]", "snap [ms]", "publishes", "spec depth p50/p95");
+    std::uint64_t total_publishes = 0;
+    for (const auto& [w, ww] : waits) {
+      std::printf("w%-7u %12.2f %12.2f %12.2f %12llu %10.0f / %-6.0f\n", w,
+                  ms(ww.speculate_ns), ms(ww.validate_ns), ms(ww.snapshot_ns),
+                  static_cast<unsigned long long>(ww.publishes),
+                  ww.spec_depth_p50, ww.spec_depth_p95);
+      total_publishes += ww.publishes;
+    }
+    std::printf("epochs: %.0f chunk(s)/run, %.1f publishes/chunk, "
+                "%.0f proven position(s)/run, serial step %.2f ms/run\n",
+                static_cast<double>(epochs->calls) / runs,
+                static_cast<double>(total_publishes) /
+                    static_cast<double>(epochs->calls),
+                proven != nullptr
+                    ? static_cast<double>(proven->calls) / runs
+                    : 0.0,
+                ms(epochs->wall_ns) / runs);
+    if (rollback != nullptr && rollback->calls > 0) {
+      std::printf("rollbacks: %.1f/run, serial replay %.2f ms/run\n",
+                  static_cast<double>(rollback->calls) / runs,
+                  ms(rollback->wall_ns) / runs);
+    } else {
+      std::printf("rollbacks: none\n");
+    }
+  }
+
   const double wait_per_run_ms = ms(total_wait_ns) / runs;
+  const double crit_wait_per_run_ms = ms(max_wait_ns) / runs;
   const double workers = static_cast<double>(waits.size());
   std::printf("total wait (handoff + ring_full + barrier, all workers): "
-              "%.2f ms/run over %.0f run(s); mean per worker %.2f ms/run\n",
-              wait_per_run_ms, runs, wait_per_run_ms / workers);
+              "%.2f ms/run over %.0f run(s); slowest worker %.2f ms/run\n",
+              wait_per_run_ms, runs, crit_wait_per_run_ms);
 
   if (baseline != nullptr) {
+    // Workers wait concurrently, so the critical-path (slowest-worker) wait
+    // is what shows up on the wall clock; summing across workers would
+    // overstate the gap more the more workers the cell has, making cells
+    // with different worker counts incomparable.
+    const auto base_waits = worker_waits(baseline->report);
     const double base_ms = per_run_wall_ms(*baseline);
     const double cur_ms = per_run_wall_ms(p);
     const double gap = cur_ms - base_ms;
-    std::printf("baseline cell %s: %.2f ms/run vs %.2f ms/run -> gap %.2f ms\n",
-                baseline->label.c_str(), base_ms, cur_ms, gap);
+    std::printf("baseline cell %s (%zu worker(s)): %.2f ms/run vs %.2f ms/run "
+                "(%.0f worker(s)) -> gap %.2f ms\n",
+                baseline->label.c_str(), base_waits.size(), base_ms, cur_ms,
+                workers, gap);
     if (gap > 0) {
-      // Waits accumulate per worker, so the sum can exceed the wall gap when
-      // workers outnumber cores (they wait concurrently, scheduled out).
-      std::printf("measured waits explain %.0f %% of the gap "
-                  "(%.0f %% as per-worker mean)\n",
-                  wait_per_run_ms / gap * 100.0,
-                  wait_per_run_ms / workers / gap * 100.0);
+      std::printf("slowest-worker wait explains %.0f %% of the gap "
+                  "(all-worker sum: %.0f %%)\n",
+                  crit_wait_per_run_ms / gap * 100.0,
+                  wait_per_run_ms / gap * 100.0);
     } else {
-      std::printf("no slowdown vs baseline; waits are %.2f ms/run\n",
-                  wait_per_run_ms);
+      std::printf("no slowdown vs baseline; slowest-worker wait is "
+                  "%.2f ms/run\n",
+                  crit_wait_per_run_ms);
     }
   }
   return 0;
