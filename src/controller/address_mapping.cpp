@@ -1,8 +1,19 @@
 #include "controller/address_mapping.hpp"
 
+#include <bit>
 #include <cassert>
 
 namespace mcm::ctrl {
+
+namespace {
+
+[[nodiscard]] bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+[[nodiscard]] unsigned log2u(std::uint64_t v) {
+  return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+}  // namespace
 
 AddressMapper::AddressMapper(const dram::OrgSpec& org, AddressMux mux)
     : mux_(mux),
@@ -14,9 +25,18 @@ AddressMapper::AddressMapper(const dram::OrgSpec& org, AddressMux mux)
   assert(banks_ > 0 && rows_per_bank_ > 0 && bursts_per_row_ > 0);
   // The XOR permutation requires a power-of-two bank count.
   assert(mux_ != AddressMux::kRBCXor || (banks_ & (banks_ - 1)) == 0);
+  pow2_ = is_pow2(bytes_per_burst_) && is_pow2(capacity_bursts_) &&
+          is_pow2(bursts_per_row_) && is_pow2(banks_) && is_pow2(rows_per_bank_);
+  if (pow2_) {
+    burst_shift_ = log2u(bytes_per_burst_);
+    bpr_shift_ = log2u(bursts_per_row_);
+    bank_shift_ = log2u(banks_);
+    rpb_shift_ = log2u(rows_per_bank_);
+    capacity_mask_ = capacity_bursts_ - 1;
+  }
 }
 
-DecodedAddress AddressMapper::decode(std::uint64_t local_addr) const {
+DecodedAddress AddressMapper::decode_slow(std::uint64_t local_addr) const {
   const std::uint64_t burst = (local_addr / bytes_per_burst_) % capacity_bursts_;
   DecodedAddress out;
   switch (mux_) {

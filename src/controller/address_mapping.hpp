@@ -12,6 +12,7 @@
 //           that thrash a single bank under plain RBC)
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <string_view>
 
@@ -48,7 +49,53 @@ class AddressMapper {
   /// Decode a channel-local byte address. Addresses beyond the cluster
   /// capacity wrap (the load layer is expected to stay within capacity; the
   /// wrap keeps the model total even if it does not).
-  [[nodiscard]] DecodedAddress decode(std::uint64_t local_addr) const;
+  ///
+  /// Every supported organization has power-of-two geometry, so the common
+  /// path is pure shifts and masks, inlined here because the controller
+  /// decodes once per enqueued request. Odd geometries take the out-of-line
+  /// division path (also the reference the property tests compare against).
+  [[nodiscard]] DecodedAddress decode(std::uint64_t local_addr) const {
+    if (!pow2_) return decode_slow(local_addr);
+    const std::uint64_t burst = (local_addr >> burst_shift_) & capacity_mask_;
+    DecodedAddress out;
+    switch (mux_) {
+      case AddressMux::kRBCXor: {
+        out.column_burst =
+            static_cast<std::uint32_t>(burst & (bursts_per_row_ - 1));
+        const std::uint64_t rest = burst >> bpr_shift_;
+        const auto bank = static_cast<std::uint32_t>(rest & (banks_ - 1));
+        out.row = static_cast<std::uint32_t>(rest >> bank_shift_);
+        out.bank = bank ^ (out.row & (banks_ - 1));
+        break;
+      }
+      case AddressMux::kRBC: {
+        out.column_burst =
+            static_cast<std::uint32_t>(burst & (bursts_per_row_ - 1));
+        const std::uint64_t rest = burst >> bpr_shift_;
+        out.bank = static_cast<std::uint32_t>(rest & (banks_ - 1));
+        out.row = static_cast<std::uint32_t>(rest >> bank_shift_);
+        break;
+      }
+      case AddressMux::kBRC: {
+        out.column_burst =
+            static_cast<std::uint32_t>(burst & (bursts_per_row_ - 1));
+        const std::uint64_t rest = burst >> bpr_shift_;
+        out.row = static_cast<std::uint32_t>(rest & (rows_per_bank_ - 1));
+        out.bank = static_cast<std::uint32_t>(rest >> rpb_shift_);
+        break;
+      }
+      case AddressMux::kRCB: {
+        out.bank = static_cast<std::uint32_t>(burst & (banks_ - 1));
+        const std::uint64_t rest = burst >> bank_shift_;
+        out.column_burst =
+            static_cast<std::uint32_t>(rest & (bursts_per_row_ - 1));
+        out.row = static_cast<std::uint32_t>(rest >> bpr_shift_);
+        break;
+      }
+    }
+    assert(out.row < rows_per_bank_ && out.bank < banks_);
+    return out;
+  }
 
   /// Inverse of decode (to the burst-aligned base address).
   [[nodiscard]] std::uint64_t encode(const DecodedAddress& a) const;
@@ -59,12 +106,25 @@ class AddressMapper {
   [[nodiscard]] std::uint32_t bytes_per_burst() const { return bytes_per_burst_; }
 
  private:
+  /// Division/modulo decode for non-power-of-two geometries.
+  [[nodiscard]] DecodedAddress decode_slow(std::uint64_t local_addr) const;
+
   AddressMux mux_;
   std::uint32_t banks_;
   std::uint64_t rows_per_bank_;
   std::uint32_t bursts_per_row_;
   std::uint32_t bytes_per_burst_;
   std::uint64_t capacity_bursts_;
+
+  // Every supported organization has power-of-two geometry, so decode runs
+  // as shifts and masks; the division path stays as the fallback (and the
+  // reference the property tests compare against) for odd geometries.
+  bool pow2_ = false;
+  unsigned burst_shift_ = 0;      // log2(bytes_per_burst_)
+  unsigned bpr_shift_ = 0;        // log2(bursts_per_row_)
+  unsigned bank_shift_ = 0;       // log2(banks_)
+  unsigned rpb_shift_ = 0;        // log2(rows_per_bank_)
+  std::uint64_t capacity_mask_ = 0;  // capacity_bursts_ - 1
 };
 
 }  // namespace mcm::ctrl

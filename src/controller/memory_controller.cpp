@@ -2,9 +2,30 @@
 
 #include <cassert>
 
+#include "obs/prof.hpp"
 #include "obs/trace.hpp"
 
 namespace mcm::ctrl {
+
+namespace {
+
+/// Interned kernel-phase ids (see docs/performance.md, "Data-oriented
+/// kernels"): readiness_scan is the masked SoA kernel itself, arbitration
+/// the full FR-FCFS pick around it, ledger_flush the batched energy drain.
+struct KernelPhases {
+  obs::prof::PhaseId arbitration;
+  obs::prof::PhaseId readiness_scan;
+  obs::prof::PhaseId ledger_flush;
+};
+
+const KernelPhases& kernel_phases() {
+  static const KernelPhases p{obs::prof::phase_id("ctrl/arbitration"),
+                              obs::prof::phase_id("ctrl/readiness_scan"),
+                              obs::prof::phase_id("ctrl/ledger_flush")};
+  return p;
+}
+
+}  // namespace
 
 MemoryController::MemoryController(const dram::DeviceSpec& spec, Frequency freq,
                                    AddressMux mux, ControllerConfig cfg)
@@ -15,27 +36,19 @@ MemoryController::MemoryController(const dram::DeviceSpec& spec, Frequency freq,
       cluster_(spec.org),
       cfg_(cfg),
       queue_(cfg.queue_depth),
-      open_rows_(spec.org.banks, kNoOpenRow),
       next_ref_due_(d_.cycles(d_.trefi)),
       bank_accesses_(spec.org.banks, 0) {
+  simd_ = kernels::active_level();
   if (cfg_.record_trace && cfg_.trace_reserve > 0) {
     trace_.reserve(cfg_.trace_reserve);
   }
   stream_.reserve(cfg_.queue_depth);
+  cand_.reserve(cfg_.queue_depth);
 }
 
-void MemoryController::enqueue(const Request& r) {
-  assert(can_accept());
-  // Decode once here; pick_best and the fast path rank candidates from the
-  // cached {bank, row} without ever touching the mapper again.
-  queue_.push(r, mapper_.decode(r.addr));
-  stats_.queue_depth.add(static_cast<double>(queue_.size()));
-}
-
-void MemoryController::record(Time at, dram::Command c, std::uint32_t bank,
-                              std::uint32_t row) {
-  if (cfg_.record_trace) trace_.push_back(dram::CommandRecord{at, c, bank, row});
-  if (trace_sink_ != nullptr) trace_sink_->command(trace_channel_, at, c, bank, row);
+void MemoryController::record_sink(Time at, dram::Command c, std::uint32_t bank,
+                                   std::uint32_t row) {
+  trace_sink_->command(trace_channel_, at, c, bank, row);
 }
 
 Time MemoryController::issue_edge(Time t) {
@@ -46,7 +59,7 @@ Time MemoryController::issue_edge(Time t) {
 
 void MemoryController::close_row(Time tp, std::uint32_t b) {
   cluster_.precharge(tp, b, d_);
-  open_rows_[b] = kNoOpenRow;
+  queue_.row_changed(b, kNoOpenRow);
   ++stats_.precharges;
   record(tp, dram::Command::kPrecharge, b);
 }
@@ -61,27 +74,35 @@ std::uint32_t MemoryController::pick_best() const {
   // then matching bus direction, then queue order. When nothing is ready the
   // earliest arrival is served - a future-dated request must never block an
   // earlier one behind it (paced sources depend on this).
-  std::uint32_t best_ready = RequestQueue::kNil;
-  int best_rank = -1;
-  std::uint32_t earliest = head;
-  Time earliest_arrival = Time::max();
-  for (std::uint32_t s = head; s != RequestQueue::kNil; s = queue_.next(s)) {
-    const RequestQueue::Entry& e = queue_.entry(s);
-    if (e.req.arrival < earliest_arrival) {
-      earliest_arrival = e.req.arrival;
-      earliest = s;
-    }
-    if (e.req.arrival > horizon_) continue;  // not ready
-    const bool hit = open_rows_[e.da.bank] == static_cast<std::int64_t>(e.da.row);
-    const bool same_dir = bus_used_ && e.req.is_write == last_data_write_;
-    const int rank = (hit ? 2 : 0) + (same_dir ? 1 : 0);
-    if (rank > best_rank) {
-      best_rank = rank;
-      best_ready = s;
-      if (rank == 3 && s == head) break;  // front request is already optimal
-    }
+  const std::int64_t dir = bus_used_ ? (last_data_write_ ? 1 : 0) : -1;
+
+  // A ready head that is a row hit in the bus direction ranks 3 and beats
+  // everything behind it; skip the scan (the common streaming shape). The
+  // queue's hit_write lane answers both the hit and the direction check.
+  if (queue_.hit_write(head) == (RequestQueue::kHitBit | dir) &&
+      queue_.entry(head).req.arrival <= horizon_) {
+    return head;
   }
-  return best_ready != RequestQueue::kNil ? best_ready : earliest;
+
+  const bool profiling = obs::prof::enabled();
+  const std::int64_t t0 = profiling ? obs::prof::now_ns() : 0;
+  const std::uint32_t ready =
+      kernels::arb_scan(queue_.lanes(), horizon_.ps(), dir, simd_);
+  if (profiling) {
+    const std::int64_t t1 = obs::prof::now_ns();
+    obs::prof::tally(kernel_phases().readiness_scan, t1 - t0);
+  }
+  if (ready != RequestQueue::kNil) {
+    if (profiling) {
+      obs::prof::tally(kernel_phases().arbitration, obs::prof::now_ns() - t0);
+    }
+    return ready;
+  }
+  const std::uint32_t earliest = queue_.earliest_slot();
+  if (profiling) {
+    obs::prof::tally(kernel_phases().arbitration, obs::prof::now_ns() - t0);
+  }
+  return earliest;
 }
 
 bool MemoryController::selfrefresh_eligible(Time until) const {
@@ -108,7 +129,7 @@ Time MemoryController::account_idle_until(Time t) {
     // reaching this branch).
     Time last_pre = Time{-1};
     for (std::uint32_t b = 0; b < cluster_.bank_count(); ++b) {
-      if (open_rows_[b] == kNoOpenRow) continue;
+      if (!cluster_.row_open(b)) continue;
       const Time tp = issue_edge(max(clock_.next_edge(horizon_),
                                      cluster_.earliest_precharge(b)));
       close_row(tp, b);
@@ -160,7 +181,7 @@ void MemoryController::perform_refresh(Time not_before) {
   // Close any open rows.
   Time t = clock_.next_edge(max(horizon_, not_before));
   for (std::uint32_t b = 0; b < cluster_.bank_count(); ++b) {
-    if (open_rows_[b] == kNoOpenRow) continue;
+    if (!cluster_.row_open(b)) continue;
     const Time tp = issue_edge(max(t, cluster_.earliest_precharge(b)));
     close_row(tp, b);
   }
@@ -203,34 +224,20 @@ void MemoryController::flush_refresh_debt() {
   }
 }
 
-Completion MemoryController::process_one() {
-  assert(has_pending());
-  if (stream_pos_ < stream_.size()) return pop_stream();
-  if (try_stream()) return pop_stream();
-  return process_one_slow();
-}
-
-Completion MemoryController::pop_stream() {
-  const Completion c = stream_[stream_pos_++];
-  queue_.pop(queue_.head());
-  head_skips_ = 0;
-  horizon_ = max(horizon_, c.done);
-  if (stream_pos_ == stream_.size()) {
-    stream_.clear();
-    stream_pos_ = 0;
-  }
-  return c;
-}
-
 bool MemoryController::try_stream() {
   // The fast path covers exactly the state where the slow path degenerates
-  // to a bare column command: open-page policy, a warm data bus, and a head
-  // request that is a ready row hit travelling in the bus's current
-  // direction. Under FR-FCFS such a head ranks 3 (hit + same direction) and
-  // short-circuits pick_best; under FCFS the head is always picked. With the
-  // arrival at or before the horizon, idle accounting books nothing, and
-  // with the next refresh due beyond the horizon the refresh machinery is a
-  // no-op - so issuing the column command directly is bit-identical.
+  // to a bare column command: open-page policy, a warm data bus, and a pick
+  // winner that is a ready row hit travelling in the bus's current
+  // direction (rank 3). The stream follows *pick order*, not FIFO order:
+  // each step reruns the arbitration (head fast-out, masked scan, starvation
+  // guard) over the not-yet-buffered slots and buffers the winner, so mixed
+  // read/write traffic streams exactly the requests FR-FCFS would serve.
+  // With the winner's arrival at or before the horizon, idle accounting
+  // books nothing; with the next refresh due beyond the horizon the refresh
+  // machinery is a no-op - so issuing the column command directly is
+  // bit-identical. Requests enqueued between the buffered hand-outs cannot
+  // perturb the picks: only ready rank-3 winners are buffered, and a ready
+  // rank-3 entry at maximal rank beats every younger arrival.
   if (!cfg_.stream_row_hits || cfg_.page_policy != PagePolicy::kOpen ||
       !bus_used_) {
     return false;
@@ -238,19 +245,61 @@ bool MemoryController::try_stream() {
   assert(stream_.empty());
 
   const bool writing = last_data_write_;
+  // One lane compare covers both rank-3 conditions: row hit + direction.
+  const std::int64_t want =
+      RequestQueue::kHitBit | (writing ? RequestQueue::kWriteBit : 0);
+  const bool frfcfs = cfg_.scheduler != SchedulerPolicy::kFcfs;
   Time h = horizon_;          // simulated per-request horizon
   Time busy = Time::zero();   // bulk active-standby residency
+  // The head and skip count pick_best would see at each simulated step:
+  // eff_head = oldest not-yet-buffered slot (identical to the real head at
+  // the matching pop_stream hand-out, since pops run in buffer order).
+  std::uint32_t eff_head = queue_.head();
+  std::uint32_t sim_skips = head_skips_;
+  std::size_t remaining = queue_.size();
 
-  for (std::uint32_t s = queue_.head(); s != RequestQueue::kNil;
-       s = queue_.next(s)) {
+  // Rank-3 candidates in FIFO age order, collected in one walk. Rank 3 is
+  // the maximal rank, so among *ready* entries FR-FCFS reduces to "oldest
+  // ready candidate" - each pick is a short ordered probe of this list, not
+  // a rescan of the lanes. Ranks cannot change inside the stream (rows only
+  // move on ACT/PRE, which end it) and readiness only grows with h, so the
+  // list stays exhaustive for the whole call.
+  cand_.clear();
+  for (std::uint32_t s0 = queue_.head(); s0 != RequestQueue::kNil;
+       s0 = queue_.next(s0)) {
+    if (queue_.hit_write(s0) == want) cand_.push_back(s0);
+  }
+  if (cand_.empty()) return false;
+  std::size_t cand_pos = 0;  // list prefix already served (masked)
+
+  while (remaining > 0) {
+    // pick_best over the unbuffered slots, with the simulated head/skips.
+    std::uint32_t s = RequestQueue::kNil;
+    if (!frfcfs || remaining == 1 || sim_skips >= cfg_.max_skips) {
+      s = eff_head;  // forced head (FCFS / lone entry / starvation guard)
+      if (queue_.hit_write(s) != want) break;  // needs full service
+    } else {
+      for (std::size_t j = cand_pos; j < cand_.size(); ++j) {
+        const std::uint32_t c = cand_[j];
+        if (queue_.is_masked(c)) {
+          if (j == cand_pos) ++cand_pos;
+          continue;
+        }
+        if (queue_.entry(c).req.arrival <= h) {
+          s = c;
+          break;
+        }
+      }
+      // No ready rank-3 winner: whatever pick_best would choose instead
+      // (a lower rank or the earliest-arrival fallback) needs full service.
+      if (s == RequestQueue::kNil) break;
+    }
     const RequestQueue::Entry& e = queue_.entry(s);
-    if (e.req.is_write != writing) break;  // direction change ends the run
-    if (open_rows_[e.da.bank] != static_cast<std::int64_t>(e.da.row)) break;
     const Time arrival_edge = clock_.next_edge(max(e.req.arrival, Time::zero()));
     if (arrival_edge > h) break;    // idle gap: the slow path books residency
     if (next_ref_due_ <= h) break;  // a refresh (or postpone) interposes
 
-    // The slow path's column command, verbatim, minus the branches the run
+    // The slow path's column command, verbatim, minus the branches the pick
     // conditions above have already discharged.
     Time tc = max(arrival_edge, cluster_.earliest_cas(e.da.bank));
     Time data_end;
@@ -260,36 +309,55 @@ bool MemoryController::try_stream() {
       data_end = cluster_.write(tc, e.da.bank, d_);
       record(tc, dram::Command::kWrite, e.da.bank);
       last_wr_data_end_ = data_end;
-      ++stats_.writes;
-      ++ledger_.n_wr;
     } else {
       tc = max(tc, last_wr_data_end_ + d_.cycles(d_.twtr));  // tWTR
       tc = max(tc, bus_free_ - d_.cycles(d_.cl));
       tc = issue_edge(tc);
       data_end = cluster_.read(tc, e.da.bank, d_);
       record(tc, dram::Command::kRead, e.da.bank);
-      ++stats_.reads;
-      ++ledger_.n_rd;
     }
     bus_free_ = data_end;
-    ++stats_.row_hits;
-    stats_.bytes += spec_.org.bytes_per_burst();
     stats_.latency_hist_ns.add((data_end - e.req.arrival).ns());
     ++bank_accesses_[e.da.bank];
     if (trace_sink_ != nullptr) {
       trace_sink_->span(trace_channel_, e.req.addr, e.req.is_write,
                         e.req.arrival, tc, data_end, true);
     }
-    stream_.push_back(Completion{e.req, tc, data_end, true});
+    stream_.push_back(Streamed{Completion{e.req, tc, data_end, true}, s});
+    queue_.mask_ready(s);  // stop competing in the remaining picks
+    // Starvation bookkeeping with the pre-service horizon, mirroring the
+    // slow path (pop_stream repeats this against the real queue state).
+    if (s == eff_head) {
+      sim_skips = 0;
+      do {
+        eff_head = queue_.next(eff_head);
+      } while (eff_head != RequestQueue::kNil && queue_.is_masked(eff_head));
+    } else if (queue_.entry(eff_head).req.arrival <= h) {
+      ++sim_skips;
+    }
+    --remaining;
     if (data_end > h) {
       busy += data_end - h;
       h = data_end;
     }
   }
   if (stream_.empty()) return false;
+  // Stats and energy tallies batch over the run: every entry is a row hit
+  // in one direction, so the per-request increments collapse to one add
+  // per counter (the latency histogram above keeps its per-entry order).
+  const std::uint64_t n = stream_.size();
+  stats_.row_hits += n;
+  stats_.bytes += n * spec_.org.bytes_per_burst();
+  if (writing) {
+    stats_.writes += n;
+    pend_.n_wr += n;
+  } else {
+    stats_.reads += n;
+    pend_.n_rd += n;
+  }
   // Residency telescopes over the run: each request's (data_end - horizon)
   // increment sums to the run's total busy extension.
-  ledger_.add_residency(dram::PowerState::kActiveStandby, busy);
+  pend_.active_standby_ps += busy.ps();
   return true;
 }
 
@@ -335,13 +403,13 @@ Completion MemoryController::process_one_slow() {
   // Timeout page policy: a row that has idled past the threshold counts as
   // closed (a real controller would have precharged it; we issue the PRE
   // now, which is timing-conservative).
-  const bool row_open = open_rows_[da.bank] != kNoOpenRow;
+  const bool row_open = cluster_.row_open(da.bank);
   const bool stale =
       cfg_.page_policy == PagePolicy::kTimeout && row_open &&
       t > cluster_.bank(da.bank).last_use() +
               d_.cycles(static_cast<int>(cfg_.page_timeout_cycles));
 
-  if (row_open && open_rows_[da.bank] == static_cast<std::int64_t>(da.row) &&
+  if (row_open && cluster_.open_rows()[da.bank] == static_cast<std::int64_t>(da.row) &&
       !stale) {
     row_hit = true;
     ++stats_.row_hits;
@@ -357,9 +425,9 @@ Completion MemoryController::process_one_slow() {
     }
     const Time ta = issue_edge(max(t, cluster_.earliest_activate(da.bank)));
     cluster_.activate(ta, da.bank, da.row, d_);
-    open_rows_[da.bank] = da.row;
+    queue_.row_changed(da.bank, static_cast<std::int64_t>(da.row));
     ++stats_.activates;
-    ++ledger_.n_act;
+    ++pend_.n_act;
     record(ta, dram::Command::kActivate, da.bank, da.row);
     if (!have_first_cmd) {
       first_cmd = ta;
@@ -380,7 +448,7 @@ Completion MemoryController::process_one_slow() {
     last_wr_data_end_ = data_end;
     last_data_write_ = true;
     ++stats_.writes;
-    ++ledger_.n_wr;
+    ++pend_.n_wr;
   } else {
     tc = max(tc, last_wr_data_end_ + d_.cycles(d_.twtr));  // tWTR
     Time min_data = bus_free_;
@@ -391,7 +459,7 @@ Completion MemoryController::process_one_slow() {
     record(tc, dram::Command::kRead, da.bank);
     last_data_write_ = false;
     ++stats_.reads;
-    ++ledger_.n_rd;
+    ++pend_.n_rd;
   }
   if (!have_first_cmd) first_cmd = tc;
   bus_free_ = data_end;
@@ -406,7 +474,7 @@ Completion MemoryController::process_one_slow() {
 
   // Busy residency: rows are open throughout service.
   if (data_end > busy_from) {
-    ledger_.add_residency(dram::PowerState::kActiveStandby, data_end - busy_from);
+    pend_.active_standby_ps += (data_end - busy_from).ps();
     horizon_ = data_end;
   }
 
@@ -424,11 +492,25 @@ Completion MemoryController::process_one_slow() {
   return Completion{r, first_cmd, data_end, row_hit};
 }
 
+void MemoryController::flush_ledger() const {
+  if (pend_.empty()) return;
+  const bool profiling = obs::prof::enabled();
+  const std::int64_t t0 = profiling ? obs::prof::now_ns() : 0;
+  ledger_.n_act += pend_.n_act;
+  ledger_.n_rd += pend_.n_rd;
+  ledger_.n_wr += pend_.n_wr;
+  ledger_.t_active_standby += Time{pend_.active_standby_ps};
+  pend_ = PendingLedger{};
+  if (profiling) {
+    obs::prof::tally(kernel_phases().ledger_flush, obs::prof::now_ns() - t0);
+  }
+}
+
 void MemoryController::finalize(Time end) {
   assert(queue_.empty());
   // Precharge open rows so the idle tail sits in (deep) precharge power-down.
   for (std::uint32_t b = 0; b < cluster_.bank_count(); ++b) {
-    if (open_rows_[b] == kNoOpenRow) continue;
+    if (!cluster_.row_open(b)) continue;
     const Time tp = issue_edge(cluster_.earliest_precharge(b));
     close_row(tp, b);
     if (tp + d_.cycles(1) > horizon_) {

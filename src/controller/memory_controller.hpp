@@ -5,6 +5,7 @@
 // activity accumulates in an EnergyLedger.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "controller/policies.hpp"
 #include "controller/request.hpp"
 #include "controller/request_queue.hpp"
+#include "controller/soa_kernels.hpp"
 #include "dram/bank_cluster.hpp"
 #include "dram/command.hpp"
 #include "dram/energy.hpp"
@@ -69,11 +71,23 @@ class MemoryController {
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
   [[nodiscard]] std::size_t queue_capacity() const { return cfg_.queue_depth; }
 
-  void enqueue(const Request& r);
+  /// Admit one request: decode once, seed the SoA lanes (row-hit bit from
+  /// the cluster's open-row lane), sample the queue-depth histogram. Kept in
+  /// the header so the engine's feed loop pays no call overhead.
+  void enqueue(const Request& r) {
+    assert(can_accept());
+    queue_.push(r, mapper_.decode(r.addr), cluster_.open_rows());
+    stats_.queue_depth.add(static_cast<double>(queue_.size()));
+  }
 
   /// Serve one pending request (FR-FCFS pick) and return its completion.
   /// Precondition: has_pending().
-  Completion process_one();
+  Completion process_one() {
+    assert(has_pending());
+    if (stream_pos_ < stream_.size()) return pop_stream();
+    if (try_stream()) return pop_stream();
+    return process_one_slow();
+  }
 
   /// Engine ordering hint: the time up to which this channel has committed
   /// activity. Channels with the smallest horizon are served first so the
@@ -85,7 +99,18 @@ class MemoryController {
   void finalize(Time end);
 
   [[nodiscard]] const ControllerStats& stats() const { return stats_; }
-  [[nodiscard]] const dram::EnergyLedger& ledger() const { return ledger_; }
+
+  /// The energy books. Hot-path command tallies batch into pending deltas
+  /// (pure integer/duration sums, so flush order never changes the totals);
+  /// reading the ledger flushes them first.
+  [[nodiscard]] const dram::EnergyLedger& ledger() const {
+    flush_ledger();
+    return ledger_;
+  }
+
+  /// Active arbitration-kernel dispatch (sampled from MCM_SIMD + CPU
+  /// support at construction).
+  [[nodiscard]] kernels::SimdLevel simd_level() const { return simd_; }
   [[nodiscard]] const dram::DerivedTiming& timing() const { return d_; }
   [[nodiscard]] const AddressMapper& mapper() const { return mapper_; }
   [[nodiscard]] const std::vector<dram::CommandRecord>& trace() const { return trace_; }
@@ -124,7 +149,26 @@ class MemoryController {
   bool try_stream();
 
   /// Hand out the next buffered fast-path completion.
-  Completion pop_stream();
+  Completion pop_stream() {
+    const Streamed& se = stream_[stream_pos_];
+    const Completion c = se.c;
+    const std::uint32_t s = se.slot;
+    ++stream_pos_;
+    // Starvation bookkeeping, verbatim from the slow path: serving the head
+    // resets the skip count; bypassing a *ready* head increments it.
+    if (s == queue_.head()) {
+      head_skips_ = 0;
+    } else if (queue_.front().req.arrival <= horizon_) {
+      ++head_skips_;
+    }
+    queue_.pop(s);
+    horizon_ = max(horizon_, c.done);
+    if (stream_pos_ == stream_.size()) {
+      stream_.clear();
+      stream_pos_ = 0;
+    }
+    return c;
+  }
 
   /// Precharge bank `b` at `tp`: DRAM state, open-row cache, stats, trace.
   void close_row(Time tp, std::uint32_t b);
@@ -147,7 +191,14 @@ class MemoryController {
   /// Repay postponed refreshes (idle gap or before self refresh).
   void flush_refresh_debt();
 
-  void record(Time at, dram::Command c, std::uint32_t bank = 0, std::uint32_t row = 0);
+  /// Book a command into the in-memory trace and the structured sink. The
+  /// disabled-path checks inline into the hot loops; only the sink write
+  /// stays out of line (obs::TraceWriter is incomplete here).
+  void record(Time at, dram::Command c, std::uint32_t bank = 0, std::uint32_t row = 0) {
+    if (cfg_.record_trace) trace_.push_back(dram::CommandRecord{at, c, bank, row});
+    if (trace_sink_ != nullptr) record_sink(at, c, bank, row);
+  }
+  void record_sink(Time at, dram::Command c, std::uint32_t bank, std::uint32_t row);
 
   /// Issue a command at the earliest edge >= t that the command bus allows;
   /// returns the issue time and bumps the command-bus cursor.
@@ -160,18 +211,26 @@ class MemoryController {
   dram::BankCluster cluster_;
   ControllerConfig cfg_;
 
+  /// Move the pending batched counts/residency into ledger_. Logically
+  /// const: the pending deltas are an encoding detail of the ledger.
+  void flush_ledger() const;
+
   RequestQueue queue_;
   std::uint32_t head_skips_ = 0;
 
-  /// Per-bank open row (kNoOpenRow = precharged), mirrored from the bank
-  /// cluster so FR-FCFS ranking and hit detection stay out of Bank getters
-  /// in the inner scan.
-  static constexpr std::int64_t kNoOpenRow = -1;
-  std::vector<std::int64_t> open_rows_;
+  static constexpr std::int64_t kNoOpenRow = dram::BankCluster::kNoOpenRow;
 
-  /// Buffered fast-path completions (stream_pos_ = next to hand out).
-  std::vector<Completion> stream_;
+  /// Buffered fast-path completions (stream_pos_ = next to hand out) with
+  /// the queue slot each one came from — the stream follows FR-FCFS pick
+  /// order, so slots pop mid-queue, not just at the head.
+  struct Streamed {
+    Completion c;
+    std::uint32_t slot;
+  };
+  std::vector<Streamed> stream_;
   std::size_t stream_pos_ = 0;
+  /// Scratch: rank-3 candidate slots in FIFO age order (see try_stream).
+  std::vector<std::uint32_t> cand_;
 
   Time cmd_free_ = Time::zero();       // earliest edge for the next command
   Time bus_free_ = Time::zero();       // end of last data transfer
@@ -183,7 +242,22 @@ class MemoryController {
   Time horizon_ = Time::zero();        // residency accounted up to here
 
   ControllerStats stats_;
-  dram::EnergyLedger ledger_;
+  mutable dram::EnergyLedger ledger_;
+  /// Batched energy deltas (tentpole: one flush per ledger read / finalize
+  /// instead of one read-modify-write per command). All fields commute, so
+  /// the flush schedule cannot change any total.
+  struct PendingLedger {
+    std::uint64_t n_act = 0;
+    std::uint64_t n_rd = 0;
+    std::uint64_t n_wr = 0;
+    std::int64_t active_standby_ps = 0;
+
+    [[nodiscard]] bool empty() const {
+      return n_act == 0 && n_rd == 0 && n_wr == 0 && active_standby_ps == 0;
+    }
+  };
+  mutable PendingLedger pend_;
+  kernels::SimdLevel simd_ = kernels::SimdLevel::kScalar;
   std::vector<dram::CommandRecord> trace_;
   std::vector<std::uint64_t> bank_accesses_;
   obs::TraceWriter* trace_sink_ = nullptr;  // not owned; nullptr = disabled

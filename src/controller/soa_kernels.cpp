@@ -1,0 +1,91 @@
+#include "controller/soa_kernels.hpp"
+
+#include <cstdlib>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace mcm::ctrl::kernels {
+
+#if defined(__x86_64__)
+
+namespace detail {
+
+__attribute__((target("avx2"))) std::uint32_t arb_scan_avx2(
+    const QueueLanes& q, std::int64_t horizon_ps, std::int64_t dir_match) {
+  const __m256i vhor = _mm256_set1_epi64x(horizon_ps);
+  const __m256i vdir = _mm256_set1_epi64x(dir_match);
+  const __m256i vone = _mm256_set1_epi64x(RequestQueue::kWriteBit);
+  const __m256i vhitbit = _mm256_set1_epi64x(RequestQueue::kHitBit);
+  const __m256i vsame = _mm256_set1_epi64x(kDirKey);
+  const __m256i vinvalid = _mm256_set1_epi64x(-1);
+  __m256i vbest_key = vinvalid;
+  __m256i vbest_idx = _mm256_setzero_si256();
+  __m256i vidx = _mm256_setr_epi64x(0, 1, 2, 3);
+  const __m256i vfour = _mm256_set1_epi64x(4);
+  for (std::uint32_t i = 0; i < q.padded; i += 4) {
+    const __m256i varr = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(q.arrival_ps + i));
+    const __m256i vhw =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(q.hit_write + i));
+    __m256i vkey =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(q.inv_seq + i));
+    // Lift the lane's hit bit (value 2) to kHitKey = 2 << 60.
+    vkey = _mm256_or_si256(
+        vkey, _mm256_slli_epi64(_mm256_and_si256(vhw, vhitbit), 60));
+    vkey = _mm256_or_si256(
+        vkey, _mm256_and_si256(
+                  _mm256_cmpeq_epi64(_mm256_and_si256(vhw, vone), vdir),
+                  vsame));
+    // Free and padded slots carry arrival INT64_MAX (> any horizon), so they
+    // drop out here without a separate liveness mask.
+    const __m256i vnot_ready = _mm256_cmpgt_epi64(varr, vhor);
+    vkey = _mm256_blendv_epi8(vkey, vinvalid, vnot_ready);
+    const __m256i vgt = _mm256_cmpgt_epi64(vkey, vbest_key);
+    vbest_key = _mm256_blendv_epi8(vbest_key, vkey, vgt);
+    vbest_idx = _mm256_blendv_epi8(vbest_idx, vidx, vgt);
+    vidx = _mm256_add_epi64(vidx, vfour);
+  }
+  alignas(32) std::int64_t keys[4];
+  alignas(32) std::int64_t idxs[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(keys), vbest_key);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(idxs), vbest_idx);
+  std::int64_t best_key = -1;
+  std::uint32_t best = RequestQueue::kNil;
+  for (int l = 0; l < 4; ++l) {
+    // Valid keys are unique (inv_seq is), so > never ties between lanes.
+    if (keys[l] > best_key) {
+      best_key = keys[l];
+      best = static_cast<std::uint32_t>(idxs[l]);
+    }
+  }
+  return best;
+}
+
+}  // namespace detail
+
+#endif  // __x86_64__
+
+std::string_view compiled_isa() {
+#if defined(__x86_64__)
+  return "avx2";
+#else
+  return "scalar";
+#endif
+}
+
+SimdLevel active_level() {
+  if (const char* env = std::getenv("MCM_SIMD")) {
+    const std::string_view v{env};
+    if (v == "off" || v == "OFF" || v == "0" || v == "scalar") {
+      return SimdLevel::kScalar;
+    }
+  }
+#if defined(__x86_64__)
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+#endif
+  return SimdLevel::kScalar;
+}
+
+}  // namespace mcm::ctrl::kernels

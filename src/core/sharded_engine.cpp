@@ -496,6 +496,81 @@ void run_segment(Shared& sh, const Segment& s, unsigned w,
   }
 }
 
+/// run_segment specialized for a single worker: the same service order with
+/// the concurrency machinery dissolved. One worker owns every channel and
+/// every position, so the cursor needs no atomics, the threshold rings can
+/// never hold anything (cross-worker publishes are the only producers) and
+/// the handoff wait can never start. What remains is the sequential
+/// reference loop itself: route, serve entry thresholds, pop on a full
+/// queue, enqueue. Single-threaded runs (the common CLI default) skip every
+/// acquire/release and ring poll per request.
+void run_segment_single(Shared& sh, const Segment& s, const WorkerProf& wp) {
+  const std::uint64_t n = s.stage->reqs.size();
+  const std::uint64_t* reqs = s.stage->reqs.data();
+  const std::uint32_t channels = sh.sys.channel_count();
+  const Time arr = sh.arrival;
+  const std::uint16_t sid = s.stage->source_id;
+  Time local_done = max(arr, sh.slot_last_done[0]);
+
+  const bool pon = wp.on;
+  const std::int64_t t_feed0 = pon ? obs::prof::now_ns() : 0;
+  std::uint64_t retired = 0;
+
+  const auto pop = [&](channel::Channel& ch) {
+    const auto c = ch.process_one();
+    local_done = max(local_done, c.done);
+    retired += static_cast<std::uint64_t>(pon);
+  };
+
+  for (std::uint64_t p = 0; p < n; ++p) {
+    const std::uint64_t packed = reqs[p];
+    const auto routed = sh.il.route(load::CachedStage::addr_of(packed));
+    const std::uint32_t c = routed.channel;
+    channel::Channel& ch = sh.sys.channel(c);
+    ChanState& st = sh.chans[c];
+    if (st.tmax_valid) {
+      while (ch.has_pending() &&
+             key_less(ch.horizon().ps(), c, st.tmax_ps, st.tmax_idx)) {
+        pop(ch);
+      }
+      st.tmax_valid = false;
+    }
+    const bool was_full = !ch.can_accept();
+    if (was_full) {
+      // Threshold = pre-pop horizon: the sequential stall serves other
+      // channels up to (h_j, j) *before* serving j itself.
+      const std::int64_t hj = ch.horizon().ps();
+      for (std::uint32_t k = 0; k < channels; ++k) {
+        if (k != c) fold_threshold(sh.chans[k], hj, c);
+      }
+      pop(ch);
+    }
+    ctrl::Request r;
+    r.addr = routed.local;
+    r.is_write = load::CachedStage::is_write_of(packed);
+    r.arrival = arr;
+    r.source = sid;
+    ch.enqueue(r);
+    ++st.routed;
+  }
+  sh.cursor.store(n, std::memory_order_relaxed);  // keep the shared cursor honest
+
+  const std::int64_t t_drain0 = pon ? obs::prof::now_ns() : 0;
+  for (std::uint32_t c = 0; c < channels; ++c) {
+    sh.chans[c].tmax_valid = false;
+    channel::Channel& ch = sh.sys.channel(c);
+    while (ch.has_pending()) pop(ch);
+  }
+  sh.slot_last_done[0] = local_done;
+
+  if (pon) {
+    const std::int64_t t_end = obs::prof::now_ns();
+    obs::prof::tally(wp.feed, t_drain0 - t_feed0);
+    obs::prof::tally(wp.drain, t_end - t_drain0);
+    if (retired > 0) obs::prof::count(wp.retired, retired);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Chunked (epoch-batched) mode.
 // ---------------------------------------------------------------------------
@@ -920,6 +995,8 @@ void run_worker(Shared& sh, unsigned w) {
     for (std::size_t i = 0; i < sh.segments.size(); ++i) {
       if (sh.chunked) {
         run_segment_chunked(sh, sh.segments[i], w, wp);
+      } else if (sh.workers == 1) {
+        run_segment_single(sh, sh.segments[i], wp);
       } else {
         run_segment(sh, sh.segments[i], w, wp);
       }

@@ -5,6 +5,7 @@
 // larger granularities are supported for the interleaving ablation.
 #pragma once
 
+#include <bit>
 #include <cassert>
 #include <cstdint>
 
@@ -23,14 +24,31 @@ class Interleaver {
       : channels_(channels), granularity_(granularity_bytes) {
     assert(channels_ > 0);
     assert(granularity_ > 0);
+    // Granularity and channel counts are powers of two in every supported
+    // configuration; route() then runs as shifts and masks on the request
+    // hot path (one call per request). The division form stays as the
+    // fallback and as the reference for the inverse-mapping property tests.
+    const auto pow2 = [](std::uint32_t v) { return (v & (v - 1)) == 0; };
+    if (pow2(granularity_) && pow2(channels_)) {
+      shifts_valid_ = true;
+      gran_shift_ = static_cast<unsigned>(std::countr_zero(granularity_));
+      chan_shift_ = static_cast<unsigned>(std::countr_zero(channels_));
+    }
   }
 
   [[nodiscard]] std::uint32_t channels() const { return channels_; }
   [[nodiscard]] std::uint32_t granularity() const { return granularity_; }
 
   [[nodiscard]] RoutedAddress route(std::uint64_t global) const {
-    const std::uint64_t stripe = global / granularity_;
     RoutedAddress r;
+    if (shifts_valid_) {
+      const std::uint64_t stripe = global >> gran_shift_;
+      r.channel = static_cast<std::uint32_t>(stripe & (channels_ - 1));
+      r.local = ((stripe >> chan_shift_) << gran_shift_) |
+                (global & (granularity_ - 1));
+      return r;
+    }
+    const std::uint64_t stripe = global / granularity_;
     r.channel = static_cast<std::uint32_t>(stripe % channels_);
     r.local = (stripe / channels_) * granularity_ + global % granularity_;
     return r;
@@ -45,6 +63,9 @@ class Interleaver {
  private:
   std::uint32_t channels_;
   std::uint32_t granularity_;
+  bool shifts_valid_ = false;
+  unsigned gran_shift_ = 0;
+  unsigned chan_shift_ = 0;
 };
 
 }  // namespace mcm::multichannel

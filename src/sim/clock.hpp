@@ -1,8 +1,16 @@
 // Clock-domain helper: snaps absolute picosecond times to clock edges and
 // converts between cycles and time. DRAM commands are only legal on edges,
 // so the controller quantizes every command time through one of these.
+//
+// next_edge/cycles_for sit on the hottest path in the simulator (several
+// calls per request), so the division by the period is done with an exact
+// precomputed multiply-shift reciprocal instead of a hardware divide. The
+// reciprocal is exact for every non-negative numerator below 2^62 ps
+// (~53 days of simulated time); anything outside that window falls back to
+// the plain division, so results are bit-identical either way.
 #pragma once
 
+#include <bit>
 #include <cassert>
 #include <cstdint>
 
@@ -12,17 +20,22 @@ namespace mcm::sim {
 
 class Clock {
  public:
-  Clock() : period_(Time{1}) {}
-  explicit Clock(Frequency f) : period_(f.period()) { assert(period_.ps() > 0); }
-  explicit Clock(Time period) : period_(period) { assert(period_.ps() > 0); }
+  Clock() : period_(Time{1}) { init_reciprocal(); }
+  explicit Clock(Frequency f) : period_(f.period()) {
+    assert(period_.ps() > 0);
+    init_reciprocal();
+  }
+  explicit Clock(Time period) : period_(period) {
+    assert(period_.ps() > 0);
+    init_reciprocal();
+  }
 
   [[nodiscard]] Time period() const { return period_; }
 
   /// Earliest clock edge at or after t.
   [[nodiscard]] Time next_edge(Time t) const {
     const std::int64_t p = period_.ps();
-    const std::int64_t q = (t.ps() + p - 1) / p;
-    return Time{q * p};
+    return Time{floor_div(t.ps() + p - 1) * p};
   }
 
   /// Edge strictly after t.
@@ -33,11 +46,46 @@ class Clock {
   /// Number of whole cycles needed to cover duration d (ceil).
   [[nodiscard]] std::int64_t cycles_for(Time d) const {
     const std::int64_t p = period_.ps();
-    return (d.ps() + p - 1) / p;
+    return floor_div(d.ps() + p - 1);
   }
 
  private:
+#if defined(__SIZEOF_INT128__)
+  __extension__ typedef unsigned __int128 u128;
+#endif
+
+  /// Exact n / period for the numerators the fast path produces. The cast
+  /// to unsigned folds the negative-numerator case into the huge-value
+  /// fallback, which replicates the original truncating division.
+  [[nodiscard]] std::int64_t floor_div(std::int64_t n) const {
+#if defined(__SIZEOF_INT128__)
+    if (static_cast<std::uint64_t>(n) < kExactBelow) {
+      const auto wide = static_cast<u128>(static_cast<std::uint64_t>(n));
+      return static_cast<std::int64_t>(
+          static_cast<std::uint64_t>((wide * magic_) >> shift_));
+    }
+#endif
+    return n / period_.ps();
+  }
+
+  void init_reciprocal() {
+#if defined(__SIZEOF_INT128__)
+    // magic = ceil(2^(63+L) / p) with 2^L <= p, so magic fits in 64 bits and
+    // floor(n * magic / 2^(63+L)) == floor(n / p) for all 0 <= n < 2^62
+    // (Granlund–Montgomery error bound: e * n < 2^(63+L) with e < p <= 2^(L+1)).
+    const auto p = static_cast<std::uint64_t>(period_.ps());
+    const unsigned kLog2 = 63u - static_cast<unsigned>(std::countl_zero(p));
+    shift_ = 63u + kLog2;
+    const u128 pow = static_cast<u128>(1) << shift_;
+    magic_ = static_cast<std::uint64_t>((pow + p - 1) / p);
+#endif
+  }
+
+  static constexpr std::uint64_t kExactBelow = std::uint64_t{1} << 62;
+
   Time period_;
+  std::uint64_t magic_ = 1;
+  unsigned shift_ = 0;
 };
 
 }  // namespace mcm::sim

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <vector>
 
 #include "controller/request_queue.hpp"
@@ -7,7 +8,14 @@
 namespace mcm::ctrl {
 namespace {
 
+// All-banks-closed open-row lane for pushes that don't care about hit bits.
+constexpr std::array<std::int64_t, 8> kClosed{-1, -1, -1, -1, -1, -1, -1, -1};
+
 Request req(std::uint64_t addr) { return Request{addr, false, Time::zero(), 0}; }
+
+Request req_at(std::uint64_t addr, std::int64_t arrival_ps, bool write = false) {
+  return Request{addr, write, Time{arrival_ps}, 0};
+}
 
 DecodedAddress da(std::uint32_t bank, std::uint32_t row) {
   DecodedAddress d;
@@ -28,9 +36,9 @@ TEST(RequestQueue, PushPopKeepsFifoOrder) {
   RequestQueue q(4);
   EXPECT_TRUE(q.empty());
   EXPECT_EQ(q.capacity(), 4u);
-  q.push(req(10), da(0, 0));
-  q.push(req(20), da(1, 0));
-  q.push(req(30), da(2, 0));
+  q.push(req(10), da(0, 0), kClosed.data());
+  q.push(req(20), da(1, 0), kClosed.data());
+  q.push(req(30), da(2, 0), kClosed.data());
   EXPECT_EQ(q.size(), 3u);
   EXPECT_EQ(fifo_addrs(q), (std::vector<std::uint64_t>{10, 20, 30}));
   EXPECT_EQ(q.pop(q.head()).req.addr, 10u);
@@ -41,27 +49,27 @@ TEST(RequestQueue, PushPopKeepsFifoOrder) {
 
 TEST(RequestQueue, MiddleUnlinkPreservesOrderOfRest) {
   RequestQueue q(4);
-  q.push(req(1), da(0, 0));
-  const std::uint32_t mid = q.push(req(2), da(0, 1));
-  q.push(req(3), da(0, 2));
+  q.push(req(1), da(0, 0), kClosed.data());
+  const std::uint32_t mid = q.push(req(2), da(0, 1), kClosed.data());
+  q.push(req(3), da(0, 2), kClosed.data());
   EXPECT_EQ(q.pop(mid).req.addr, 2u);
   EXPECT_EQ(fifo_addrs(q), (std::vector<std::uint64_t>{1, 3}));
 }
 
 TEST(RequestQueue, TailUnlinkThenPushAppendsAtEnd) {
   RequestQueue q(4);
-  q.push(req(1), da(0, 0));
-  const std::uint32_t tail = q.push(req(2), da(0, 1));
+  q.push(req(1), da(0, 0), kClosed.data());
+  const std::uint32_t tail = q.push(req(2), da(0, 1), kClosed.data());
   q.pop(tail);
-  q.push(req(3), da(0, 2));
+  q.push(req(3), da(0, 2), kClosed.data());
   EXPECT_EQ(fifo_addrs(q), (std::vector<std::uint64_t>{1, 3}));
 }
 
 TEST(RequestQueue, SlotsAreReusedWithoutGrowth) {
   RequestQueue q(2);
   for (int i = 0; i < 100; ++i) {
-    q.push(req(static_cast<std::uint64_t>(i)), da(0, 0));
-    q.push(req(static_cast<std::uint64_t>(i) + 1000), da(0, 1));
+    q.push(req(static_cast<std::uint64_t>(i)), da(0, 0), kClosed.data());
+    q.push(req(static_cast<std::uint64_t>(i) + 1000), da(0, 1), kClosed.data());
     EXPECT_TRUE(q.full());
     EXPECT_EQ(q.pop(q.head()).req.addr, static_cast<std::uint64_t>(i));
     EXPECT_EQ(q.pop(q.head()).req.addr, static_cast<std::uint64_t>(i) + 1000);
@@ -71,10 +79,66 @@ TEST(RequestQueue, SlotsAreReusedWithoutGrowth) {
 
 TEST(RequestQueue, CarriesDecodedAddress) {
   RequestQueue q(2);
-  const std::uint32_t s = q.push(req(42), da(3, 17));
+  const std::uint32_t s = q.push(req(42), da(3, 17), kClosed.data());
   EXPECT_EQ(q.entry(s).da.bank, 3u);
   EXPECT_EQ(q.entry(s).da.row, 17u);
   EXPECT_EQ(q.front().da.bank, 3u);
+}
+
+TEST(RequestQueue, HitBitSeededFromOpenRows) {
+  RequestQueue q(4);
+  std::array<std::int64_t, 4> open{-1, 17, -1, -1};
+  const std::uint32_t hit = q.push(req(1), da(1, 17), open.data());
+  const std::uint32_t other_row = q.push(req(2), da(1, 3), open.data());
+  const std::uint32_t closed = q.push(req(3), da(0, 17), open.data());
+  EXPECT_TRUE(q.is_row_hit(hit));
+  EXPECT_FALSE(q.is_row_hit(other_row));
+  EXPECT_FALSE(q.is_row_hit(closed));
+  EXPECT_EQ(q.hit_write(hit), RequestQueue::kHitBit);
+}
+
+TEST(RequestQueue, WriteBitTracksDirection) {
+  RequestQueue q(2);
+  const std::uint32_t rd = q.push(req_at(1, 0, false), da(0, 0), kClosed.data());
+  const std::uint32_t wr = q.push(req_at(2, 0, true), da(0, 1), kClosed.data());
+  EXPECT_EQ(q.hit_write(rd) & RequestQueue::kWriteBit, 0);
+  EXPECT_EQ(q.hit_write(wr) & RequestQueue::kWriteBit, RequestQueue::kWriteBit);
+}
+
+TEST(RequestQueue, RowChangedRederivesHitBits) {
+  RequestQueue q(4);
+  const std::uint32_t a = q.push(req(1), da(1, 17), kClosed.data());
+  const std::uint32_t b = q.push(req(2), da(1, 3), kClosed.data());
+  const std::uint32_t c = q.push(req(3), da(2, 17), kClosed.data());
+  EXPECT_FALSE(q.is_row_hit(a));
+
+  q.row_changed(1, 17);  // ACT bank 1 row 17
+  EXPECT_TRUE(q.is_row_hit(a));
+  EXPECT_FALSE(q.is_row_hit(b));
+  EXPECT_FALSE(q.is_row_hit(c));  // other bank untouched
+
+  q.row_changed(1, 3);  // conflict: bank 1 switches rows
+  EXPECT_FALSE(q.is_row_hit(a));
+  EXPECT_TRUE(q.is_row_hit(b));
+
+  q.row_changed(1, -1);  // precharge
+  EXPECT_FALSE(q.is_row_hit(a));
+  EXPECT_FALSE(q.is_row_hit(b));
+}
+
+TEST(RequestQueue, EarliestSlotTracksMinArrival) {
+  RequestQueue q(4);
+  const std::uint32_t a = q.push(req_at(1, 300), da(0, 0), kClosed.data());
+  const std::uint32_t b = q.push(req_at(2, 100), da(0, 1), kClosed.data());
+  q.push(req_at(3, 200), da(0, 2), kClosed.data());
+  EXPECT_EQ(q.earliest_slot(), b);
+  // Popping the cached minimum forces the lazy rescan on the next query.
+  q.pop(b);
+  const std::uint32_t c = q.push(req_at(4, 200), da(0, 3), kClosed.data());
+  // Tie at 200: the FIFO-older entry (pushed first) wins.
+  EXPECT_NE(q.earliest_slot(), a);
+  EXPECT_NE(q.earliest_slot(), c);
+  EXPECT_EQ(q.entry(q.earliest_slot()).req.addr, 3u);
 }
 
 }  // namespace

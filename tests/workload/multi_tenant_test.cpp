@@ -24,7 +24,12 @@ namespace {
 class SmallMixedWorkload : public ::testing::Test {
  protected:
   void SetUp() override {
-    trace_path_ = testing::TempDir() + "mcm_multi_tenant_tenant.trace";
+    // Unique per test: ctest runs each TEST_F as its own process in
+    // parallel, and a shared path lets one test's TearDown unlink the
+    // trace while a sibling is still reading it.
+    const auto* info = testing::UnitTest::GetInstance()->current_test_info();
+    trace_path_ = testing::TempDir() + "mcm_multi_tenant_" +
+                  std::string(info->name()) + ".trace";
     std::ofstream trace(trace_path_);
     trace << "0 R 0x0\n0 W 0x1000\n100 R 0x2000\n200 R 0x0\n";
     trace.close();

@@ -8,9 +8,11 @@
 //       Also accepts two BENCH_hotpath.json snapshots (requests/s deltas).
 //   mcm_prof contention <profile.json> [--cell LABEL] [--baseline-cell LABEL]
 //       Aggregate the sharded engine's per-worker wait phases (cursor
-//       handoff, threshold-ring full, barrier). With --baseline-cell, report
-//       how much of the wall-clock gap between the two cells the measured
-//       waits explain.
+//       handoff, threshold-ring full, barrier) and the data-oriented kernel
+//       phases (ctrl/readiness_scan, ctrl/arbitration, ctrl/ledger_flush,
+//       sim/arena_reset) when the profile recorded them. With
+//       --baseline-cell, report how much of the wall-clock gap between the
+//       two cells the measured waits explain.
 //   mcm_prof trace <profile.json> <out.json> [--cell LABEL]
 //       Convert the embedded spans to Chrome trace_events JSON
 //       (chrome://tracing, ui.perfetto.dev).
@@ -466,6 +468,29 @@ int contention(const LoadedProfile& p, const LoadedProfile* baseline) {
                   ms(rollback->wall_ns) / runs);
     } else {
       std::printf("rollbacks: none\n");
+    }
+  }
+
+  // Data-oriented kernel attribution: the controllers tally their SoA
+  // readiness scans, FR-FCFS arbitration picks and batched ledger flushes,
+  // and the frame loop its arena rewinds, whichever engine protocol ran.
+  {
+    const char* kernel_phases[] = {"ctrl/readiness_scan", "ctrl/arbitration",
+                                   "ctrl/ledger_flush", "sim/arena_reset"};
+    bool header = false;
+    for (const char* name : kernel_phases) {
+      const ProfilePhase* ph = p.report.find(name);
+      if (ph == nullptr || ph->calls == 0) continue;
+      if (!header) {
+        std::printf("%-22s %14s %14s %14s\n", "kernel", "calls/run",
+                    "wall [ms/run]", "per call [us]");
+        header = true;
+      }
+      std::printf("%-22s %14.0f %14.3f %14.3f\n", name,
+                  static_cast<double>(ph->calls) / runs,
+                  ms(ph->wall_ns) / runs,
+                  static_cast<double>(ph->wall_ns) / 1e3 /
+                      static_cast<double>(ph->calls));
     }
   }
 
