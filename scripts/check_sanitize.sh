@@ -32,7 +32,7 @@ if [ "$mode" = "thread" ]; then
   # registry under concurrent registration, and the profiler's cross-thread
   # spool merge.
   ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
-    -R "SimThreads|SimChunk|ShardedEquivalence|StreamCache|ThreadPool|Orchestrator|MetricsRegistryThreadSafe|ProfTest|ProfPurity"
+    -R "SimThreads|SimChunk|ShardedEquivalence|StreamCache|ThreadPool|Orchestrator|MetricsRegistryThreadSafe|ProfTest|ProfPurity|HeteroDeterminism"
 else
   export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
   export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
@@ -42,5 +42,5 @@ else
   # kernel the CPU picks by default) runs under ASan+UBSan. The arena
   # suites ride along for the heap/arena placement paths.
   MCM_SIMD=off ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" \
-    -R "SimdEquivalence|ArenaEquivalence|FrameArena|FastpathEquivalence|RequestQueue|MemoryController"
+    -R "SimdEquivalence|ArenaEquivalence|FrameArena|FastpathEquivalence|RequestQueue|MemoryController|DeviceClass|HeteroDifferential|HeteroReport"
 fi

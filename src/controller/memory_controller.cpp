@@ -36,7 +36,9 @@ MemoryController::MemoryController(const dram::DeviceSpec& spec, Frequency freq,
       cluster_(spec.org),
       cfg_(cfg),
       queue_(cfg.queue_depth),
-      next_ref_due_(d_.cycles(d_.trefi)),
+      // Refresh-free devices (PCM-like class) park the due time at the
+      // sentinel so the periodic-refresh loop never fires.
+      next_ref_due_(d_.has_refresh() ? d_.cycles(d_.trefi) : Time::max()),
       bank_accesses_(spec.org.banks, 0) {
   simd_ = kernels::active_level();
   if (cfg_.record_trace && cfg_.trace_reserve > 0) {
@@ -106,6 +108,8 @@ std::uint32_t MemoryController::pick_best() const {
 }
 
 bool MemoryController::selfrefresh_eligible(Time until) const {
+  // Refresh-free cells have no self-refresh state to enter.
+  if (!d_.has_refresh()) return false;
   if (cfg_.selfrefresh_idle_cycles < 0 || until <= horizon_) return false;
   // Slack for the precharge-all prologue and the tXSR wake epilogue.
   const Time min_gap = d_.cycles(cfg_.selfrefresh_idle_cycles + d_.tcke +

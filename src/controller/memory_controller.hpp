@@ -112,6 +112,10 @@ class MemoryController {
   /// support at construction).
   [[nodiscard]] kernels::SimdLevel simd_level() const { return simd_; }
   [[nodiscard]] const dram::DerivedTiming& timing() const { return d_; }
+  /// The device this controller drives. Heterogeneous systems bind a
+  /// different spec per channel, so consumers must read it from here rather
+  /// than from a system-wide config.
+  [[nodiscard]] const dram::DeviceSpec& device() const { return spec_; }
   [[nodiscard]] const AddressMapper& mapper() const { return mapper_; }
   [[nodiscard]] const std::vector<dram::CommandRecord>& trace() const { return trace_; }
 

@@ -9,6 +9,12 @@ AnalyticResult analytic_estimate(const multichannel::SystemConfig& system,
                                  const video::UseCaseParams& usecase,
                                  const load::LoadOptions& load) {
   const video::UseCaseModel model(usecase);
+  // Homogeneous-device model: the closed form prices every channel with the
+  // base device's timing/energy tables. Heterogeneous channel_classes are
+  // deliberately ignored here (a per-class closed form would need the full
+  // placement), so callers must not use this estimate to prune
+  // heterogeneous configurations; the explore orchestrator simulates them
+  // unconditionally.
   const auto d = dram::DerivedTiming::derive(system.device.timing, system.freq);
   const auto& org = system.device.org;
   const double channels = system.channels;

@@ -21,6 +21,15 @@ void export_config(obs::JsonValue& cfg, const multichannel::SystemConfig& sys,
   cfg["device/word_bits"] = sys.device.org.word_bits;
   cfg["device/burst_length"] = sys.device.org.burst_length;
   cfg["device/row_bytes"] = sys.device.org.row_bytes;
+  // Heterogeneous members only, so homogeneous reports stay byte-identical.
+  if (sys.heterogeneous()) {
+    obs::JsonValue& classes = cfg["channel_classes"];
+    classes = obs::JsonValue::array();
+    for (std::uint32_t c = 0; c < sys.channels; ++c) {
+      classes.push(obs::JsonValue{std::string(to_string(sys.channel_class(c)))});
+    }
+  }
+  if (sys.vault_group >= 2) cfg["vault_group"] = sys.vault_group;
 
   const auto& spec = video::level_spec(usecase.level);
   cfg["level"] = spec.name;

@@ -1,0 +1,53 @@
+// Pluggable device classes for heterogeneous channel clusters (paper §6
+// future work): each channel of a multi-channel system can bind one of
+// three memory technologies instead of the single hard-coded DRAM profile.
+//
+//   kMobileDdr  - the system's base DeviceSpec, unchanged. A system whose
+//                 channels all bind kMobileDdr is bit-identical to one with
+//                 no classes configured at all.
+//   kFastEdram  - an eDRAM-like fast cluster: short tRC/tRCD/tCAS, but a
+//                 short retention time, so refresh comes around four times
+//                 as often (higher refresh overhead), and a smaller die.
+//   kSlowPcm    - a PCM-like slow-dense cluster: asymmetric read/write
+//                 latency and energy (writes program cells), four times the
+//                 capacity, and no refresh at all (non-volatile cells).
+//
+// Classes resolve to full DeviceSpec tables, so every downstream consumer
+// (timing derivation, energy model, address decode) is table-driven and
+// needs no per-technology branches.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "dram/spec.hpp"
+
+namespace mcm::dram {
+
+enum class DeviceClass : std::uint8_t {
+  kMobileDdr,  // bind the system's base device spec
+  kFastEdram,  // eDRAM-like: fast rows, heavy refresh
+  kSlowPcm,    // PCM-like: slow asymmetric writes, refresh-free
+};
+
+[[nodiscard]] std::string_view to_string(DeviceClass cls);
+[[nodiscard]] std::optional<DeviceClass> parse_device_class(std::string_view name);
+
+/// The eDRAM-like fast-cluster device table. Same x32 BL4 interface as the
+/// paper's device (16 B bursts), so request packing and interleaving are
+/// class-independent; only per-channel service timing and energy differ.
+[[nodiscard]] DeviceSpec fast_edram_like();
+
+/// The PCM-like slow-dense device table: tWR models the long cell program,
+/// IDD4W >> IDD4R carries the write-energy asymmetry, and tREFI = 0 marks
+/// the device refresh-free (DerivedTiming::has_refresh() turns the refresh
+/// and self-refresh machinery off in both simulators).
+[[nodiscard]] DeviceSpec slow_pcm_like();
+
+/// Resolve a class against the system's base device. kMobileDdr returns
+/// `base` itself, which is what keeps all-mobile-DDR systems bit-identical
+/// to legacy homogeneous ones at any base device and frequency.
+[[nodiscard]] DeviceSpec device_class_spec(DeviceClass cls, const DeviceSpec& base);
+
+}  // namespace mcm::dram

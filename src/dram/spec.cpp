@@ -31,8 +31,8 @@ DerivedTiming DerivedTiming::derive(const TimingSpec& t, Frequency f) {
   d.twr = ns_to_cycles(t.tWR_ns, d.clk);
   d.twtr = ns_to_cycles(t.tWTR_ns, d.clk);
   d.trtp = ns_to_cycles(t.tRTP_ns, d.clk);
-  d.trfc = ns_to_cycles(t.tRFC_ns, d.clk);
-  d.trefi = ns_to_cycles(t.tREFI_ns, d.clk);
+  d.trfc = t.tRFC_ns > 0.0 ? ns_to_cycles(t.tRFC_ns, d.clk) : 0;
+  d.trefi = t.tREFI_ns > 0.0 ? ns_to_cycles(t.tREFI_ns, d.clk) : 0;
   d.txp = ns_to_cycles(t.tXP_ns, d.clk);
   d.tcke = static_cast<int>(t.tCKE_ck);
   d.txsr = ns_to_cycles(t.tXSR_ns, d.clk);

@@ -49,7 +49,8 @@ struct TimingSpec {
   double tWTR_ns = 5.0;    // write data end -> read command
   double tRTP_ns = 7.5;    // read -> precharge
   double tRFC_ns = 72.0;   // auto-refresh cycle time
-  double tREFI_ns = 7812.5;  // average refresh interval (64 ms / 8192 rows)
+  double tREFI_ns = 7812.5;  // average refresh interval (64 ms / 8192 rows);
+                             // 0 = refresh-free device (non-volatile cells)
   double tXP_ns = 7.5;     // power-down exit -> first command
   double tCKE_ck = 2.0;    // minimum CKE low time, cycles
   double tXSR_ns = 112.5;  // self-refresh exit -> first command
@@ -147,6 +148,10 @@ struct DerivedTiming {
   int tfaw = 0;  // 0 = no four-activate window
 
   [[nodiscard]] Time cycles(std::int64_t n) const { return Time{clk.ps() * n}; }
+
+  /// False for refresh-free devices (tREFI_ns = 0, e.g. the PCM-like class):
+  /// the periodic-refresh and self-refresh machinery is disabled entirely.
+  [[nodiscard]] bool has_refresh() const { return trefi > 0; }
 
   /// Peak data bandwidth of one channel in bytes/second: one burst of
   /// bytes_per_burst every burst_ck clocks.

@@ -104,7 +104,11 @@ ExploreRun Orchestrator::run(const ExperimentSpec& spec,
     tasks.reserve(points.size());
     for (std::size_t i = 0; i < points.size(); ++i) {
       ExploreResult& r = run.results[i];
-      if (opt_.prescreen &&
+      // The closed-form estimator models one homogeneous device (the base
+      // spec), so a heterogeneous point is never pruned on its estimate: a
+      // mixed placement can be feasible where the base-device screen says
+      // otherwise. Heterogeneous points always get the full simulator.
+      if (opt_.prescreen && r.point.classes.empty() &&
           r.analytic.access_time.seconds() >
               r.analytic.frame_period.seconds() * opt_.prescreen_slack) {
         r.pruned = true;

@@ -68,6 +68,23 @@ multichannel::SystemConfig ExplorePoint::system(
   sys.mux = mux;
   sys.controller.page_policy = page_policy;
   sys.controller.scheduler = scheduler;
+  if (!classes.empty()) {
+    std::string_view body = classes;
+    if (const std::size_t at = body.find('@'); at != std::string_view::npos) {
+      sys.vault_group = static_cast<std::uint32_t>(
+          std::stoul(std::string(body.substr(at + 1))));
+      body = body.substr(0, at);
+    }
+    sys.channel_classes.clear();
+    sys.channel_classes.reserve(channels);
+    for (std::uint32_t c = 0; c < channels; ++c) {
+      switch (body[c % body.size()]) {
+        case 'd': sys.channel_classes.push_back(dram::DeviceClass::kMobileDdr); break;
+        case 'f': sys.channel_classes.push_back(dram::DeviceClass::kFastEdram); break;
+        default: sys.channel_classes.push_back(dram::DeviceClass::kSlowPcm); break;
+      }
+    }
+  }
   return sys;
 }
 
@@ -90,6 +107,15 @@ std::uint64_t ExplorePoint::seed(std::uint64_t base_seed) const {
   h = mix(h, static_cast<std::uint64_t>(scheduler));
   h = mix(h, interleave_bytes);
   h = mix(h, static_cast<std::uint64_t>(mux));
+  // Mixed only for heterogeneous points so every pre-existing homogeneous
+  // point keeps its seed (exploration results stay reproducible).
+  if (!classes.empty()) {
+    std::uint64_t ch = 0xcbf29ce484222325ull;  // FNV-1a over the token
+    for (const char c : classes) {
+      ch = (ch ^ static_cast<unsigned char>(c)) * 0x100000001b3ull;
+    }
+    h = mix(h, ch);
+  }
   return h != 0 ? h : 1;  // load sources treat 0 as "unset"
 }
 
@@ -109,13 +135,14 @@ std::string ExplorePoint::label() const {
   if (interleave_bytes != defaults.interleave_bytes)
     s += "/" + std::to_string(interleave_bytes) + "B";
   if (mux != defaults.mux) s += std::string("/") + std::string(to_string(mux));
+  if (!classes.empty()) s += "/cls:" + classes;
   return s;
 }
 
 std::size_t ExperimentSpec::size() const {
   return freq_mhz.size() * channels.size() * levels.size() *
          page_policies.size() * schedulers.size() * interleave_bytes.size() *
-         address_muxes.size();
+         address_muxes.size() * classes.size();
 }
 
 std::vector<ExplorePoint> ExperimentSpec::expand() const {
@@ -131,13 +158,16 @@ std::vector<ExplorePoint> ExperimentSpec::expand() const {
           for (const auto sched : schedulers) {
             for (const auto ib : interleave_bytes) {
               for (const auto mux : address_muxes) {
-                points.push_back(ExplorePoint{.freq_mhz = f,
-                                              .channels = ch,
-                                              .level = level,
-                                              .page_policy = pp,
-                                              .scheduler = sched,
-                                              .interleave_bytes = ib,
-                                              .mux = mux});
+                for (const auto& cls : classes) {
+                  points.push_back(ExplorePoint{.freq_mhz = f,
+                                                .channels = ch,
+                                                .level = level,
+                                                .page_policy = pp,
+                                                .scheduler = sched,
+                                                .interleave_bytes = ib,
+                                                .mux = mux,
+                                                .classes = cls});
+                }
               }
             }
           }
@@ -200,6 +230,39 @@ ctrl::SchedulerPolicy parse_scheduler(std::string_view token) {
                     "' (expected FCFS|FR-FCFS)");
 }
 
+std::string parse_classes_token(std::string_view token) {
+  if (token.empty() || iequals(token, "none") || token == "-") return "";
+  std::string_view body = token;
+  if (const std::size_t at = token.find('@'); at != std::string_view::npos) {
+    body = token.substr(0, at);
+    const std::string group(token.substr(at + 1));
+    std::uint32_t g = 0;
+    try {
+      std::size_t pos = 0;
+      g = static_cast<std::uint32_t>(std::stoul(group, &pos));
+      if (pos != group.size()) g = 0;
+    } catch (const std::exception&) {
+      g = 0;
+    }
+    if (g < 2) {
+      throw ConfigError("bad vault group in classes token '" +
+                        std::string(token) + "' (want @G with G >= 2)");
+    }
+  }
+  if (body.empty()) {
+    throw ConfigError("classes token '" + std::string(token) +
+                      "' has no class characters");
+  }
+  for (const char c : body) {
+    if (c != 'd' && c != 'f' && c != 's') {
+      throw ConfigError("bad class character '" + std::string(1, c) +
+                        "' in classes token '" + std::string(token) +
+                        "' (expected d=mobile_ddr, f=fast_edram, s=slow_pcm)");
+    }
+  }
+  return std::string(token);
+}
+
 ctrl::AddressMux parse_address_mux(std::string_view token) {
   for (const auto m : {ctrl::AddressMux::kRBC, ctrl::AddressMux::kBRC,
                        ctrl::AddressMux::kRCB, ctrl::AddressMux::kRBCXor}) {
@@ -244,6 +307,10 @@ ExperimentSpec ExperimentSpec::from_config(const Config& cfg) {
       spec.address_muxes.clear();
       for (const auto& t : split_list(value))
         spec.address_muxes.push_back(parse_address_mux(t));
+    } else if (key == "grid.channel_classes") {
+      spec.classes.clear();
+      for (const auto& t : split_list(value))
+        spec.classes.push_back(parse_classes_token(t));
     } else if (key == "base.seed") {
       spec.base_seed = static_cast<std::uint64_t>(cfg.get_int(key, 1));
     } else if (key == "base.frames") {

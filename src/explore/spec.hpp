@@ -35,6 +35,14 @@ struct ExplorePoint {
   std::uint32_t interleave_bytes = 16;
   ctrl::AddressMux mux = ctrl::AddressMux::kRBC;
 
+  /// Heterogeneous channel-class assignment as a compact token: one char per
+  /// channel from {d = mobile_ddr, f = fast_edram, s = slow_pcm}; channel i
+  /// binds token[i % len], so "fs" means fast/slow alternating at any
+  /// channel count. An optional "@G" suffix bundles consecutive groups of G
+  /// channels onto a shared-TSV vault interface. Empty = homogeneous legacy
+  /// system.
+  std::string classes;
+
   /// Memory-system config for this point: `base` with the axes applied.
   [[nodiscard]] multichannel::SystemConfig system(
       const core::ExperimentConfig& base) const;
@@ -67,13 +75,16 @@ struct ExperimentSpec {
   std::vector<std::uint32_t> interleave_bytes = {16};
   std::vector<ctrl::AddressMux> address_muxes = {ctrl::AddressMux::kRBC};
 
+  /// Channel-class tokens (see ExplorePoint::classes); "" = homogeneous.
+  std::vector<std::string> classes = {""};
+
   std::uint64_t base_seed = 1;
 
   [[nodiscard]] std::size_t size() const;
 
   /// Flatten to the point list. Nesting order (outer to inner): level,
-  /// channels, freq, page policy, scheduler, interleave, mux. Throws
-  /// ConfigError when any axis is empty.
+  /// channels, freq, page policy, scheduler, interleave, mux, classes.
+  /// Throws ConfigError when any axis is empty.
   [[nodiscard]] std::vector<ExplorePoint> expand() const;
 
   /// The paper's evaluation grid: 5 levels x {1,2,4,8} channels x the six
@@ -95,5 +106,10 @@ struct ExperimentSpec {
 [[nodiscard]] ctrl::PagePolicy parse_page_policy(std::string_view token);
 [[nodiscard]] ctrl::SchedulerPolicy parse_scheduler(std::string_view token);
 [[nodiscard]] ctrl::AddressMux parse_address_mux(std::string_view token);
+
+/// Validate a channel-class token ("dfs", "f", "ds@2", ...; "none"/"-" maps
+/// to the empty homogeneous token). Throws ConfigError on a bad token;
+/// returns the canonical form to store in ExplorePoint::classes.
+[[nodiscard]] std::string parse_classes_token(std::string_view token);
 
 }  // namespace mcm::explore

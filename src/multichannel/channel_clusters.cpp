@@ -1,16 +1,31 @@
 #include "multichannel/channel_clusters.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace mcm::multichannel {
 
 ChannelClusterSystem::ChannelClusterSystem(const ClusterConfig& cfg) {
   if (cfg.clusters == 0) throw std::invalid_argument("clusters must be > 0");
+  if (!cfg.cluster_classes.empty() &&
+      cfg.cluster_classes.size() != cfg.clusters) {
+    throw std::invalid_argument(
+        "cluster_classes must be empty or have one entry per cluster");
+  }
   clusters_.reserve(cfg.clusters);
   for (std::uint32_t i = 0; i < cfg.clusters; ++i) {
-    clusters_.push_back(std::make_unique<MemorySystem>(cfg.per_cluster));
+    SystemConfig sys = cfg.per_cluster;
+    if (!cfg.cluster_classes.empty()) {
+      sys.channel_classes.assign(sys.channels, cfg.cluster_classes[i]);
+    }
+    clusters_.push_back(std::make_unique<MemorySystem>(sys));
   }
+  // Equal contiguous slices. With heterogeneous clusters the smallest
+  // cluster bounds the slice so every cluster-local address stays in range.
   slice_bytes_ = clusters_.front()->capacity_bytes();
+  for (const auto& c : clusters_) {
+    slice_bytes_ = std::min(slice_bytes_, c->capacity_bytes());
+  }
 }
 
 std::uint32_t ChannelClusterSystem::total_channels() const {

@@ -18,6 +18,13 @@ namespace mcm::multichannel {
 struct ClusterConfig {
   SystemConfig per_cluster;     // channels per cluster etc.
   std::uint32_t clusters = 2;
+
+  /// Per-cluster device-class override: every channel of cluster i binds
+  /// cluster_classes[i] (on top of any per-channel classes in
+  /// `per_cluster`). Empty = all clusters identical. This is the placement
+  /// knob for heterogeneous studies: put the hot use case's slice on a
+  /// fast-class cluster and cold streams on a dense slow cluster.
+  std::vector<dram::DeviceClass> cluster_classes;
 };
 
 class ChannelClusterSystem {

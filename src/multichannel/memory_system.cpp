@@ -1,5 +1,6 @@
 #include "multichannel/memory_system.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -7,6 +8,22 @@
 #include "obs/trace.hpp"
 
 namespace mcm::multichannel {
+
+channel::InterconnectSpec SystemConfig::channel_interconnect(
+    std::uint32_t /*ch*/) const {
+  channel::InterconnectSpec ic = interconnect;
+  if (vault_group >= 2) {
+    // Shared TSV bundle: each member channel gets a 1/G TDM share of the
+    // handoff interval, plus the bundle's fixed serialization latency. The
+    // transform is per-channel state only, so channel copies/snapshots and
+    // sharded determinism are untouched.
+    ic.request_interval_cycles =
+        std::max(ic.request_interval_cycles, 1) *
+        static_cast<int>(vault_group);
+    ic.latency = ic.latency + Time::from_ns(2.0);
+  }
+  return ic;
+}
 
 MemorySystem::MemorySystem(const SystemConfig& cfg)
     : cfg_(cfg),
@@ -17,10 +34,16 @@ MemorySystem::MemorySystem(const SystemConfig& cfg)
     throw std::invalid_argument(
         "interleave granularity below the minimum DRAM burst size");
   }
+  if (!cfg.channel_classes.empty() &&
+      cfg.channel_classes.size() != cfg.channels) {
+    throw std::invalid_argument(
+        "channel_classes must be empty or have one entry per channel");
+  }
   channels_.reserve(cfg.channels);
   for (std::uint32_t i = 0; i < cfg.channels; ++i) {
-    channels_.emplace_back(cfg.device, cfg.freq, cfg.mux, cfg.controller,
-                           cfg.interconnect, cfg.interface);
+    channels_.emplace_back(cfg.channel_device(i), cfg.freq, cfg.mux,
+                           cfg.controller, cfg.channel_interconnect(i),
+                           cfg.interface);
   }
   ready_heap_.reserve(cfg.channels);
 }
@@ -54,14 +77,21 @@ void MemorySystem::heap_sift_down(std::size_t i) {
 }
 
 std::uint64_t MemorySystem::capacity_bytes() const {
-  return static_cast<std::uint64_t>(channels_.size()) *
-         cfg_.device.org.capacity_bytes();
+  // Per-channel sum: heterogeneous classes bind different die sizes.
+  std::uint64_t total = 0;
+  for (const auto& c : channels_) {
+    total += c.controller().device().org.capacity_bytes();
+  }
+  return total;
 }
 
 double MemorySystem::peak_bandwidth_bytes_per_s() const {
-  const auto& d = channels_.front().controller().timing();
-  return static_cast<double>(channels_.size()) *
-         d.peak_bandwidth_bytes_per_s(cfg_.device.org);
+  double total = 0.0;
+  for (const auto& c : channels_) {
+    const auto& ctl = c.controller();
+    total += ctl.timing().peak_bandwidth_bytes_per_s(ctl.device().org);
+  }
+  return total;
 }
 
 void MemorySystem::submit(const ctrl::Request& r) {

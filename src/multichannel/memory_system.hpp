@@ -13,6 +13,7 @@
 #include "channel/channel.hpp"
 #include "common/units.hpp"
 #include "controller/request.hpp"
+#include "dram/device_class.hpp"
 #include "multichannel/interleaver.hpp"
 
 namespace mcm::obs {
@@ -31,6 +32,37 @@ struct SystemConfig {
   ctrl::ControllerConfig controller;
   channel::InterconnectSpec interconnect;
   channel::InterfacePowerSpec interface;
+
+  /// Device class per channel (index = channel id). Empty = every channel
+  /// binds `device` (the legacy homogeneous system, bit-identical to the
+  /// pre-class config). Non-empty must have exactly `channels` entries.
+  std::vector<dram::DeviceClass> channel_classes;
+
+  /// Vault-style stacked interface: consecutive groups of `vault_group`
+  /// channels share one TSV bundle, modelled as per-channel front-end TDM
+  /// (request interval x group size) plus a fixed serialization latency.
+  /// 0 or 1 = independent interfaces (no shared-TSV cost).
+  std::uint32_t vault_group = 0;
+
+  [[nodiscard]] bool heterogeneous() const { return !channel_classes.empty(); }
+
+  /// Class bound by channel `ch` (kMobileDdr when no classes configured).
+  [[nodiscard]] dram::DeviceClass channel_class(std::uint32_t ch) const {
+    return ch < channel_classes.size() ? channel_classes[ch]
+                                       : dram::DeviceClass::kMobileDdr;
+  }
+
+  /// Full device spec for channel `ch` (the resolved class table).
+  [[nodiscard]] dram::DeviceSpec channel_device(std::uint32_t ch) const {
+    return dram::device_class_spec(channel_class(ch), device);
+  }
+
+  /// Interconnect spec for channel `ch` with the shared-TSV serialization
+  /// cost applied. This is the single definition of the vault model: the
+  /// production system and the golden reference both construct their
+  /// channels from it, so the transform can never diverge between them.
+  [[nodiscard]] channel::InterconnectSpec channel_interconnect(
+      std::uint32_t ch) const;
 };
 
 struct SystemPowerReport {

@@ -161,8 +161,6 @@ Outcome run_production(const Scenario& s) {
 
 Outcome reference_outcome(const Scenario& s, const RefRunOutput& ref) {
   const multichannel::SystemConfig cfg = s.system_config();
-  const dram::EnergyModel energy(
-      cfg.device.power, dram::DerivedTiming::derive(cfg.device.timing, cfg.freq));
 
   Outcome o;
   o.end_time_ps = ref.end_time_ps;
@@ -172,7 +170,12 @@ Outcome reference_outcome(const Scenario& s, const RefRunOutput& ref) {
   o.stage_bytes = ref.stage_bytes;
   o.stage_completed_ps = ref.stage_completed_ps;
   o.channels.reserve(ref.channels.size());
-  for (const RefChannelResult& rc : ref.channels) {
+  for (std::size_t c = 0; c < ref.channels.size(); ++c) {
+    const RefChannelResult& rc = ref.channels[c];
+    // Heterogeneous systems price each channel with its own class tables.
+    const dram::DeviceSpec dev = cfg.channel_device(static_cast<std::uint32_t>(c));
+    const dram::EnergyModel energy(
+        dev.power, dram::DerivedTiming::derive(dev.timing, cfg.freq));
     ChannelOutcome co;
     co.reads = rc.reads;
     co.writes = rc.writes;

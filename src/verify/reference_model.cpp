@@ -45,20 +45,27 @@ struct RefBank {
 /// bank cluster, all in one deliberately straightforward class.
 class RefChannel {
  public:
+  // Each channel binds its own device class (timing + organization) and the
+  // vault-adjusted interconnect; both come from the same SystemConfig
+  // helpers the production MemorySystem constructs from, so the per-channel
+  // resolution itself is shared data, not duplicated logic.
   RefChannel(const multichannel::SystemConfig& sys, std::uint32_t channel_id,
              InjectedBug bug)
-      : d_(dram::DerivedTiming::derive(sys.device.timing, sys.freq)),
-        org_(sys.device.org),
+      : d_(dram::DerivedTiming::derive(sys.channel_device(channel_id).timing,
+                                       sys.freq)),
+        org_(sys.channel_device(channel_id).org),
         cfg_(sys.controller),
         bug_(bug),
         id_(channel_id),
         mux_(sys.mux),
-        interconnect_latency_(sys.interconnect.latency),
-        request_interval_cycles_(sys.interconnect.request_interval_cycles),
+        interconnect_latency_(sys.channel_interconnect(channel_id).latency),
+        request_interval_cycles_(
+            sys.channel_interconnect(channel_id).request_interval_cycles),
         clk_ps_(d_.clk.ps()),
         banks_(org_.banks),
         last_wr_data_end_(Time{-1'000'000'000}),
-        next_ref_due_(cyc(d_.trefi)) {
+        // Refresh-free classes (PCM-like) park the due time at the sentinel.
+        next_ref_due_(d_.has_refresh() ? cyc(d_.trefi) : Time::max()) {
     res_.bank_accesses.assign(org_.banks, 0);
     rows_per_bank_ = org_.rows_per_bank();
     bursts_per_row_ = org_.bursts_per_row();
@@ -356,6 +363,7 @@ class RefChannel {
 
   // -- idle, power-down, self refresh, refresh -----------------------------
   [[nodiscard]] bool selfrefresh_eligible(Time until) const {
+    if (!d_.has_refresh()) return false;  // no self-refresh state to enter
     if (cfg_.selfrefresh_idle_cycles < 0 || until <= horizon_) return false;
     const Time min_gap = cyc(cfg_.selfrefresh_idle_cycles + d_.tcke + d_.txsr +
                              d_.trp + 2 + static_cast<int>(org_.banks));

@@ -79,6 +79,15 @@ multichannel::SystemConfig Scenario::system_config() const {
   cfg.controller.stream_row_hits = stream_row_hits;
   cfg.interconnect.latency = Time{interconnect_latency_ps};
   cfg.interconnect.request_interval_cycles = request_interval_cycles;
+  cfg.channel_classes.reserve(channel_classes.size());
+  for (const std::string& name : channel_classes) {
+    const auto cls = dram::parse_device_class(name);
+    if (!cls.has_value()) {
+      throw std::invalid_argument("unknown device class: " + name);
+    }
+    cfg.channel_classes.push_back(*cls);
+  }
+  cfg.vault_group = vault_group;
   return cfg;
 }
 
@@ -197,7 +206,8 @@ std::vector<std::uint64_t> generator_stream(Rng& rng, std::uint64_t span_bytes,
 
 }  // namespace
 
-Scenario random_scenario(std::uint64_t seed, bool workload_generators) {
+Scenario random_scenario(std::uint64_t seed, bool workload_generators,
+                         bool hetero_classes) {
   Rng rng(seed);
   Scenario s;
   s.seed = seed;
@@ -311,6 +321,39 @@ Scenario random_scenario(std::uint64_t seed, bool workload_generators) {
     }
     s.frames.push_back(std::move(frame));
   }
+
+  // Heterogeneous channel classes, drawn after every legacy field so the
+  // flag's extra draws cannot perturb the rest of the scenario: with the
+  // classes stripped, a hetero scenario equals the plain one bit for bit.
+  if (hetero_classes) {
+    switch (rng.next_below(6)) {
+      case 0:  // homogeneous legacy control case: no classes at all
+        break;
+      case 1:  // all-fast cluster
+        s.channel_classes.assign(s.channels, "fast_edram");
+        break;
+      case 2:  // all-slow dense cluster
+        s.channel_classes.assign(s.channels, "slow_pcm");
+        break;
+      case 3: {  // vault-grouped: classes + a shared-TSV bundle size
+        static constexpr const char* kCls[] = {"mobile_ddr", "fast_edram",
+                                               "slow_pcm"};
+        for (std::uint32_t c = 0; c < s.channels; ++c) {
+          s.channel_classes.push_back(kCls[rng.next_below(3)]);
+        }
+        s.vault_group = 2u << rng.next_below(2);  // 2 or 4
+        break;
+      }
+      default: {  // mixed assignment, independent interfaces
+        static constexpr const char* kCls[] = {"mobile_ddr", "fast_edram",
+                                               "slow_pcm"};
+        for (std::uint32_t c = 0; c < s.channels; ++c) {
+          s.channel_classes.push_back(kCls[rng.next_below(3)]);
+        }
+        break;
+      }
+    }
+  }
   return s;
 }
 
@@ -339,6 +382,14 @@ obs::JsonValue scenario_to_json(const Scenario& s) {
   doc["sim_threads"] = s.sim_threads;
   doc["legacy_feed"] = s.legacy_feed;
   doc["inject"] = std::string(to_string(s.inject));
+  // Emitted only when non-default so committed legacy repros stay
+  // byte-identical.
+  if (!s.channel_classes.empty()) {
+    obs::JsonValue& classes = doc["channel_classes"];
+    classes = obs::JsonValue::array();
+    for (const std::string& c : s.channel_classes) classes.push(obs::JsonValue{c});
+  }
+  if (s.vault_group != 0) doc["vault_group"] = s.vault_group;
   obs::JsonValue& frames = doc["frames"];
   frames = obs::JsonValue::array();
   for (const auto& f : s.frames) {
@@ -406,6 +457,17 @@ std::optional<Scenario> scenario_from_json(const obs::JsonValue& doc,
     if (!bug.has_value()) return fail("unknown inject value");
     s.inject = *bug;
   }
+  if (const auto* classes = doc.find("channel_classes")) {
+    if (!classes->is_array()) return fail("channel_classes must be an array");
+    for (std::size_t i = 0; i < classes->size(); ++i) {
+      const std::string name = classes->at(i)->as_string();
+      if (!dram::parse_device_class(name).has_value()) {
+        return fail("unknown device class: " + name);
+      }
+      s.channel_classes.push_back(name);
+    }
+  }
+  if (const auto* v = doc.find("vault_group")) s.vault_group = static_cast<std::uint32_t>(v->as_uint(s.vault_group));
   const obs::JsonValue* frames = doc.find("frames");
   if (frames == nullptr || !frames->is_array()) return fail("missing frames array");
   for (std::size_t i = 0; i < frames->size(); ++i) {

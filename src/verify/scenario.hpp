@@ -76,6 +76,13 @@ struct Scenario {
 
   InjectedBug inject = InjectedBug::kNone;
 
+  // Heterogeneous channel clusters: one device-class name per channel
+  // ("mobile_ddr", "fast_edram", "slow_pcm"). Empty = legacy homogeneous
+  // system (every channel binds `device`). `vault_group` >= 2 groups that
+  // many consecutive channels onto one shared-TSV stacked interface.
+  std::vector<std::string> channel_classes;
+  std::uint32_t vault_group = 0;
+
   std::vector<ScenarioFrame> frames;
 
   friend bool operator==(const Scenario&, const Scenario&) = default;
@@ -92,9 +99,14 @@ struct Scenario {
 /// `workload_generators` set, roughly half of the non-empty stages draw
 /// their request stream from a sampled workload/ synthetic generator
 /// (sequential, strided, pointer-chase, uniform-random) instead of the
-/// built-in patterns; (seed, flag) together stay fully deterministic.
+/// built-in patterns. With `hetero_classes` set, scenarios additionally draw
+/// a per-channel device-class assignment (all-fast, all-slow, mixed, or
+/// vault-grouped). Each flag's extra draws happen only when it is set, so
+/// (seed, flags) together stay fully deterministic and plain
+/// random_scenario(seed) output is unchanged by the flags' existence.
 [[nodiscard]] Scenario random_scenario(std::uint64_t seed,
-                                       bool workload_generators = false);
+                                       bool workload_generators = false,
+                                       bool hetero_classes = false);
 
 /// `mcm.repro/v1` (de)serialization.
 [[nodiscard]] obs::JsonValue scenario_to_json(const Scenario& s);

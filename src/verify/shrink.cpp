@@ -118,8 +118,23 @@ class Shrinker {
     };
     mutate([](Scenario& c) { c.sim_threads = 1; });
     mutate([](Scenario& c) { c.legacy_feed = false; });
-    mutate([](Scenario& c) { c.channels = 1; });
-    mutate([](Scenario& c) { c.channels = std::max(c.channels / 2, 1u); });
+    // Back to the homogeneous legacy system first: most mismatches are not
+    // about device classes at all.
+    mutate([](Scenario& c) {
+      c.channel_classes.clear();
+      c.vault_group = 0;
+    });
+    mutate([](Scenario& c) { c.vault_group = 0; });
+    // channel_classes is per-channel, so any channel-count shrink must keep
+    // it sized to match (the config rejects a length mismatch).
+    mutate([](Scenario& c) {
+      c.channels = 1;
+      if (!c.channel_classes.empty()) c.channel_classes.resize(1);
+    });
+    mutate([](Scenario& c) {
+      c.channels = std::max(c.channels / 2, 1u);
+      if (!c.channel_classes.empty()) c.channel_classes.resize(c.channels);
+    });
     mutate([](Scenario& c) { c.stream_row_hits = false; });
     mutate([](Scenario& c) { c.queue_depth = std::max(c.queue_depth / 2, 1u); });
     mutate([](Scenario& c) { c.scheduler = "FCFS"; });

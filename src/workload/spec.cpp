@@ -87,6 +87,15 @@ multichannel::SystemConfig WorkloadSpec::system_config() const {
   cfg.freq = Frequency(static_cast<double>(freq_mhz));
   cfg.channels = channels;
   cfg.interleave_bytes = interleave_bytes;
+  cfg.channel_classes.reserve(channel_classes.size());
+  for (const std::string& name : channel_classes) {
+    const auto cls = dram::parse_device_class(name);
+    if (!cls.has_value()) {
+      throw std::invalid_argument("unknown device class: " + name);
+    }
+    cfg.channel_classes.push_back(*cls);
+  }
+  cfg.vault_group = vault_group;
   return cfg;
 }
 
@@ -94,6 +103,12 @@ std::string WorkloadSpec::cache_key() const {
   std::ostringstream key;
   key << "workload|" << device << '|' << channels << '|' << freq_mhz << '|'
       << interleave_bytes << '|' << period_ps;
+  // Appended only when configured so existing cache entries stay valid.
+  if (!channel_classes.empty()) {
+    key << "|classes";
+    for (const std::string& c : channel_classes) key << ':' << c;
+  }
+  if (vault_group != 0) key << "|vault" << vault_group;
   for (const auto& t : tenants) {
     key << "||" << t.kind << '|' << t.name << '|' << t.partition_bytes << '|'
         << t.pace_ps;
@@ -125,6 +140,12 @@ obs::JsonValue workload_to_json(const WorkloadSpec& s) {
   sys["channels"] = s.channels;
   sys["freq_mhz"] = s.freq_mhz;
   sys["interleave_bytes"] = s.interleave_bytes;
+  if (!s.channel_classes.empty()) {
+    auto& classes = sys["channel_classes"];
+    classes = obs::JsonValue::array();
+    for (const std::string& c : s.channel_classes) classes.push(obs::JsonValue{c});
+  }
+  if (s.vault_group != 0) sys["vault_group"] = s.vault_group;
   doc["frames"] = s.frames;
   doc["period_ps"] = s.period_ps;
   if (s.sim_threads != 0) doc["sim_threads"] = s.sim_threads;
@@ -182,6 +203,19 @@ std::optional<WorkloadSpec> workload_from_json(const obs::JsonValue& doc,
     if (const auto* v = sys->find("interleave_bytes")) {
       s.interleave_bytes = static_cast<std::uint32_t>(v->as_uint(s.interleave_bytes));
     }
+    if (const auto* classes = sys->find("channel_classes")) {
+      if (!classes->is_array()) return bail("channel_classes must be an array");
+      for (std::size_t i = 0; i < classes->size(); ++i) {
+        const std::string name = classes->at(i)->as_string();
+        if (!dram::parse_device_class(name).has_value()) {
+          return bail("unknown device class: " + name);
+        }
+        s.channel_classes.push_back(name);
+      }
+    }
+    if (const auto* v = sys->find("vault_group")) {
+      s.vault_group = static_cast<std::uint32_t>(v->as_uint(s.vault_group));
+    }
   }
   if (const auto* v = doc.find("frames")) s.frames = static_cast<int>(v->as_int(1));
   get_int64(doc, "period_ps", s.period_ps);
@@ -191,6 +225,9 @@ std::optional<WorkloadSpec> workload_from_json(const obs::JsonValue& doc,
   if (const auto* v = doc.find("legacy_feed")) s.legacy_feed = v->as_bool();
 
   if (s.channels == 0) return bail("channels must be positive");
+  if (!s.channel_classes.empty() && s.channel_classes.size() != s.channels) {
+    return bail("channel_classes must have one entry per channel");
+  }
   if (s.freq_mhz == 0) return bail("freq_mhz must be positive");
   if (s.frames < 1) return bail("frames must be >= 1");
   if (s.period_ps <= 0) return bail("period_ps must be positive");

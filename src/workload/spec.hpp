@@ -63,6 +63,13 @@ struct WorkloadSpec {
   std::uint32_t freq_mhz = 400;
   std::uint32_t interleave_bytes = 16;
 
+  /// Heterogeneous channel clusters: one device-class name per channel
+  /// ("mobile_ddr", "fast_edram", "slow_pcm"). Empty = homogeneous system.
+  /// `vault_group` >= 2 bundles that many consecutive channels onto one
+  /// shared-TSV stacked interface.
+  std::vector<std::string> channel_classes;
+  std::uint32_t vault_group = 0;
+
   int frames = 1;
   std::int64_t period_ps = 33'333'333'333;  // 30 fps frame period
   unsigned sim_threads = 0;             // 0 = MCM_SIM_THREADS

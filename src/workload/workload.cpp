@@ -262,8 +262,12 @@ CompileContext make_context(const WorkloadSpec& spec) {
   const std::uint64_t stripe =
       static_cast<std::uint64_t>(ctx.cfg.interleave_bytes) * ctx.cfg.channels;
   ctx.align = std::max<std::uint64_t>(64 * 1024, stripe);
-  const std::uint64_t capacity =
-      ctx.cfg.device.org.capacity_bytes() * ctx.cfg.channels;
+  // Per-channel sum, not base x channels: heterogeneous classes bind
+  // different die sizes (identical for homogeneous systems).
+  std::uint64_t capacity = 0;
+  for (std::uint32_t c = 0; c < ctx.cfg.channels; ++c) {
+    capacity += ctx.cfg.channel_device(c).org.capacity_bytes();
+  }
   ctx.plans = plan_partitions(spec, capacity, ctx.align);
   ctx.inputs.reserve(ctx.plans.size());
   for (const auto& p : ctx.plans) {

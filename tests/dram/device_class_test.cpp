@@ -1,0 +1,163 @@
+// Property tests for the heterogeneous device-class tables: class ordering
+// (fast < base < slow on row timings), PCM read/write asymmetry, the
+// refresh-free contract, and per-class energy-ledger conservation.
+#include "dram/device_class.hpp"
+
+#include <gtest/gtest.h>
+
+#include "controller/memory_controller.hpp"
+#include "dram/energy.hpp"
+
+namespace mcm::dram {
+namespace {
+
+TEST(DeviceClass, NamesRoundTrip) {
+  for (const auto cls : {DeviceClass::kMobileDdr, DeviceClass::kFastEdram,
+                         DeviceClass::kSlowPcm}) {
+    const auto parsed = parse_device_class(to_string(cls));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, cls);
+  }
+  EXPECT_FALSE(parse_device_class("hbm").has_value());
+  EXPECT_FALSE(parse_device_class("").has_value());
+}
+
+TEST(DeviceClass, MobileDdrBindsTheBaseSpec) {
+  // kMobileDdr must resolve to the base spec itself — this identity is what
+  // keeps an all-mobile-ddr system bit-identical to a class-free one.
+  for (const DeviceSpec& base :
+       {DeviceSpec::next_gen_mobile_ddr(), DeviceSpec::mobile_ddr_2008(),
+        DeviceSpec::eight_bank_future(), DeviceSpec::wide_io_like()}) {
+    const DeviceSpec bound = device_class_spec(DeviceClass::kMobileDdr, base);
+    EXPECT_EQ(bound.timing.tRC_ns, base.timing.tRC_ns);
+    EXPECT_EQ(bound.org.capacity_bits, base.org.capacity_bits);
+    EXPECT_EQ(bound.power.idd0_ma, base.power.idd0_ma);
+  }
+}
+
+TEST(DeviceClass, RowTimingMonotonicity) {
+  const TimingSpec base = DeviceSpec::next_gen_mobile_ddr().timing;
+  const TimingSpec fast = fast_edram_like().timing;
+  const TimingSpec slow = slow_pcm_like().timing;
+
+  // fast < base < slow on the row-cycle family.
+  EXPECT_LT(fast.tRC_ns, base.tRC_ns);
+  EXPECT_LT(base.tRC_ns, slow.tRC_ns);
+  EXPECT_LT(fast.tRCD_ns, base.tRCD_ns);
+  EXPECT_LT(base.tRCD_ns, slow.tRCD_ns);
+  EXPECT_LE(fast.tRP_ns, base.tRP_ns);
+  EXPECT_LE(base.tRP_ns, slow.tRP_ns);
+  EXPECT_LT(fast.tRAS_ns, base.tRAS_ns);
+  EXPECT_LT(base.tRAS_ns, slow.tRAS_ns);
+
+  // Internal consistency: a row cycle covers its ACT-to-PRE plus precharge.
+  for (const TimingSpec& t : {base, fast, slow}) {
+    EXPECT_GE(t.tRC_ns, t.tRAS_ns + t.tRP_ns - 1e-9);
+    EXPECT_GE(t.tRAS_ns, t.tRCD_ns);  // row open at least until column access
+    EXPECT_GT(t.tWTR_ns, 0.0);        // turnarounds exist for every class
+    EXPECT_GT(t.tRTP_ns, 0.0);
+  }
+}
+
+TEST(DeviceClass, DerivedCyclesRespectClassOrderingAcrossFrequencies) {
+  const DeviceSpec base = DeviceSpec::next_gen_mobile_ddr();
+  const DeviceSpec fast = fast_edram_like();
+  const DeviceSpec slow = slow_pcm_like();
+  // Every frequency in the base device's range (the class tables advertise
+  // 100-533 MHz, wider than any base device's range, so whatever clock the
+  // fuzzer samples for the system is legal for every class).
+  for (const double mhz : {200.0, 266.0, 333.0, 400.0, 533.0}) {
+    const auto db = DerivedTiming::derive(base.timing, Frequency{mhz});
+    const auto df = DerivedTiming::derive(fast.timing, Frequency{mhz});
+    const auto ds = DerivedTiming::derive(slow.timing, Frequency{mhz});
+    EXPECT_LE(df.trc, db.trc) << mhz;
+    EXPECT_LE(db.trc, ds.trc) << mhz;
+    EXPECT_LE(df.trcd, db.trcd) << mhz;
+    EXPECT_LE(db.trcd, ds.trcd) << mhz;
+  }
+}
+
+TEST(DeviceClass, PcmWriteSlowerAndCostlierThanRead) {
+  const DeviceSpec pcm = slow_pcm_like();
+  // Cell programming dominates: write recovery far exceeds the read-side
+  // column latency, and the write burst draws much more current.
+  EXPECT_GT(pcm.timing.tWR_ns, 4.0 * pcm.timing.tCAS_ns);
+  EXPECT_GT(pcm.power.idd4w_ma, 2.0 * pcm.power.idd4r_ma);
+
+  // The energy model prices one write burst above one read burst.
+  const auto d = DerivedTiming::derive(pcm.timing, Frequency{400.0});
+  const EnergyModel energy(pcm.power, d);
+  EnergyLedger reads;
+  reads.n_rd = 100;
+  EnergyLedger writes;
+  writes.n_wr = 100;
+  EXPECT_GT(energy.tally(writes).total_pj(), energy.tally(reads).total_pj());
+}
+
+TEST(DeviceClass, FastEdramRefreshesMoreOftenThanBase) {
+  const DeviceSpec base = DeviceSpec::next_gen_mobile_ddr();
+  const DeviceSpec fast = fast_edram_like();
+  EXPECT_LT(fast.timing.tREFI_ns, base.timing.tREFI_ns);
+  const auto d = DerivedTiming::derive(fast.timing, Frequency{400.0});
+  EXPECT_TRUE(d.has_refresh());
+}
+
+TEST(DeviceClass, PcmIsRefreshFree) {
+  const DeviceSpec pcm = slow_pcm_like();
+  EXPECT_EQ(pcm.timing.tREFI_ns, 0.0);
+  const auto d = DerivedTiming::derive(pcm.timing, Frequency{400.0});
+  EXPECT_FALSE(d.has_refresh());
+  EXPECT_EQ(d.trefi, 0);
+  EXPECT_EQ(d.trfc, 0);
+}
+
+TEST(DeviceClass, PcmNeverAccruesRefreshDebt) {
+  // Drive a controller bound to the PCM class across a long window with
+  // idle gaps (where debt would normally be repaid) and a busy phase (where
+  // refreshes would normally interleave): no refresh may ever be issued.
+  ctrl::ControllerConfig cfg;
+  cfg.refresh_postpone_max = 8;  // debt machinery armed, must stay silent
+  ctrl::MemoryController mc(slow_pcm_like(), Frequency{400.0},
+                            ctrl::AddressMux::kRBC, cfg);
+  std::uint64_t a = 0;
+  for (int i = 0; i < 500; ++i) {
+    mc.enqueue(ctrl::Request{a, (i % 3) == 0, Time::zero(), 0});
+    (void)mc.process_one();
+    a += 16;
+  }
+  mc.finalize(Time::from_ms(33.0));  // tail spans ~4200 base-device tREFIs
+  EXPECT_EQ(mc.stats().refreshes, 0u);
+  EXPECT_EQ(mc.ledger().n_ref, 0u);
+  // Refresh-free also means no self-refresh state exists to enter.
+  EXPECT_EQ(mc.ledger().n_selfrefresh_entries, 0u);
+  EXPECT_EQ(mc.ledger().t_selfrefresh, Time::zero());
+}
+
+TEST(DeviceClass, EnergyLedgerConservationPerClass) {
+  // For every class: total power-state residency equals the finalize window
+  // (within 1%), i.e. the books never lose or double-count time.
+  const DeviceSpec base = DeviceSpec::next_gen_mobile_ddr();
+  for (const auto cls : {DeviceClass::kMobileDdr, DeviceClass::kFastEdram,
+                         DeviceClass::kSlowPcm}) {
+    ctrl::MemoryController mc(device_class_spec(cls, base), Frequency{400.0},
+                              ctrl::AddressMux::kRBC, ctrl::ControllerConfig{});
+    std::uint64_t a = 0;
+    for (int i = 0; i < 300; ++i) {
+      mc.enqueue(ctrl::Request{a, (i % 2) == 0, Time::zero(), 0});
+      (void)mc.process_one();
+      a += 16;
+    }
+    const Time window = Time::from_ms(5.0);
+    mc.finalize(window);
+    const EnergyLedger& l = mc.ledger();
+    const double covered =
+        l.t_active_standby.seconds() + l.t_precharge_standby.seconds() +
+        l.t_active_powerdown.seconds() + l.t_powerdown.seconds() +
+        l.t_selfrefresh.seconds();
+    EXPECT_NEAR(covered, window.seconds(), window.seconds() * 0.01)
+        << to_string(cls);
+  }
+}
+
+}  // namespace
+}  // namespace mcm::dram

@@ -10,6 +10,7 @@
 //   mcm_fuzz --replay repro.json             # rerun a saved repro
 //   mcm_fuzz --cases 50 --seed 1 --inject ignore-twtr --expect-mismatch
 //   mcm_fuzz --cases 200 --generators       # sample workload/ generators too
+//   mcm_fuzz --cases 500 --classes          # heterogeneous channel classes
 //
 // Exit status: 0 = every case agreed (or, with --expect-mismatch, at least
 // one case diverged); 1 = unexpected result; 2 = usage/setup error.
@@ -38,6 +39,7 @@ struct Options {
   std::string replay;
   bool expect_mismatch = false;
   bool generators = false;
+  bool classes = false;
   std::uint64_t shrink_attempts = 4000;
 };
 
@@ -55,6 +57,8 @@ struct Options {
       "  --expect-mismatch  invert the exit status (harness self-test)\n"
       "  --generators       draw ~half the stage streams from the workload\n"
       "                     subsystem's synthetic generators\n"
+      "  --classes          draw random per-channel device classes (all-fast,\n"
+      "                     all-slow, mixed, vault-grouped) per scenario\n"
       "  --shrink-attempts N  oracle budget for the shrinker (default 4000)\n",
       argv0);
   std::exit(status);
@@ -87,6 +91,8 @@ Options parse_args(int argc, char** argv) {
       opt.expect_mismatch = true;
     } else if (std::strcmp(argv[i], "--generators") == 0) {
       opt.generators = true;
+    } else if (std::strcmp(argv[i], "--classes") == 0) {
+      opt.classes = true;
     } else if (const char* v = arg("--cases")) {
       opt.cases = parse_u64(v, "--cases");
     } else if (const char* v = arg("--seed")) {
@@ -192,7 +198,8 @@ int main(int argc, char** argv) {
                 std::string(to_string(s.inject)).c_str());
     mismatched = handle_case(s, opt);
   } else if (opt.case_seed.has_value()) {
-    Scenario s = mcm::verify::random_scenario(*opt.case_seed, opt.generators);
+    Scenario s = mcm::verify::random_scenario(*opt.case_seed, opt.generators,
+                                              opt.classes);
     s.inject = inject;
     std::printf("mcm_fuzz: case seed 0x%llx (%llu requests)\n",
                 static_cast<unsigned long long>(*opt.case_seed),
@@ -209,7 +216,8 @@ int main(int argc, char** argv) {
     std::uint64_t requests_total = 0;
     for (std::uint64_t i = 0; i < opt.cases; ++i) {
       const std::uint64_t case_seed = master.next_u64();
-      Scenario s = mcm::verify::random_scenario(case_seed, opt.generators);
+      Scenario s =
+          mcm::verify::random_scenario(case_seed, opt.generators, opt.classes);
       s.inject = inject;
       requests_total += s.total_requests();
       if (handle_case(s, opt)) {
